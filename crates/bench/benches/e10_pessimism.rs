@@ -1,0 +1,13 @@
+//! Criterion bench for E10: the pessimism sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_roc");
+    g.sample_size(20);
+    g.bench_function("pessimism_frontier", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e10_pessimism::run()))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for E11: the path-sizing optimizer.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e11_size_paths", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e11_sizing::run()))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for E12: the fault-injection matrix.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_matrix");
+    g.sample_size(10);
+    g.bench_function("detection_matrix", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e12_coverage::run()))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for E1: regenerating Table 1.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e1_table1_waterfall", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e01_waterfall::run()))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

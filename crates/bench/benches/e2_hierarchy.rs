@@ -1,0 +1,13 @@
+//! Criterion bench for E2: hierarchy-overlap measurement.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_fig1");
+    g.sample_size(20);
+    g.bench_function("hierarchy_overlap_alu8", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e02_hierarchy::run()))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

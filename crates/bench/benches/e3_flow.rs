@@ -1,0 +1,20 @@
+//! Criterion bench for E3: the full CBV flow on an 8-bit adder.
+use cbv_core::flow::{run_flow, FlowConfig};
+use cbv_core::gen::adders::static_ripple_adder;
+use cbv_core::tech::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let p = Process::strongarm_035();
+    let mut g = c.benchmark_group("e3_fig2");
+    g.sample_size(10);
+    g.bench_function("full_flow_ripple8", |b| {
+        b.iter_with_setup(
+            || static_ripple_adder(8, &p).netlist,
+            |netlist| std::hint::black_box(run_flow(netlist, &p, &FlowConfig::default())),
+        )
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for E4: the electrical battery on a domino stage.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_fig3");
+    g.sample_size(10);
+    g.bench_function("charge_share_sweep", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e04_noise::charge_share_sweep()))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

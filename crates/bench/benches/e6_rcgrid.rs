@@ -1,0 +1,19 @@
+//! Criterion bench for E6: Elmore evaluation on distributed lines.
+use cbv_core::extract::RcNet;
+use cbv_core::netlist::NetId;
+use cbv_core::tech::{Farads, Ohms};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rc = RcNet::line(NetId(0), 256, Ohms::new(800.0), Farads::new(2e-12));
+    c.bench_function("e6_fig5_elmore_256seg", |b| {
+        b.iter(|| {
+            std::hint::black_box(rc.elmore(rc.first_node(), rc.last_node(), Ohms::new(150.0)))
+        })
+    });
+    c.bench_function("e6_fig5_model_study", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e06_rcgrid::run()))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for E7: per-cycle cost of each simulation engine.
+use cbv_core::rtl::{compile, interp::Interp};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let design = compile(
+        "module mini(clock ck, in d[16], out acc[16]) { reg r[16]; at posedge(ck) { r <= r + d; } assign acc = r; }",
+        "mini",
+    )
+    .expect("compiles");
+    let mut sim = Interp::new(&design);
+    let mut i = 0u64;
+    c.bench_function("e7_rtl_interp_cycle", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            sim.set_input("d", i & 0xFFFF);
+            sim.step("ck");
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for E8: equivalence-checking kernels.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_equiv");
+    g.sample_size(20);
+    g.bench_function("counter_vs_shifter_plus_bdds", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e08_equiv::run()))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

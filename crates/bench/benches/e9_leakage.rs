@@ -1,0 +1,13 @@
+//! Criterion bench for E9: chip-scale standby analysis.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_standby");
+    g.sample_size(10);
+    g.bench_function("standby_matrix", |b| {
+        b.iter(|| std::hint::black_box(cbv_bench::e09_leakage::run()))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates experiment e10's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e10_pessimism::print();
+}

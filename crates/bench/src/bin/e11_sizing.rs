@@ -1,0 +1,4 @@
+//! Regenerates experiment e11's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e11_sizing::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e12's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e12_coverage::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e1's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e01_waterfall::print();
+}

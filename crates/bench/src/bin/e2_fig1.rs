@@ -1,0 +1,4 @@
+//! Regenerates experiment e2's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e02_hierarchy::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e3's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e03_flow::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e4's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e04_noise::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e5's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e05_timing::print();
+}

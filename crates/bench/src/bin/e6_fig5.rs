@@ -1,0 +1,4 @@
+//! Regenerates experiment e6's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e06_rcgrid::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e7's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e07_throughput::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e8's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e08_equiv::print();
+}

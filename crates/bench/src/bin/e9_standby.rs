@@ -1,0 +1,4 @@
+//! Regenerates experiment e9's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e09_leakage::print();
+}

@@ -1,0 +1,61 @@
+//! E1 — **Table 1**: the ALPHA 21064 → StrongARM power waterfall.
+
+use cbv_core::power::{strongarm_waterfall, WaterfallRow};
+use cbv_core::tech::Watts;
+
+/// The paper's published factors and intermediate powers, for comparison.
+pub const PAPER: [(&str, f64, f64); 5] = [
+    ("VDD reduction", 5.3, 4.9),
+    ("Reduce functions", 3.0, 1.6),
+    ("Scale process", 2.0, 0.8),
+    ("Clock load", 1.3, 0.6),
+    ("Clock rate", 1.25, 0.5),
+];
+
+/// Regenerates Table 1 from the process definitions.
+pub fn run() -> Vec<WaterfallRow> {
+    strongarm_waterfall(Watts::new(26.0))
+}
+
+/// Prints the paper-vs-measured table.
+pub fn print() {
+    crate::banner("E1", "Table 1 — ALPHA 21064 -> StrongARM power waterfall");
+    let rows = run();
+    println!(
+        "{:<18}{:>12}{:>12}{:>14}{:>12}",
+        "step", "paper x", "ours x", "paper W", "ours W"
+    );
+    println!("{:<18}{:>12}{:>12}{:>14}{:>12}", "start (21064)", "-", "-", "26.0", "26.0");
+    for (row, (name, pf, pw)) in rows.iter().zip(PAPER) {
+        println!(
+            "{:<18}{:>12.2}{:>12.2}{:>14.2}{:>12.2}",
+            name,
+            pf,
+            row.factor,
+            pw,
+            row.power.watts()
+        );
+    }
+    let last = rows.last().expect("five rows").power.watts();
+    println!("\nfinal: {last:.3} W  (paper ~0.5 W, realized SA-110: 0.45 W)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let rows = run();
+        assert_eq!(rows.len(), PAPER.len());
+        for (row, (name, pf, _)) in rows.iter().zip(PAPER) {
+            assert!(
+                (row.factor / pf - 1.0).abs() < 0.05,
+                "{name}: factor {} vs paper {pf}",
+                row.factor
+            );
+        }
+        let last = rows.last().unwrap().power.watts();
+        assert!((0.45..0.56).contains(&last));
+    }
+}

@@ -1,0 +1,80 @@
+//! E3 — **Fig 2**: the design flow, run end to end with per-stage
+//! runtimes and artifact counts on designs of increasing size.
+
+use cbv_core::flow::{run_flow, FlowConfig, FlowReport};
+use cbv_core::gen::adders::static_ripple_adder;
+use cbv_core::tech::Process;
+
+/// One flow run's summary.
+pub struct FlowPoint {
+    /// Adder width.
+    pub width: u32,
+    /// Transistor count.
+    pub devices: usize,
+    /// The full report.
+    pub report: FlowReport,
+}
+
+/// Runs the flow on 4/8/16-bit adders.
+pub fn run() -> Vec<FlowPoint> {
+    let p = Process::strongarm_035();
+    [4u32, 8, 16]
+        .into_iter()
+        .map(|width| {
+            let g = static_ripple_adder(width, &p);
+            let devices = g.netlist.devices().len();
+            let report = run_flow(g.netlist, &p, &FlowConfig::default());
+            FlowPoint {
+                width,
+                devices,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Prints the flow table.
+pub fn print() {
+    crate::banner("E3", "Fig 2 — the verification flow, end to end");
+    let points = run();
+    print!("{:<12}{:>10}", "stage", "artifacts");
+    for p in &points {
+        print!("{:>14}", format!("{}b ms", p.width));
+    }
+    println!();
+    let stage_count = points[0].report.stages.len();
+    for si in 0..stage_count {
+        print!(
+            "{:<12}{:>10}",
+            points[0].report.stages[si].stage, points[0].report.stages[si].artifacts
+        );
+        for p in &points {
+            print!("{:>14.2}", p.report.stages[si].runtime.seconds() * 1e3);
+        }
+        println!();
+    }
+    for p in &points {
+        println!(
+            "\n{}-bit adder ({} devices): total {:.1} ms, verdict {}",
+            p.width,
+            p.devices,
+            p.report.total_runtime().seconds() * 1e3,
+            if p.report.signoff.clean() { "CLEAN" } else { "VIOLATIONS" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_scales_and_signs_off() {
+        let points = run();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.report.signoff.clean(), "{}b: {}", p.width, p.report.signoff);
+        }
+        assert!(points[2].devices > 3 * points[0].devices);
+    }
+}

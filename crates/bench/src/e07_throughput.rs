@@ -1,0 +1,190 @@
+//! E7 — §4.1 simulation throughput.
+//!
+//! The paper: phase-accurate RTL runs at ">200 cycles per second per
+//! simulation CPU", and the logic verification goal of 2×10⁹ aggregated
+//! cycles/day needs ~100 CPUs. We measure our engines' cycles/sec on a
+//! generated design and on the CAM (native primitive vs gate expansion),
+//! then project the farm size for the paper's daily budget.
+
+use std::time::Instant;
+
+use cbv_core::gen::cam::{cam_rtl_expanded, cam_rtl_source};
+use cbv_core::rtl::{blast::blast, compile, interp::Interp};
+use cbv_core::sim::{GateSim, Logic, SwitchSim};
+use cbv_core::tech::Process;
+
+/// One engine's throughput measurement.
+pub struct ThroughputPoint {
+    /// Engine / workload label.
+    pub engine: String,
+    /// Measured cycles per second.
+    pub cycles_per_sec: f64,
+}
+
+/// A small CPU-ish RTL design: 16-bit datapath with an accumulator, ALU
+/// ops and a flag — a stand-in for "phase accurate Behavioral/RTL".
+const CPU_RTL: &str = "module mini(clock ck, in op[2], in d[16], out acc[16], out z) {\n\
+    reg r[16];\n\
+    at posedge(ck) {\n\
+        if (op == 0) { r <= r + d; }\n\
+        else if (op == 1) { r <= r ^ d; }\n\
+        else if (op == 2) { r <= r & d; }\n\
+        else { r <= d; }\n\
+    }\n\
+    assign acc = r;\n\
+    assign z = r == 0;\n\
+}";
+
+fn time_cycles(mut step: impl FnMut(u64), cycles: u64) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..cycles {
+        step(i);
+    }
+    cycles as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Measures every engine.
+pub fn run() -> Vec<ThroughputPoint> {
+    let mut out = Vec::new();
+
+    // RTL interpreter on the mini CPU.
+    let cpu = compile(CPU_RTL, "mini").expect("compiles");
+    let mut sim = Interp::new(&cpu);
+    let rate = time_cycles(
+        |i| {
+            sim.set_input("op", i & 3);
+            sim.set_input("d", (i * 2654435761) & 0xFFFF);
+            sim.step("ck");
+        },
+        200_000,
+    );
+    out.push(ThroughputPoint {
+        engine: "rtl interpreter (mini cpu)".into(),
+        cycles_per_sec: rate,
+    });
+
+    // Gate-level event sim on the blasted mini CPU.
+    let net = blast(&cpu).expect("blasts");
+    let mut gsim = GateSim::new(&net);
+    let rate = time_cycles(
+        |i| {
+            for b in 0..2 {
+                gsim.set_input_by_name(&format!("op[{b}]"), (i >> b) & 1 == 1);
+            }
+            let d = (i * 2654435761) & 0xFFFF;
+            for b in 0..16 {
+                gsim.set_input_by_name(&format!("d[{b}]"), (d >> b) & 1 == 1);
+            }
+            gsim.step(0);
+        },
+        20_000,
+    );
+    out.push(ThroughputPoint {
+        engine: "gate-level event sim".into(),
+        cycles_per_sec: rate,
+    });
+
+    // Switch-level transistor sim on a generated 8-bit adder.
+    let p = Process::strongarm_035();
+    let g = cbv_core::gen::adders::static_ripple_adder(8, &p);
+    let mut ssim = SwitchSim::new(&g.netlist);
+    let rate = time_cycles(
+        |i| {
+            let a = i & 0xFF;
+            let b = (i >> 8) & 0xFF;
+            for bit in 0..8 {
+                ssim.set(g.inputs[bit], Logic::from_bool((a >> bit) & 1 == 1));
+                ssim.set(g.inputs[8 + bit], Logic::from_bool((b >> bit) & 1 == 1));
+            }
+            ssim.set(g.inputs[16], Logic::Zero);
+            let _ = ssim.settle();
+        },
+        300,
+    );
+    out.push(ThroughputPoint {
+        engine: "switch-level sim (8b adder)".into(),
+        cycles_per_sec: rate,
+    });
+
+    // CAM: native primitive vs gate expansion (256 x 16).
+    for (label, src) in [
+        ("cam native primitive (64x16)", cam_rtl_source(64, 16)),
+        ("cam gate-expanded (64x16)", cam_rtl_expanded(64, 16)),
+    ] {
+        let design = compile(&src, "camq").expect("compiles");
+        let mut sim = Interp::new(&design);
+        let rate = time_cycles(
+            |i| {
+                sim.set_input("we", i & 1);
+                sim.set_input("wi", i % 64);
+                sim.set_input("wv", (i * 7) & 0xFFFF);
+                sim.set_input("k", (i * 13) & 0xFFFF);
+                sim.step("ck");
+            },
+            20_000,
+        );
+        out.push(ThroughputPoint {
+            engine: label.into(),
+            cycles_per_sec: rate,
+        });
+    }
+    out
+}
+
+/// Prints the throughput table and the farm projection.
+pub fn print() {
+    crate::banner("E7", "§4.1 — simulation throughput and the farm projection");
+    let points = run();
+    println!("{:<34}{:>16}", "engine", "cycles/sec");
+    for p in &points {
+        println!("{:<34}{:>16.0}", p.engine, p.cycles_per_sec);
+    }
+    let rtl = points[0].cycles_per_sec;
+    // The paper's chip model is vastly bigger than our mini CPU; what
+    // matters is the *ratio* math: 2e9 cycles/day at the paper's >200
+    // cycles/sec/CPU needs ~115 CPUs; at ours:
+    let per_day = rtl * 86_400.0;
+    println!("\npaper: >200 cycles/sec/CPU, 2e9 cycles/day -> ~100 CPUs");
+    println!(
+        "ours:  {:.0} cycles/sec/CPU on the mini design -> {:.4} CPUs for 2e9/day",
+        rtl,
+        2e9 / per_day
+    );
+    let native = points[3].cycles_per_sec;
+    let expanded = points[4].cycles_per_sec;
+    println!(
+        "\ncam primitive speedup over gate expansion: {:.1}x  (\"standard languages\n\
+         ... result in highly inefficient run-times, e.g. a 2000 port CAM\")",
+        native / expanded
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtl_beats_the_paper_per_cpu_target() {
+        let points = run();
+        assert!(
+            points[0].cycles_per_sec > 200.0,
+            "must beat the 1997 farm per-CPU figure"
+        );
+    }
+
+    #[test]
+    fn native_cam_is_much_faster_than_expansion() {
+        let points = run();
+        let native = points
+            .iter()
+            .find(|p| p.engine.contains("native"))
+            .unwrap()
+            .cycles_per_sec;
+        let expanded = points
+            .iter()
+            .find(|p| p.engine.contains("expanded"))
+            .unwrap()
+            .cycles_per_sec;
+        assert!(native > 3.0 * expanded, "{native} vs {expanded}");
+    }
+}

@@ -1,0 +1,147 @@
+//! E10 — §4.3's two conflicting goals: "enough pessimism to insure
+//! identification of all violations, while not so much pessimism to cause
+//! false violations."
+//!
+//! A population of paths straddling the cycle boundary is checked at
+//! several pessimism settings against a reference ("silicon truth" =
+//! signoff-calibrated bounds). Under-deratred analyses miss real
+//! violations; over-derated analyses flood the designer with false ones.
+
+use cbv_core::netlist::{CccId, FlatNetlist, NetKind};
+use cbv_core::tech::units::{nanoseconds, picoseconds};
+use cbv_core::tech::Seconds;
+use cbv_core::timing::{
+    analyze, Arc, CaptureKind, ClockSchedule, Constraint, LaunchPoint, Pessimism, TimingGraph,
+    ViolationKind,
+};
+
+/// One pessimism sweep point.
+pub struct RocPoint {
+    /// Pessimism scale (1.0 = reference truth).
+    pub scale: f64,
+    /// Real violations missed at this setting.
+    pub missed: usize,
+    /// False violations reported.
+    pub false_alarms: usize,
+    /// True violations correctly reported.
+    pub caught: usize,
+}
+
+/// Builds a chain population: path k has k stages of 100 ps nominal
+/// delay captured by a latch closing at 1 ns; truth derates by
+/// `truth_scale`.
+fn flagged_paths(scale: f64) -> Vec<bool> {
+    let stage_nominal_ps = 100.0;
+    let pess = Pessimism::scaled(scale);
+    let n_paths = 24usize;
+    let mut flagged = Vec::with_capacity(n_paths);
+    for k in 1..=n_paths {
+        let mut f = FlatNetlist::new("p");
+        let inp = f.add_net("in", NetKind::Input);
+        let ck = f.add_net("ck", NetKind::Clock);
+        let mut arcs = Vec::new();
+        let mut prev = inp;
+        for i in 0..k {
+            let n = f.add_net(&format!("n{i}"), NetKind::Signal);
+            arcs.push(Arc {
+                from: prev,
+                to: n,
+                min: picoseconds(stage_nominal_ps * 0.5 * pess.early_derate),
+                max: picoseconds(stage_nominal_ps * pess.late_derate),
+                ccc: CccId(i as u32),
+            });
+            prev = n;
+        }
+        let graph = TimingGraph {
+            arcs,
+            launches: vec![LaunchPoint {
+                net: inp,
+                clock: Some(ck),
+            }],
+            cut_nets: vec![prev],
+        };
+        let constraints = vec![Constraint {
+            net: prev,
+            kind: CaptureKind::Latch,
+            clock: Some(ck),
+            setup: picoseconds(50.0) + pess.constraint_margin,
+            hold: picoseconds(30.0),
+        }];
+        let schedule = ClockSchedule::single("ck", nanoseconds(2.0));
+        let report = analyze(&f, &graph, &constraints, &schedule, &pess, &[]);
+        flagged.push(report.of_kind(ViolationKind::Setup).next().is_some());
+    }
+    flagged
+}
+
+/// Runs the sweep; truth = scale 1.0.
+pub fn run() -> Vec<RocPoint> {
+    let truth = flagged_paths(1.0);
+    [0.0, 0.5, 1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|scale| {
+            let flagged = flagged_paths(scale);
+            let mut missed = 0;
+            let mut false_alarms = 0;
+            let mut caught = 0;
+            for (f, t) in flagged.iter().zip(&truth) {
+                match (f, t) {
+                    (true, true) => caught += 1,
+                    (true, false) => false_alarms += 1,
+                    (false, true) => missed += 1,
+                    (false, false) => {}
+                }
+            }
+            RocPoint {
+                scale,
+                missed,
+                false_alarms,
+                caught,
+            }
+        })
+        .collect()
+}
+
+/// Prints the trade-off frontier.
+pub fn print() {
+    crate::banner("E10", "§4.3 — pessimism: missed vs false violations");
+    println!(
+        "{:>10}{:>10}{:>10}{:>14}",
+        "scale", "caught", "missed", "false alarms"
+    );
+    for pt in run() {
+        println!(
+            "{:>10.1}{:>10}{:>10}{:>14}",
+            pt.scale, pt.caught, pt.missed, pt.false_alarms
+        );
+    }
+    println!("\n(1.0 is the calibrated reference; optimistic settings miss real");
+    println!(" violations — \"a costly debug along with a schedule slip\" — and");
+    println!(" over-derated settings drown the designer in false ones)");
+    let _ = Seconds::ZERO;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_is_exact() {
+        let pts = run();
+        let r = pts.iter().find(|p| p.scale == 1.0).expect("reference");
+        assert_eq!(r.missed, 0);
+        assert_eq!(r.false_alarms, 0);
+        assert!(r.caught > 0);
+    }
+
+    #[test]
+    fn optimism_misses_and_pessimism_cries_wolf() {
+        let pts = run();
+        let optimistic = &pts[0];
+        let paranoid = pts.last().expect("points");
+        assert!(optimistic.missed > 0, "under-derated analysis must miss");
+        assert_eq!(optimistic.false_alarms, 0);
+        assert!(paranoid.false_alarms > 0, "over-derated analysis must over-report");
+        assert_eq!(paranoid.missed, 0, "pessimism never misses");
+    }
+}

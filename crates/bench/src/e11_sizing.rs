@@ -1,0 +1,126 @@
+//! E11 — §2.2 automatic path sizing.
+//!
+//! "Transistors are sized either by the designer or by using automatic
+//! path sizing techniques." The optimizer takes a chain of raw unsized
+//! gates (what logic synthesis would emit) and tapers it toward the
+//! logical-effort optimum; measured as delay before/after over a load
+//! sweep.
+
+use cbv_core::netlist::{Device, DeviceId, FlatNetlist, NetKind};
+use cbv_core::tech::{Farads, MosKind, Process};
+use cbv_core::timing::size_path;
+
+/// One load point.
+pub struct SizingPoint {
+    /// Load in fF.
+    pub load_ff: f64,
+    /// Chain delay before sizing, ps.
+    pub before_ps: f64,
+    /// Chain delay after sizing, ps.
+    pub after_ps: f64,
+    /// Speedup.
+    pub speedup: f64,
+    /// The stage scale factors chosen.
+    pub scales: Vec<f64>,
+}
+
+fn raw_chain(n: usize, process: &Process) -> (FlatNetlist, Vec<Vec<DeviceId>>) {
+    let mut f = FlatNetlist::new("chain");
+    let l = process.l_min().meters();
+    let vdd = f.add_net("vdd", NetKind::Power);
+    let gnd = f.add_net("gnd", NetKind::Ground);
+    let mut prev = f.add_net("in", NetKind::Input);
+    let mut stages = Vec::new();
+    for i in 0..n {
+        let out = f.add_net(&format!("n{i}"), NetKind::Signal);
+        let p = f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("p{i}"),
+            prev,
+            out,
+            vdd,
+            vdd,
+            2.0 * l * process.balanced_beta(),
+            l,
+        ));
+        let nd = f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("n{i}"),
+            prev,
+            out,
+            gnd,
+            gnd,
+            2.0 * l,
+            l,
+        ));
+        stages.push(vec![p, nd]);
+        prev = out;
+    }
+    (f, stages)
+}
+
+/// Sizes a 5-stage raw chain into loads from 10 fF to 1 pF.
+pub fn run() -> Vec<SizingPoint> {
+    let p = Process::strongarm_035();
+    [10.0, 50.0, 200.0, 1000.0]
+        .into_iter()
+        .map(|load_ff| {
+            let (mut f, stages) = raw_chain(5, &p);
+            let r = size_path(&mut f, &stages, Farads::new(load_ff * 1e-15), &p);
+            SizingPoint {
+                load_ff,
+                before_ps: r.delay_before.seconds() * 1e12,
+                after_ps: r.delay_after.seconds() * 1e12,
+                speedup: r.delay_before.seconds() / r.delay_after.seconds(),
+                scales: r.stage_scale,
+            }
+        })
+        .collect()
+}
+
+/// Prints the sizing table.
+pub fn print() {
+    crate::banner("E11", "§2.2 — automatic path sizing of raw unsized gates");
+    println!(
+        "{:>10}{:>12}{:>12}{:>10}   taper",
+        "load fF", "before ps", "after ps", "speedup"
+    );
+    for pt in run() {
+        let taper: Vec<String> = pt.scales.iter().map(|s| format!("{s:.1}")).collect();
+        println!(
+            "{:>10.0}{:>12.1}{:>12.1}{:>9.2}x   [{}]",
+            pt.load_ff,
+            pt.before_ps,
+            pt.after_ps,
+            pt.speedup,
+            taper.join(", ")
+        );
+    }
+    println!("\n(the optimizer reproduces the logical-effort geometric taper;");
+    println!(" big loads reward sizing heavily, small loads are left alone)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_load() {
+        let pts = run();
+        assert!(pts[0].speedup < pts.last().unwrap().speedup);
+        assert!(
+            pts.last().unwrap().speedup > 3.0,
+            "1 pF on minimum gates must reward sizing: {:.2}",
+            pts.last().unwrap().speedup
+        );
+    }
+
+    #[test]
+    fn taper_is_geometric_increasing() {
+        let pts = run();
+        let scales = &pts.last().unwrap().scales;
+        for w in scales.windows(2) {
+            assert!(w[1] >= w[0] * 0.99, "{scales:?}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! `cbv-bench` — the experiment harness.
+//!
+//! One module per experiment in DESIGN.md's index (E1–E12), each covering
+//! one table, figure or quantitative claim of the paper. Every module
+//! exposes a pure `run()`-style function returning the experiment's data;
+//! the `src/bin/` binaries print the paper-style tables and the Criterion
+//! benches in `benches/` measure the underlying kernels.
+
+pub mod e01_waterfall;
+pub mod e02_hierarchy;
+pub mod e03_flow;
+pub mod e04_noise;
+pub mod e05_timing;
+pub mod e06_rcgrid;
+pub mod e07_throughput;
+pub mod e08_equiv;
+pub mod e09_leakage;
+pub mod e10_pessimism;
+pub mod e11_sizing;
+pub mod e12_coverage;
+
+/// Prints a uniform experiment header.
+pub fn banner(id: &str, what: &str) {
+    println!("==================================================================");
+    println!("{id}: {what}");
+    println!("==================================================================");
+}

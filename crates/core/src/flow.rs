@@ -1,0 +1,269 @@
+//! The executable design flow of Fig 2.
+//!
+//! "The design flow used for ALPHA CPU designs is similar in appearance
+//! to many other design flows. A significant difference to other design
+//! flows is the amount of automatic synthesis of schematic and layout.
+//! Since there is a reduced amount of automatic synthesis, there has been
+//! much more emphasis on the verification of all implementation
+//! representations."
+//!
+//! [`run_flow`] takes a transistor netlist (the hand-crafted artifact)
+//! and runs every verification representation over it: recognition,
+//! layout assistance, extraction, the §4.2 electrical battery, §4.3
+//! timing with inferred constraints, and §3 power — producing per-stage
+//! timings and the aggregated [`Signoff`].
+
+use std::time::Instant;
+
+use cbv_everify::EverifyConfig;
+use cbv_netlist::FlatNetlist;
+use cbv_power::ActivityModel;
+use cbv_recognize::Recognition;
+use cbv_tech::{Process, Seconds, Tolerance};
+use cbv_timing::{ClockSchedule, DelayCalc, Pessimism};
+
+use crate::signoff::Signoff;
+
+/// Flow configuration knobs.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Clock schedule for timing verification; `None` derives a
+    /// single-phase schedule at the process target frequency using the
+    /// design's first recognized clock.
+    pub schedule: Option<ClockSchedule>,
+    /// Timing pessimism.
+    pub pessimism: Pessimism,
+    /// Parasitic tolerance bounds.
+    pub tolerance: Tolerance,
+    /// Data activity for power estimation.
+    pub activity: f64,
+    /// Run geometric DRC on the assisted layout. Off by default: the
+    /// assist router is honest about not being DRC-complete on dense
+    /// multi-stub channels (the designer finishes the layout, as in the
+    /// paper's methodology); enable for hand layouts and small cells.
+    pub check_drc: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            schedule: None,
+            pessimism: Pessimism::signoff(),
+            tolerance: Tolerance::conservative(),
+            activity: 0.15,
+            check_drc: false,
+        }
+    }
+}
+
+/// Runtime and artifact counts for one stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name (matches Fig 2's boxes).
+    pub stage: &'static str,
+    /// Wall-clock runtime.
+    pub runtime: Seconds,
+    /// Number of artifacts produced/processed (devices, shapes, arcs...).
+    pub artifacts: usize,
+}
+
+/// The full flow result.
+#[derive(Debug)]
+pub struct FlowReport {
+    /// Per-stage breakdown in execution order.
+    pub stages: Vec<StageReport>,
+    /// The recognition result (kept for downstream tools).
+    pub recognition: Recognition,
+    /// The aggregated signoff.
+    pub signoff: Signoff,
+    /// The final netlist (flow takes ownership).
+    pub netlist: FlatNetlist,
+}
+
+impl FlowReport {
+    /// Total runtime across stages.
+    pub fn total_runtime(&self) -> Seconds {
+        self.stages.iter().map(|s| s.runtime).sum()
+    }
+}
+
+fn timed<T>(stages: &mut Vec<StageReport>, stage: &'static str, f: impl FnOnce() -> (T, usize)) -> T {
+    let start = Instant::now();
+    let (value, artifacts) = f();
+    stages.push(StageReport {
+        stage,
+        runtime: Seconds::new(start.elapsed().as_secs_f64()),
+        artifacts,
+    });
+    value
+}
+
+/// Runs the complete verification flow over a transistor netlist.
+pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig) -> FlowReport {
+    let mut stages = Vec::new();
+    let mut drc_violations = 0usize;
+
+    // 1. Circuit recognition (§2.3).
+    let recognition = timed(&mut stages, "recognize", || {
+        let r = cbv_recognize::recognize(&mut netlist);
+        let n = r.cccs.len();
+        (r, n)
+    });
+
+    // 2. Layout assistance (§2.2).
+    let layout = timed(&mut stages, "layout", || {
+        let l = cbv_layout::synthesize(&mut netlist, process);
+        let n = l.shapes.len();
+        (l, n)
+    });
+
+    // 2b. Optional geometric DRC over the assisted layout.
+    if config.check_drc {
+        let rules = cbv_layout::Rules::for_process(process);
+        let violations = timed(&mut stages, "drc", || {
+            let v = cbv_layout::check_drc(&layout, &netlist, &rules, 10_000);
+            let n = v.len();
+            (v, n)
+        });
+        drc_violations = violations.len();
+    }
+
+    // 3. Extraction (§4.3 inputs).
+    let extracted = timed(&mut stages, "extract", || {
+        let e = cbv_extract::extract(&layout, &mut netlist, process);
+        let n = e.iter().count();
+        (e, n)
+    });
+
+    // 4. Electrical verification battery (§4.2).
+    let mut everify_cfg = EverifyConfig::for_process(process);
+    everify_cfg.tolerance = config.tolerance;
+    let ereport = timed(&mut stages, "everify", || {
+        let r = cbv_everify::run_all(
+            &mut netlist,
+            &recognition,
+            &extracted,
+            Some(&layout),
+            process,
+            &everify_cfg,
+        );
+        let n = r.checked_count();
+        (r, n)
+    });
+
+    // 5. Timing verification (§4.3).
+    let schedule = config.schedule.clone().unwrap_or_else(|| {
+        let name = recognition
+            .clock_nets
+            .first()
+            .map(|&c| netlist.net_name(c).to_owned())
+            .unwrap_or_else(|| "clk".to_owned());
+        ClockSchedule::single(name, process.f_target().period())
+    });
+    let calc = DelayCalc::new(process, config.tolerance, config.pessimism);
+    let (sta, n_constraints) = timed(&mut stages, "timing", || {
+        let graph = cbv_timing::graph::build_graph(&netlist, &recognition, &extracted, &calc);
+        let constraints =
+            cbv_timing::infer_constraints(&mut netlist, &recognition, process, &config.pessimism);
+        let skews: Vec<_> = recognition
+            .clock_nets
+            .iter()
+            .filter_map(|&c| {
+                cbv_timing::clock_skew_bounds(
+                    &extracted,
+                    c,
+                    cbv_tech::Ohms::new(200.0),
+                    &config.tolerance,
+                )
+            })
+            .collect();
+        let r = cbv_timing::analyze(
+            &netlist,
+            &graph,
+            &constraints,
+            &schedule,
+            &config.pessimism,
+            &skews,
+        );
+        let n = constraints.len();
+        ((r, n), graph.arcs.len())
+    });
+
+    // 6. Power estimation (§3).
+    let power = timed(&mut stages, "power", || {
+        let p = cbv_power::dynamic_power(
+            &netlist,
+            &recognition,
+            &extracted,
+            process,
+            process.f_target(),
+            &ActivityModel::uniform(config.activity),
+        );
+        (p, 1)
+    });
+
+    let mut signoff = Signoff::default();
+    if config.check_drc {
+        signoff.add_drc(drc_violations);
+    }
+    signoff.add_everify(&ereport);
+    signoff.add_timing(&sta, n_constraints);
+    signoff.set_power(power.total());
+
+    FlowReport {
+        stages,
+        recognition,
+        signoff,
+        netlist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_gen::adders::{manchester_domino_adder, static_ripple_adder};
+    use cbv_gen::{inject, FaultKind};
+
+    #[test]
+    fn clean_static_adder_signs_off() {
+        let p = Process::strongarm_035();
+        let g = static_ripple_adder(4, &p);
+        let r = run_flow(g.netlist, &p, &FlowConfig::default());
+        assert!(r.signoff.clean(), "{}", r.signoff);
+        assert_eq!(r.stages.len(), 6);
+        assert!(r.total_runtime().seconds() > 0.0);
+        assert!(r.signoff.power.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn domino_adder_flows_and_finds_dynamic_nodes() {
+        let p = Process::strongarm_035();
+        let g = manchester_domino_adder(4, &p);
+        let r = run_flow(g.netlist, &p, &FlowConfig::default());
+        // The chain nodes are precharged-dynamic at the component level;
+        // their keepers promote the net *role* to State.
+        assert!(
+            r.recognition
+                .classes
+                .iter()
+                .any(|c| !c.dynamic_outputs.is_empty()),
+            "manchester chain has dynamic nodes"
+        );
+        assert!(
+            r.recognition
+                .state_elements
+                .iter()
+                .any(|se| se.kind == cbv_recognize::StateKind::Keeper),
+            "chain keepers recognized"
+        );
+    }
+
+    #[test]
+    fn injected_beta_bug_breaks_signoff() {
+        let p = Process::strongarm_035();
+        let mut g = static_ripple_adder(4, &p);
+        inject(&mut g.netlist, FaultKind::SubMinLength).unwrap();
+        let r = run_flow(g.netlist, &p, &FlowConfig::default());
+        assert!(!r.signoff.clean(), "sub-min device must fail signoff");
+    }
+}

@@ -1,0 +1,73 @@
+//! `cbv-core` — the Correct-by-Verification toolkit, assembled.
+//!
+//! This crate is the umbrella over the full-custom CAD system described
+//! in *"Designing High Performance CMOS Microprocessors Using Full Custom
+//! Techniques"* (DAC 1997): it re-exports every subsystem and adds the
+//! three pieces that tie them together:
+//!
+//! * [`views`] — the multi-view design database of §2.1: RTL, schematic
+//!   and layout views whose hierarchies deliberately do **not** have to
+//!   correspond ("the designer is free to move logic/circuit functions
+//!   physically ... without having to maintain strict correspondence to
+//!   the RTL description"), plus the overlap metrics of Fig 1;
+//! * [`flow`] — the ALPHA design flow of Fig 2 as an executable
+//!   pipeline: RTL → schematic recognition → layout → extraction → the
+//!   §4.2 electrical battery → §4.3 timing → §3 power → §4.1 logic
+//!   verification, with per-stage runtimes and artifact counts;
+//! * [`signoff`] — the aggregated Correct-by-Verification report.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cbv_core::flow::{run_flow, FlowConfig};
+//! use cbv_core::gen::adders::static_ripple_adder;
+//! use cbv_core::tech::Process;
+//!
+//! let process = Process::strongarm_035();
+//! let design = static_ripple_adder(4, &process);
+//! let report = run_flow(design.netlist, &process, &FlowConfig::default());
+//! assert!(report.signoff.clean(), "a generated adder must sign off");
+//! ```
+
+pub mod flow;
+pub mod signoff;
+pub mod views;
+
+/// Process technology and device models.
+pub use cbv_tech as tech;
+
+/// Transistor-level netlist database.
+pub use cbv_netlist as netlist;
+
+/// Binary decision diagrams.
+pub use cbv_bdd as bdd;
+
+/// The custom hardware description language.
+pub use cbv_rtl as rtl;
+
+/// Automatic circuit recognition.
+pub use cbv_recognize as recognize;
+
+/// Logic simulation (switch-level, gate-level, shadow mode).
+pub use cbv_sim as sim;
+
+/// Macrocell layout assistance.
+pub use cbv_layout as layout;
+
+/// Parasitic extraction.
+pub use cbv_extract as extract;
+
+/// Static timing verification.
+pub use cbv_timing as timing;
+
+/// The electrical verification battery.
+pub use cbv_everify as everify;
+
+/// Power estimation and low-power models.
+pub use cbv_power as power;
+
+/// Equivalence checking.
+pub use cbv_equiv as equiv;
+
+/// Synthetic design generators and fault injectors.
+pub use cbv_gen as gen;

@@ -1,0 +1,168 @@
+//! The aggregated Correct-by-Verification signoff report.
+
+use std::fmt;
+
+use cbv_everify::{Report, Severity};
+use cbv_tech::{Seconds, Watts};
+use cbv_timing::{StaReport, ViolationKind};
+use serde::Serialize;
+
+/// One line of the signoff summary (serializable for report files — the
+/// CBV methodology treats reports as first-class artifacts designers
+/// consume).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct CheckSummary {
+    /// Check category name.
+    pub category: String,
+    /// Situations examined.
+    pub checked: usize,
+    /// Filtered as clearly fine (never shown to the designer).
+    pub filtered: usize,
+    /// Flagged for review.
+    pub reviews: usize,
+    /// Hard violations.
+    pub violations: usize,
+}
+
+/// The complete signoff.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Signoff {
+    /// Per-category summaries.
+    pub categories: Vec<CheckSummary>,
+    /// Worst setup slack in seconds (negative = failing), if timing ran.
+    pub worst_setup_slack: Option<f64>,
+    /// Number of race violations.
+    pub races: usize,
+    /// Estimated total power in watts, if power ran.
+    pub power: Option<f64>,
+}
+
+impl Signoff {
+    /// Records geometric DRC results.
+    pub fn add_drc(&mut self, violations: usize) {
+        self.categories.push(CheckSummary {
+            category: "drc".into(),
+            checked: violations,
+            filtered: 0,
+            reviews: 0,
+            violations,
+        });
+    }
+
+    /// Folds an electrical report in.
+    pub fn add_everify(&mut self, report: &Report) {
+        let findings = report.findings();
+        self.categories.push(CheckSummary {
+            category: "electrical".into(),
+            checked: report.checked_count(),
+            filtered: report.filtered_count(),
+            reviews: findings
+                .iter()
+                .filter(|f| f.severity == Severity::Review)
+                .count(),
+            violations: findings
+                .iter()
+                .filter(|f| f.severity == Severity::Violation)
+                .count(),
+        });
+    }
+
+    /// Folds a timing report in.
+    pub fn add_timing(&mut self, report: &StaReport, constraints_checked: usize) {
+        let setup = report.of_kind(ViolationKind::Setup).count();
+        let races = report.of_kind(ViolationKind::Race).count();
+        self.races += races;
+        self.worst_setup_slack = report
+            .worst_setup_slack()
+            .map(Seconds::seconds)
+            .or(Some(0.0));
+        self.categories.push(CheckSummary {
+            category: "timing".into(),
+            checked: constraints_checked,
+            filtered: constraints_checked.saturating_sub(setup + races),
+            reviews: 0,
+            violations: setup + races,
+        });
+    }
+
+    /// Records the power estimate.
+    pub fn set_power(&mut self, power: Watts) {
+        self.power = Some(power.watts());
+    }
+
+    /// True when nothing is violating.
+    pub fn clean(&self) -> bool {
+        self.categories.iter().all(|c| c.violations == 0)
+    }
+
+    /// Total violations across categories.
+    pub fn violation_count(&self) -> usize {
+        self.categories.iter().map(|c| c.violations).sum()
+    }
+}
+
+impl fmt::Display for Signoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== CBV signoff ===")?;
+        for c in &self.categories {
+            writeln!(
+                f,
+                "{:<12} checked {:>6}  filtered {:>6}  review {:>4}  VIOLATIONS {:>4}",
+                c.category, c.checked, c.filtered, c.reviews, c.violations
+            )?;
+        }
+        if let Some(s) = self.worst_setup_slack {
+            writeln!(f, "worst setup slack: {:.1} ps", s * 1e12)?;
+        }
+        if self.races > 0 {
+            writeln!(f, "RACES: {}", self.races)?;
+        }
+        if let Some(p) = self.power {
+            writeln!(f, "estimated power: {:.3} W", p)?;
+        }
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.clean() { "CLEAN" } else { "VIOLATIONS PRESENT" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_everify::{CheckKind, Subject};
+    use cbv_netlist::NetId;
+
+    #[test]
+    fn summary_math() {
+        let mut report = Report::new(0.6);
+        report.record(CheckKind::Coupling, Subject::Net(NetId(0)), 0.1, || "a".into());
+        report.record(CheckKind::Coupling, Subject::Net(NetId(1)), 0.8, || "b".into());
+        report.record(CheckKind::Coupling, Subject::Net(NetId(2)), 1.5, || "c".into());
+        let mut s = Signoff::default();
+        s.add_everify(&report);
+        assert_eq!(s.categories[0].checked, 3);
+        assert_eq!(s.categories[0].filtered, 1);
+        assert_eq!(s.categories[0].reviews, 1);
+        assert_eq!(s.categories[0].violations, 1);
+        assert!(!s.clean());
+        assert_eq!(s.violation_count(), 1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut s = Signoff::default();
+        s.set_power(Watts::new(0.45));
+        let text = s.to_string();
+        assert!(text.contains("CLEAN"));
+        assert!(text.contains("0.450 W"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = Signoff::default();
+        let j = serde_json::to_string(&s).unwrap();
+        assert!(j.contains("categories"));
+    }
+}

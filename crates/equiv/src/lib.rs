@@ -1,0 +1,31 @@
+//! `cbv-equiv` — RTL ↔ schematic equivalence checking.
+//!
+//! §4.1: "The second method for functional correctness of circuits is
+//! logical equivalence checking. This does not require input stimulus,
+//! however a common difficulty is the amount of logical difference that
+//! an equivalence-checking tool can accommodate. ... a counter coded in
+//! the Behavioral/RTL model with an output every five events may be
+//! implemented in the circuit as a shift register with a cyclic value of
+//! five. In this example, both achieve the same behavior, but are
+//! significantly different in internal implementations."
+//!
+//! Two engines:
+//!
+//! * [`comb`] — combinational equivalence through BDDs: gate networks
+//!   (bit-blasted RTL) and transistor-extracted boolean functions are
+//!   both canonicalized in one [`cbv_bdd::Bdd`] manager and compared
+//!   node-for-node; counterexamples come back as input assignments.
+//!   Handles the dual-rail mapping (a single RTL output implemented as
+//!   complementary rails).
+//! * [`seq`] — sequential equivalence by product-machine reachability:
+//!   two designs with **arbitrarily different state encodings** are run
+//!   from reset through every reachable joint state under exhaustive
+//!   inputs; any divergence of declared outputs is reported with its
+//!   distinguishing trace length. This is exactly what the paper's
+//!   counter ⇔ shift-register example requires.
+
+pub mod comb;
+pub mod seq;
+
+pub use comb::{boolnet_to_bdds, check_circuit_outputs, expr_to_bdd, CombResult, OutputSpec};
+pub use seq::{check_sequential, SeqResult};

@@ -1,0 +1,177 @@
+//! `cbv-everify` — the electrical verification battery of §4.2.
+//!
+//! "The circuit verification at Digital Semiconductor depends upon heavy
+//! use of CAD verification for those issues which rules can be clearly
+//! specified. Additional CAD tools perform probability filtering on any
+//! remaining complex, hard to clearly specify design rules. This approach
+//! eliminates those situations that have a high degree of confidence of
+//! being correct while reporting the situations that may have violations
+//! and require closer inspection by the designer."
+//!
+//! Implemented checks (the paper's own list):
+//!
+//! | Paper check | Module |
+//! |---|---|
+//! | Transistor configuration, beta ratio & device size | [`beta`] |
+//! | Edge rate and delay analysis | [`edges`] |
+//! | Coupling analysis of static and dynamic nodes | [`coupling`] |
+//! | Dynamic charge share analysis | [`charge`] |
+//! | Dynamic node leakage | [`leakage`] |
+//! | Latch / state-element writability & noise margin | [`latch`] |
+//! | Electromigration (statistical and absolute) | [`em`] |
+//! | Antenna checks | [`antenna`] |
+//! | Hot carrier and TDDB | [`stress`] |
+//!
+//! (Clock distribution RC analysis lives in `cbv-timing::clock_rc`; the
+//! flow in `cbv-core` stitches both into one signoff report.)
+//!
+//! Every check emits [`Finding`]s into the probability-filter
+//! [`Report`]: clearly-fine situations are counted but suppressed,
+//! marginal ones surface as `Review`, real failures as `Violation`.
+
+pub mod antenna;
+pub mod beta;
+pub mod charge;
+pub mod coupling;
+pub mod edges;
+pub mod em;
+pub mod latch;
+pub mod leakage;
+pub mod report;
+pub mod stress;
+
+pub use report::{CheckKind, Finding, Report, Severity, Subject};
+
+use cbv_extract::Extracted;
+use cbv_layout::Layout;
+use cbv_netlist::FlatNetlist;
+use cbv_recognize::Recognition;
+use cbv_tech::{Hertz, Process, Seconds, Tolerance, Volts};
+
+/// Tunable limits for the electrical checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EverifyConfig {
+    /// Static nodes tolerate coupling noise up to this fraction of VDD.
+    pub static_noise_margin: f64,
+    /// Dynamic nodes tolerate far less (no restoring pull-up while
+    /// floating).
+    pub dynamic_noise_margin: f64,
+    /// Charge-sharing droop allowed on a dynamic node, fraction of VDD.
+    pub charge_share_margin: f64,
+    /// How long a dynamic node must hold its charge (worst-case low-
+    /// frequency operation), seconds.
+    pub dynamic_hold: Seconds,
+    /// Leakage droop allowed over the hold window, fraction of VDD.
+    pub leakage_margin: f64,
+    /// Slowest acceptable signal edge (10–90 %), seconds.
+    pub max_edge: Seconds,
+    /// Assumed aggressor transition time for coupling analysis: a driven
+    /// victim's driver supplies restoring charge for this long.
+    pub aggressor_edge: Seconds,
+    /// Operating frequency used for average-current (EM) estimation.
+    pub frequency: Hertz,
+    /// Switching activity factor for EM estimation.
+    pub activity: f64,
+    /// Beta-ratio window for complementary gates: acceptable
+    /// pull-up/pull-down strength ratio.
+    pub beta_window: (f64, f64),
+    /// Minimum writability ratio: write path must overpower feedback by
+    /// this factor.
+    pub writability_ratio: f64,
+    /// Antenna ratio limit (collector area / gate area).
+    pub antenna_ratio: f64,
+    /// Maximum tolerable oxide field for TDDB, V/m.
+    pub tddb_field_limit: f64,
+    /// Maximum Vds for hot-carrier safety, volts.
+    pub hot_carrier_vds: Volts,
+    /// Findings whose value is below this fraction of the limit are
+    /// filtered (counted but not reported) — the probability filter.
+    pub filter_threshold: f64,
+    /// Parasitic tolerance used when bounding capacitances.
+    pub tolerance: Tolerance,
+}
+
+impl EverifyConfig {
+    /// Defaults calibrated for the bundled processes.
+    pub fn for_process(process: &Process) -> EverifyConfig {
+        EverifyConfig {
+            static_noise_margin: 0.30,
+            dynamic_noise_margin: 0.15,
+            charge_share_margin: 0.15,
+            dynamic_hold: Seconds::new(10e-9),
+            leakage_margin: 0.10,
+            max_edge: Seconds::new(2.0e-9),
+            aggressor_edge: Seconds::new(400e-12),
+            frequency: process.f_target(),
+            activity: 0.15,
+            beta_window: (0.4, 2.5),
+            writability_ratio: 1.5,
+            antenna_ratio: 400.0,
+            tddb_field_limit: 0.9e9,
+            hot_carrier_vds: process.vdd_nominal() * 2.2,
+            filter_threshold: 0.6,
+            tolerance: Tolerance::conservative(),
+        }
+    }
+}
+
+/// Runs every check and aggregates the findings into one report.
+pub fn run_all(
+    netlist: &mut FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    layout: Option<&Layout>,
+    process: &Process,
+    config: &EverifyConfig,
+) -> Report {
+    let mut report = Report::new(config.filter_threshold);
+    beta::check(netlist, recognition, process, config, &mut report);
+    edges::check(netlist, recognition, extracted, process, config, &mut report);
+    coupling::check(netlist, recognition, extracted, process, config, &mut report);
+    charge::check(netlist, recognition, process, config, &mut report);
+    leakage::check(netlist, recognition, extracted, process, config, &mut report);
+    latch::check(netlist, recognition, process, config, &mut report);
+    em::check(netlist, recognition, extracted, process, config, &mut report);
+    if let Some(layout) = layout {
+        antenna::check(netlist, layout, config, &mut report);
+    }
+    stress::check(netlist, process, config, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_layout::synthesize;
+    use cbv_netlist::{Device, NetKind};
+    use cbv_recognize::recognize;
+    use cbv_tech::MosKind;
+
+    /// A clean inverter chain should produce no violations.
+    #[test]
+    fn clean_design_is_quiet() {
+        let mut f = FlatNetlist::new("chain");
+        let process = Process::strongarm_035();
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let mut prev = f.add_net("in", NetKind::Input);
+        for i in 0..4 {
+            let out = f.add_net(&format!("n{i}"), NetKind::Signal);
+            f.add_device(Device::mos(MosKind::Pmos, format!("p{i}"), prev, out, vdd, vdd, 5.6e-6, 0.35e-6));
+            f.add_device(Device::mos(MosKind::Nmos, format!("n{i}"), prev, out, gnd, gnd, 2.4e-6, 0.35e-6));
+            prev = out;
+        }
+        let layout = synthesize(&mut f, &process);
+        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let rec = recognize(&mut f);
+        let cfg = EverifyConfig::for_process(&process);
+        let report = run_all(&mut f, &rec, &ex, Some(&layout), &process, &cfg);
+        assert_eq!(
+            report.violations().count(),
+            0,
+            "clean chain must be violation-free: {:?}",
+            report.violations().collect::<Vec<_>>()
+        );
+        assert!(report.checked_count() > 0, "checks actually ran");
+    }
+}

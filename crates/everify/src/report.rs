@@ -1,0 +1,252 @@
+//! The probability-filter report framework.
+//!
+//! "For many verification questions, we do not have an absolute answer.
+//! Instead, we use CAD tools to filter the amount of design the designer
+//! has to inspect. ... This allows the designer to work with the CAD tool
+//! to identify and isolate real problems in the design." (§2.3)
+//!
+//! Each check computes a *stress ratio* (observed value ÷ limit). The
+//! report buckets findings:
+//!
+//! * ratio below the filter threshold → silently counted (high confidence
+//!   of being correct);
+//! * ratio in `[threshold, 1)` → `Review` (might have a problem);
+//! * ratio ≥ 1 → `Violation`.
+
+use std::fmt;
+
+use cbv_netlist::{DeviceId, NetId};
+
+/// Which check produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Beta ratio / device size / transistor configuration.
+    BetaRatio,
+    /// Edge-rate limit.
+    EdgeRate,
+    /// Capacitive coupling noise.
+    Coupling,
+    /// Dynamic charge sharing.
+    ChargeShare,
+    /// Dynamic node leakage / standby current.
+    Leakage,
+    /// Latch writability / noise margin.
+    Writability,
+    /// Electromigration.
+    Electromigration,
+    /// Antenna (process-induced gate damage).
+    Antenna,
+    /// Hot-carrier injection.
+    HotCarrier,
+    /// Time-dependent dielectric breakdown.
+    Tddb,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::BetaRatio => "beta-ratio",
+            CheckKind::EdgeRate => "edge-rate",
+            CheckKind::Coupling => "coupling",
+            CheckKind::ChargeShare => "charge-share",
+            CheckKind::Leakage => "leakage",
+            CheckKind::Writability => "writability",
+            CheckKind::Electromigration => "electromigration",
+            CheckKind::Antenna => "antenna",
+            CheckKind::HotCarrier => "hot-carrier",
+            CheckKind::Tddb => "tddb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subject {
+    /// A net.
+    Net(NetId),
+    /// A device.
+    Device(DeviceId),
+}
+
+/// How serious a reported finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth a designer's look; not yet over the limit.
+    Review,
+    /// Over the limit.
+    Violation,
+}
+
+/// One reported finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The check.
+    pub check: CheckKind,
+    /// What it is about.
+    pub subject: Subject,
+    /// Review or violation.
+    pub severity: Severity,
+    /// Observed ÷ limit; ≥ 1 means failing.
+    pub stress: f64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The aggregated, probability-filtered report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    threshold: f64,
+    findings: Vec<Finding>,
+    checked: usize,
+    filtered: usize,
+}
+
+impl Report {
+    /// A report that filters findings below `threshold` (fraction of the
+    /// limit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold <= 1`.
+    pub fn new(threshold: f64) -> Report {
+        assert!(threshold > 0.0 && threshold <= 1.0, "threshold in (0, 1]");
+        Report {
+            threshold,
+            findings: Vec::new(),
+            checked: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Records one measurement against its limit. Findings comfortably
+    /// inside the limit are filtered (counted only).
+    pub fn record(
+        &mut self,
+        check: CheckKind,
+        subject: Subject,
+        stress: f64,
+        message: impl FnOnce() -> String,
+    ) {
+        self.checked += 1;
+        if !stress.is_finite() || stress < self.threshold {
+            self.filtered += 1;
+            return;
+        }
+        let severity = if stress >= 1.0 {
+            Severity::Violation
+        } else {
+            Severity::Review
+        };
+        self.findings.push(Finding {
+            check,
+            subject,
+            severity,
+            stress,
+            message: message(),
+        });
+    }
+
+    /// All surviving findings, violations first, highest stress first.
+    pub fn findings(&self) -> Vec<&Finding> {
+        let mut v: Vec<&Finding> = self.findings.iter().collect();
+        v.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(b.stress.partial_cmp(&a.stress).expect("finite stress"))
+        });
+        v
+    }
+
+    /// Only the violations.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Violation)
+    }
+
+    /// Only the reviews.
+    pub fn reviews(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Review)
+    }
+
+    /// Findings from one check.
+    pub fn of_check(&self, check: CheckKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.check == check)
+    }
+
+    /// How many situations were examined in total.
+    pub fn checked_count(&self) -> usize {
+        self.checked
+    }
+
+    /// How many were filtered as clearly fine — the designer never sees
+    /// them. The ratio `filtered / checked` is the filter's win.
+    pub fn filtered_count(&self) -> usize {
+        self.filtered
+    }
+
+    /// Merges another report into this one (threshold stays).
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.checked += other.checked;
+        self.filtered += other.filtered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_buckets() {
+        let mut r = Report::new(0.6);
+        r.record(CheckKind::Coupling, Subject::Net(NetId(1)), 0.2, || "a".into());
+        r.record(CheckKind::Coupling, Subject::Net(NetId(2)), 0.8, || "b".into());
+        r.record(CheckKind::Coupling, Subject::Net(NetId(3)), 1.4, || "c".into());
+        assert_eq!(r.checked_count(), 3);
+        assert_eq!(r.filtered_count(), 1);
+        assert_eq!(r.reviews().count(), 1);
+        assert_eq!(r.violations().count(), 1);
+    }
+
+    #[test]
+    fn findings_sorted_by_severity_then_stress() {
+        let mut r = Report::new(0.5);
+        r.record(CheckKind::Leakage, Subject::Net(NetId(1)), 0.9, || "rev".into());
+        r.record(CheckKind::Leakage, Subject::Net(NetId(2)), 1.1, || "v1".into());
+        r.record(CheckKind::Leakage, Subject::Net(NetId(3)), 2.0, || "v2".into());
+        let f = r.findings();
+        assert_eq!(f[0].message, "v2");
+        assert_eq!(f[1].message, "v1");
+        assert_eq!(f[2].message, "rev");
+    }
+
+    #[test]
+    fn nan_is_filtered_not_crashing() {
+        let mut r = Report::new(0.6);
+        r.record(CheckKind::EdgeRate, Subject::Net(NetId(0)), f64::NAN, || "x".into());
+        assert_eq!(r.filtered_count(), 1);
+        assert!(r.findings().is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Report::new(0.6);
+        a.record(CheckKind::Antenna, Subject::Device(DeviceId(0)), 1.5, || "v".into());
+        let mut b = Report::new(0.6);
+        b.record(CheckKind::Antenna, Subject::Device(DeviceId(1)), 0.1, || "f".into());
+        a.merge(b);
+        assert_eq!(a.checked_count(), 2);
+        assert_eq!(a.violations().count(), 1);
+        assert_eq!(a.filtered_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = Report::new(0.0);
+    }
+}

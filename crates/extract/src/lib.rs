@@ -1,0 +1,375 @@
+//! `cbv-extract` — parasitic extraction and RC networks.
+//!
+//! §4.3 of the paper puts extraction accuracy at the center of timing
+//! verification: "Accuracy of minimum and maximum capacitance calculation
+//! (fixed, coupling, and transistor input); accuracy of RC interconnect
+//! models ... Internodal capacitance values (coupling capacitance) have
+//! significant variation from both manufacturing tolerances and miller
+//! coupling capacitance multiplicative effects. Bounding the min/max
+//! coupling along with manufacturing tolerances is essential in
+//! accurately computing nodal capacitance."
+//!
+//! This crate provides:
+//!
+//! * [`RcNet`] — a per-net RC network with Elmore delay evaluation and an
+//!   explicit distributed-line constructor (the Fig 5 "real gates have
+//!   multiple inputs/outputs" analysis drives multi-tap lines directly);
+//! * [`extract`] — geometric extraction from a [`cbv_layout::Layout`]:
+//!   sheet resistance along each shape, area/fringe capacitance to
+//!   ground, and coupling capacitance between parallel same-layer shapes
+//!   of different nets;
+//! * [`Extracted`] — the queryable result, including **min/max bounded**
+//!   total net capacitance under a [`Tolerance`] (manufacturing spread ×
+//!   Miller factor), and device loading (gate + diffusion) computed from
+//!   the netlist and process models.
+
+pub mod rc;
+
+pub use rc::{RcNet, RcNodeId};
+
+use cbv_layout::Layout;
+use cbv_netlist::{FlatNetlist, NetId, NetUse};
+use cbv_tech::{Farads, Process, Tolerance};
+
+/// Extraction result for one net.
+#[derive(Debug, Clone)]
+pub struct ExtractedNet {
+    /// The net.
+    pub net: NetId,
+    /// Wire capacitance to ground (area + fringe), nominal.
+    pub wire_cap: Farads,
+    /// Coupling capacitances to specific aggressor nets, nominal values.
+    pub couplings: Vec<(NetId, Farads)>,
+    /// Device gate capacitance hanging on this net (nominal).
+    pub gate_cap: Farads,
+    /// Device gate capacitance bounds reflecting logical context.
+    pub gate_cap_bounds: (Farads, Farads),
+    /// Device diffusion capacitance on this net.
+    pub diff_cap: Farads,
+    /// Distributed RC network of the wire.
+    pub rc: RcNet,
+}
+
+impl ExtractedNet {
+    /// Total nominal capacitance: wire + coupling (Miller = 1) + devices.
+    pub fn total_cap(&self) -> Farads {
+        let couple: Farads = self.couplings.iter().map(|&(_, c)| c).sum();
+        self.wire_cap + couple + self.gate_cap + self.diff_cap
+    }
+
+    /// Min/max total capacitance under a tolerance: ground and device
+    /// capacitance scaled by manufacturing spread, coupling scaled by the
+    /// Miller window. This is the §4.3 bounded-capacitance calculation.
+    pub fn cap_bounds(&self, tol: &Tolerance) -> (Farads, Farads) {
+        let couple: Farads = self.couplings.iter().map(|&(_, c)| c).sum();
+        let fixed = self.wire_cap + self.diff_cap;
+        let min = fixed * tol.cap_min + couple * (tol.miller_min * tol.cap_min)
+            + self.gate_cap_bounds.0;
+        let max = fixed * tol.cap_max + couple * (tol.miller_max * tol.cap_max)
+            + self.gate_cap_bounds.1;
+        (min, max)
+    }
+}
+
+/// The full extraction result.
+#[derive(Debug, Clone, Default)]
+pub struct Extracted {
+    nets: Vec<Option<ExtractedNet>>,
+}
+
+impl Extracted {
+    /// The extraction for a net, if the net had any geometry or devices.
+    pub fn net(&self, net: NetId) -> Option<&ExtractedNet> {
+        self.nets.get(net.index()).and_then(|o| o.as_ref())
+    }
+
+    /// Iterate over all extracted nets.
+    pub fn iter(&self) -> impl Iterator<Item = &ExtractedNet> {
+        self.nets.iter().filter_map(|o| o.as_ref())
+    }
+
+    /// Nominal total capacitance of a net (zero if unextracted).
+    pub fn total_cap(&self, net: NetId) -> Farads {
+        self.net(net).map(|n| n.total_cap()).unwrap_or(Farads::ZERO)
+    }
+
+    /// Bounded total capacitance of a net.
+    pub fn cap_bounds(&self, net: NetId, tol: &Tolerance) -> (Farads, Farads) {
+        self.net(net)
+            .map(|n| n.cap_bounds(tol))
+            .unwrap_or((Farads::ZERO, Farads::ZERO))
+    }
+}
+
+/// Runs geometric + device extraction over a layout and its netlist.
+pub fn extract(layout: &Layout, netlist: &mut FlatNetlist, process: &Process) -> Extracted {
+    let mut nets: Vec<Option<ExtractedNet>> = (0..netlist.net_count()).map(|_| None).collect();
+    let uses = netlist.uses_table();
+
+    for id in 0..netlist.net_count() as u32 {
+        let net = NetId(id);
+        let shapes: Vec<&cbv_layout::Shape> = layout.shapes_on(net).collect();
+        let has_devices = !uses[net.index()].is_empty();
+        if shapes.is_empty() && !has_devices {
+            continue;
+        }
+
+        // --- Wire ground capacitance and RC network ---
+        let mut wire_cap = Farads::ZERO;
+        let mut rc = RcNet::new(net);
+        for s in &shapes {
+            let p = process.wires().params(s.layer);
+            let len = s.rect.width().max(s.rect.height()) as f64 * 1e-9;
+            let wid = (s.rect.width().min(s.rect.height()) as f64 * 1e-9).max(p.width_min);
+            wire_cap += p.ground_capacitance(len, wid);
+            // One RC segment per shape between its two far corners.
+            let (a, b) = if s.rect.is_vertical() {
+                (
+                    (s.rect.center().x, s.rect.y0),
+                    (s.rect.center().x, s.rect.y1),
+                )
+            } else {
+                (
+                    (s.rect.x0, s.rect.center().y),
+                    (s.rect.x1, s.rect.center().y),
+                )
+            };
+            let na = rc.node_at(a.0, a.1);
+            let nb = rc.node_at(b.0, b.1);
+            let r = p.resistance(len, wid);
+            let c = p.ground_capacitance(len, wid);
+            rc.add_resistor(na, nb, r);
+            rc.add_cap(na, c / 2.0);
+            rc.add_cap(nb, c / 2.0);
+        }
+        // Merge nodes of touching shapes: node_at dedups exact points;
+        // additionally tie together shapes that intersect.
+        for (i, s1) in shapes.iter().enumerate() {
+            for s2 in &shapes[i + 1..] {
+                if s1.rect.intersects(s2.rect) {
+                    let c1 = s1.rect.center();
+                    let c2 = s2.rect.center();
+                    let n1 = rc.node_at(c1.x, c1.y);
+                    let n2 = rc.node_at(c2.x, c2.y);
+                    // Zero-ohm tie approximated by a tiny resistor.
+                    rc.add_resistor(n1, n2, cbv_tech::Ohms::new(1e-3));
+                }
+            }
+        }
+
+        // --- Coupling to parallel neighbors ---
+        let mut couplings: Vec<(NetId, Farads)> = Vec::new();
+        for s in &shapes {
+            for other in &layout.shapes {
+                let Some(onet) = other.net else { continue };
+                if onet == net || other.layer != s.layer {
+                    continue;
+                }
+                let p = process.wires().params(s.layer);
+                // Parallel run length and gap depend on orientation.
+                let (run, gap) = if s.rect.is_vertical() == other.rect.is_vertical() {
+                    if s.rect.is_vertical() {
+                        (s.rect.y_overlap(other.rect), s.rect.x_gap(other.rect))
+                    } else {
+                        (s.rect.x_overlap(other.rect), s.rect.y_gap(other.rect))
+                    }
+                } else {
+                    (0, 0)
+                };
+                if run <= 0 || gap <= 0 {
+                    continue;
+                }
+                let gap_m = gap as f64 * 1e-9;
+                // Beyond a few pitches coupling is negligible.
+                if gap_m > 5.0 * p.spacing_min {
+                    continue;
+                }
+                // Shielding: a third wire sitting between victim and
+                // aggressor (same layer, spanning most of the parallel
+                // run) screens the field — only nearest neighbors couple.
+                let shielded = layout.shapes.iter().any(|mid| {
+                    if mid.layer != s.layer
+                        || std::ptr::eq(mid, other)
+                        || std::ptr::eq(mid as *const _, *s as *const _)
+                    {
+                        return false;
+                    }
+                    if s.rect.is_vertical() {
+                        let (lo, hi) = if s.rect.x1 <= other.rect.x0 {
+                            (s.rect.x1, other.rect.x0)
+                        } else {
+                            (other.rect.x1, s.rect.x0)
+                        };
+                        mid.rect.x0 >= lo
+                            && mid.rect.x1 <= hi
+                            && mid.rect.y_overlap(s.rect).min(mid.rect.y_overlap(other.rect))
+                                * 2
+                                >= run
+                    } else {
+                        let (lo, hi) = if s.rect.y1 <= other.rect.y0 {
+                            (s.rect.y1, other.rect.y0)
+                        } else {
+                            (other.rect.y1, s.rect.y0)
+                        };
+                        mid.rect.y0 >= lo
+                            && mid.rect.y1 <= hi
+                            && mid.rect.x_overlap(s.rect).min(mid.rect.x_overlap(other.rect))
+                                * 2
+                                >= run
+                    }
+                });
+                if shielded {
+                    continue;
+                }
+                // Sub-minimum gaps are DRC errors, not infinite
+                // capacitors: clamp at the minimum-spacing coupling.
+                let cc = p.coupling_capacitance(run as f64 * 1e-9, gap_m.max(p.spacing_min));
+                match couplings.iter_mut().find(|(n, _)| *n == onet) {
+                    Some((_, acc)) => *acc += cc,
+                    None => couplings.push((onet, cc)),
+                }
+            }
+        }
+
+        // --- Device loading ---
+        let mut gate_cap = Farads::ZERO;
+        let mut gate_min = Farads::ZERO;
+        let mut gate_max = Farads::ZERO;
+        let mut diff_cap = Farads::ZERO;
+        for u in &uses[net.index()] {
+            let d = netlist.device(u.device());
+            let model = process.mos(d.kind);
+            match u {
+                NetUse::Gate(_) => {
+                    gate_cap += model.gate_capacitance(d.w, d.l);
+                    let (lo, hi) = model.gate_capacitance_bounds(d.w, d.l);
+                    gate_min += lo;
+                    gate_max += hi;
+                }
+                NetUse::Channel(_) => {
+                    diff_cap += model.diffusion_capacitance(d.w, d.l);
+                }
+                NetUse::Bulk(_) => {}
+            }
+        }
+
+        nets[net.index()] = Some(ExtractedNet {
+            net,
+            wire_cap,
+            couplings,
+            gate_cap,
+            gate_cap_bounds: (gate_min, gate_max),
+            diff_cap,
+            rc,
+        });
+    }
+    Extracted { nets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_layout::synthesize;
+    use cbv_netlist::{Device, NetKind};
+    use cbv_tech::{MosKind, Process};
+
+    fn extracted_nand() -> (FlatNetlist, Extracted) {
+        let mut f = FlatNetlist::new("nand2");
+        let a = f.add_net("a", NetKind::Input);
+        let b = f.add_net("b", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        let x = f.add_net("x", NetKind::Signal);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        let process = Process::strongarm_035();
+        let layout = synthesize(&mut f, &process);
+        let ex = extract(&layout, &mut f, &process);
+        (f, ex)
+    }
+
+    #[test]
+    fn signal_nets_have_positive_caps() {
+        let (f, ex) = extracted_nand();
+        for name in ["a", "b", "y"] {
+            let n = f.find_net(name).unwrap();
+            let e = ex.net(n).unwrap();
+            assert!(e.wire_cap.farads() > 0.0, "{name} wire cap");
+            assert!(e.total_cap().farads() > e.wire_cap.farads());
+        }
+    }
+
+    #[test]
+    fn input_nets_carry_gate_cap_output_carries_diffusion() {
+        let (f, ex) = extracted_nand();
+        let a = ex.net(f.find_net("a").unwrap()).unwrap();
+        assert!(a.gate_cap.farads() > 0.0, "a drives two gates");
+        let y = ex.net(f.find_net("y").unwrap()).unwrap();
+        assert!(y.diff_cap.farads() > 0.0, "y touches three channels");
+        assert!(y.gate_cap.farads() == 0.0, "nothing gates on y here");
+    }
+
+    #[test]
+    fn bounds_bracket_nominal() {
+        let (f, ex) = extracted_nand();
+        let y = f.find_net("y").unwrap();
+        let tol = Tolerance::conservative();
+        let (lo, hi) = ex.cap_bounds(y, &tol);
+        let nom = ex.total_cap(y);
+        assert!(lo.farads() < nom.farads());
+        assert!(hi.farads() > nom.farads());
+        // Nominal tolerance collapses the window (gate-context bounds
+        // remain, so equality only holds for the wire/coupling part).
+        let (lo2, hi2) = ex.cap_bounds(y, &Tolerance::nominal());
+        assert!(lo2.farads() <= hi2.farads());
+        assert!(hi2.farads() <= hi.farads());
+    }
+
+    #[test]
+    fn coupling_exists_between_adjacent_tracks() {
+        let (f, ex) = extracted_nand();
+        // At least one signal net must see a coupling neighbor in the
+        // routing channel.
+        let coupled = ["a", "b", "y"].iter().any(|name| {
+            let n = f.find_net(name).unwrap();
+            ex.net(n).map(|e| !e.couplings.is_empty()).unwrap_or(false)
+        });
+        assert!(coupled, "routed channel must produce coupling");
+    }
+
+    #[test]
+    fn coupling_is_roughly_symmetric() {
+        let (f, ex) = extracted_nand();
+        for e in ex.iter() {
+            for &(other, c) in &e.couplings {
+                if let Some(oe) = ex.net(other) {
+                    if let Some(&(_, back)) = oe.couplings.iter().find(|(n, _)| *n == e.net) {
+                        let ratio = c.farads() / back.farads();
+                        assert!(
+                            (0.5..=2.0).contains(&ratio),
+                            "asymmetric coupling {} <-> {}: {} vs {}",
+                            f.net_name(e.net),
+                            f.net_name(other),
+                            c,
+                            back
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unplaced_net_without_devices_is_unextracted() {
+        let mut f = FlatNetlist::new("lonely");
+        let n = f.add_net("n", NetKind::Signal);
+        let process = Process::strongarm_035();
+        let layout = synthesize(&mut f, &process);
+        let ex = extract(&layout, &mut f, &process);
+        assert!(ex.net(n).is_none());
+        assert_eq!(ex.total_cap(n), Farads::ZERO);
+    }
+}

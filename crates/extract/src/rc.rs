@@ -1,0 +1,330 @@
+//! Distributed RC networks with Elmore delay evaluation.
+//!
+//! The paper replaces SPICE with conservative closed-form models (§4.3);
+//! the workhorse is the Elmore delay through an RC tree. [`RcNet`] stores
+//! an arbitrary resistor/capacitor graph; delay evaluation runs on a
+//! spanning tree from the driver (extracted wire networks are trees up to
+//! deliberate zero-ohm ties, which the traversal handles).
+
+use cbv_netlist::NetId;
+use cbv_tech::{Farads, Ohms, Seconds};
+
+/// Index of an electrical node within one [`RcNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RcNodeId(pub u32);
+
+impl RcNodeId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A per-net RC network.
+#[derive(Debug, Clone)]
+pub struct RcNet {
+    /// The net this network models.
+    pub net: NetId,
+    /// Node coordinates (nm) for geometric lookup; synthetic nodes use
+    /// sequence numbers.
+    positions: Vec<(i64, i64)>,
+    resistors: Vec<(RcNodeId, RcNodeId, Ohms)>,
+    caps: Vec<Farads>,
+}
+
+impl RcNet {
+    /// An empty network for a net.
+    pub fn new(net: NetId) -> RcNet {
+        RcNet {
+            net,
+            positions: Vec::new(),
+            resistors: Vec::new(),
+            caps: Vec::new(),
+        }
+    }
+
+    /// A uniform distributed line of `segments` sections, total
+    /// resistance `r_total` and total capacitance `c_total`. Node 0 is
+    /// the near end; the last node is the far end. This is the classic
+    /// π-ladder used in the Fig 5 distributed-driver study and the clock
+    /// RC analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn line(net: NetId, segments: usize, r_total: Ohms, c_total: Farads) -> RcNet {
+        assert!(segments > 0, "a line needs at least one segment");
+        let mut rc = RcNet::new(net);
+        let r_seg = r_total / segments as f64;
+        let c_seg = c_total / segments as f64;
+        let mut prev = rc.fresh_node();
+        rc.add_cap(prev, c_seg / 2.0);
+        for _ in 0..segments {
+            let next = rc.fresh_node();
+            rc.add_resistor(prev, next, r_seg);
+            rc.add_cap(next, c_seg);
+            prev = next;
+        }
+        // Correct the far-end half cap (π model bookkeeping).
+        let last = rc.caps.len() - 1;
+        rc.caps[last] = c_seg / 2.0;
+        rc
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Node at an exact coordinate, creating it on first use.
+    pub fn node_at(&mut self, x: i64, y: i64) -> RcNodeId {
+        if let Some(i) = self.positions.iter().position(|&p| p == (x, y)) {
+            return RcNodeId(i as u32);
+        }
+        self.fresh_node_with((x, y))
+    }
+
+    /// A new node with a synthetic position.
+    pub fn fresh_node(&mut self) -> RcNodeId {
+        let seq = self.positions.len() as i64;
+        self.fresh_node_with((i64::MIN + seq, i64::MIN))
+    }
+
+    fn fresh_node_with(&mut self, pos: (i64, i64)) -> RcNodeId {
+        let id = RcNodeId(self.positions.len() as u32);
+        self.positions.push(pos);
+        self.caps.push(Farads::ZERO);
+        id
+    }
+
+    /// Adds a resistor between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or the resistance negative.
+    pub fn add_resistor(&mut self, a: RcNodeId, b: RcNodeId, r: Ohms) {
+        assert!(a.index() < self.positions.len() && b.index() < self.positions.len());
+        assert!(r.ohms() >= 0.0, "negative resistance");
+        self.resistors.push((a, b, r));
+    }
+
+    /// Adds grounded capacitance at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range or the capacitance negative.
+    pub fn add_cap(&mut self, node: RcNodeId, c: Farads) {
+        assert!(c.farads() >= 0.0, "negative capacitance");
+        self.caps[node.index()] += c;
+    }
+
+    /// Total grounded capacitance in the network.
+    pub fn total_cap(&self) -> Farads {
+        self.caps.iter().copied().sum()
+    }
+
+    /// Total resistance along the spanning-tree path between two nodes.
+    pub fn path_resistance(&self, from: RcNodeId, to: RcNodeId) -> Option<Ohms> {
+        let (parent, _) = self.spanning_tree(from)?;
+        let mut r = Ohms::ZERO;
+        let mut cur = to;
+        while cur != from {
+            let (p, pr) = parent[cur.index()]?;
+            r += pr;
+            cur = p;
+        }
+        Some(r)
+    }
+
+    /// Elmore delay from `driver` (with source resistance `r_drive`) to
+    /// `sink`: `Σ_k R_shared(driver→k) · C_k + r_drive · C_total`.
+    ///
+    /// Returns `None` when the sink is not reachable from the driver.
+    pub fn elmore(&self, driver: RcNodeId, sink: RcNodeId, r_drive: Ohms) -> Option<Seconds> {
+        let (parent, order) = self.spanning_tree(driver)?;
+        if parent[sink.index()].is_none() && sink != driver {
+            return None;
+        }
+        // Path from driver to sink as a set of (node, edge R).
+        let mut on_path = vec![false; self.positions.len()];
+        {
+            let mut cur = sink;
+            on_path[cur.index()] = true;
+            while cur != driver {
+                let (p, _) = parent[cur.index()].expect("checked reachable");
+                cur = p;
+                on_path[cur.index()] = true;
+            }
+        }
+        // Downstream capacitance of each tree node (children sum), in
+        // reverse BFS order.
+        let mut down_cap: Vec<Farads> = self.caps.clone();
+        for &node in order.iter().rev() {
+            if let Some((p, _)) = parent[node.index()] {
+                let c = down_cap[node.index()];
+                down_cap[p.index()] += c;
+            }
+        }
+        // Elmore: sum over path edges of R_edge * C_downstream(child),
+        // plus driver resistance times everything.
+        let mut t = Seconds::new(r_drive.ohms() * down_cap[driver.index()].farads());
+        let mut cur = sink;
+        while cur != driver {
+            let (p, r) = parent[cur.index()].expect("checked reachable");
+            t += Seconds::new(r.ohms() * down_cap[cur.index()].farads());
+            cur = p;
+        }
+        Some(t)
+    }
+
+    /// BFS spanning tree from a root: per-node `(parent, edge R)` plus
+    /// visitation order. Returns `None` for an empty network.
+    fn spanning_tree(
+        &self,
+        root: RcNodeId,
+    ) -> Option<(Vec<Option<(RcNodeId, Ohms)>>, Vec<RcNodeId>)> {
+        if root.index() >= self.positions.len() {
+            return None;
+        }
+        let n = self.positions.len();
+        let mut adj: Vec<Vec<(RcNodeId, Ohms)>> = vec![Vec::new(); n];
+        for &(a, b, r) in &self.resistors {
+            adj[a.index()].push((b, r));
+            adj[b.index()].push((a, r));
+        }
+        let mut parent: Vec<Option<(RcNodeId, Ohms)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut order = vec![root];
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &(v, r) in &adj[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    parent[v.index()] = Some((u, r));
+                    order.push(v);
+                }
+            }
+        }
+        Some((parent, order))
+    }
+
+    /// The far-end node of a network built with [`RcNet::line`].
+    pub fn last_node(&self) -> RcNodeId {
+        RcNodeId((self.positions.len() - 1) as u32)
+    }
+
+    /// The near-end node of a network built with [`RcNet::line`].
+    pub fn first_node(&self) -> RcNodeId {
+        RcNodeId(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: NetId = NetId(0);
+
+    #[test]
+    fn lumped_delay_matches_rc() {
+        // Single segment: Elmore = r_drive*C + R*C_far.
+        let rc = RcNet::line(NET, 1, Ohms::new(100.0), Farads::new(1e-12));
+        let t = rc
+            .elmore(rc.first_node(), rc.last_node(), Ohms::new(1000.0))
+            .unwrap();
+        // r_drive sees full 1pF; wire R sees far half (0.5pF).
+        let expect = 1000.0 * 1e-12 + 100.0 * 0.5e-12;
+        assert!((t.seconds() - expect).abs() < 1e-18, "{t}");
+    }
+
+    #[test]
+    fn distributed_line_approaches_half_rc() {
+        // Classic result: distributed RC line delay → 0.5·R·C as segments
+        // grow (vs 1.0·R·C lumped).
+        let r = Ohms::new(1000.0);
+        let c = Farads::new(1e-12);
+        let fine = RcNet::line(NET, 64, r, c);
+        let t = fine.elmore(fine.first_node(), fine.last_node(), Ohms::ZERO).unwrap();
+        let rc_product = 1e-9;
+        assert!(
+            (t.seconds() / rc_product - 0.5).abs() < 0.02,
+            "64-segment line: {} of RC",
+            t.seconds() / rc_product
+        );
+        let coarse = RcNet::line(NET, 1, r, c);
+        let t1 = coarse
+            .elmore(coarse.first_node(), coarse.last_node(), Ohms::ZERO)
+            .unwrap();
+        assert!(t1.seconds() < t.seconds() * 1.2, "coarse model is not wildly off");
+    }
+
+    #[test]
+    fn elmore_monotone_along_line() {
+        let rc = RcNet::line(NET, 8, Ohms::new(500.0), Farads::new(2e-13));
+        let mut prev = Seconds::ZERO;
+        for i in 1..=8u32 {
+            let t = rc.elmore(rc.first_node(), RcNodeId(i), Ohms::new(100.0)).unwrap();
+            assert!(t.seconds() > prev.seconds());
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn branching_tree_delays() {
+        // Star: driver -R1-> a, driver -R2-> b. Sink a's delay includes
+        // b's cap only through r_drive.
+        let mut rc = RcNet::new(NET);
+        let d = rc.fresh_node();
+        let a = rc.fresh_node();
+        let b = rc.fresh_node();
+        rc.add_resistor(d, a, Ohms::new(100.0));
+        rc.add_resistor(d, b, Ohms::new(200.0));
+        rc.add_cap(a, Farads::new(1e-12));
+        rc.add_cap(b, Farads::new(2e-12));
+        let ta = rc.elmore(d, a, Ohms::new(50.0)).unwrap();
+        // 50 * 3pF (everything) + 100 * 1pF (a branch).
+        let expect = 50.0 * 3e-12 + 100.0 * 1e-12;
+        assert!((ta.seconds() - expect).abs() < 1e-18);
+        let tb = rc.elmore(d, b, Ohms::new(50.0)).unwrap();
+        let expect_b = 50.0 * 3e-12 + 200.0 * 2e-12;
+        assert!((tb.seconds() - expect_b).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unreachable_sink_is_none() {
+        let mut rc = RcNet::new(NET);
+        let a = rc.fresh_node();
+        let b = rc.fresh_node();
+        rc.add_cap(b, Farads::new(1e-15));
+        assert!(rc.elmore(a, b, Ohms::ZERO).is_none());
+    }
+
+    #[test]
+    fn path_resistance_sums_edges() {
+        let rc = RcNet::line(NET, 4, Ohms::new(400.0), Farads::new(1e-13));
+        let r = rc.path_resistance(rc.first_node(), rc.last_node()).unwrap();
+        assert!((r.ohms() - 400.0).abs() < 1e-9);
+        let half = rc.path_resistance(rc.first_node(), RcNodeId(2)).unwrap();
+        assert!((half.ohms() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_at_dedups_positions() {
+        let mut rc = RcNet::new(NET);
+        let a = rc.node_at(10, 20);
+        let b = rc.node_at(10, 20);
+        assert_eq!(a, b);
+        let c = rc.node_at(10, 21);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn total_cap_sums() {
+        let rc = RcNet::line(NET, 10, Ohms::new(1.0), Farads::new(5e-12));
+        assert!((rc.total_cap().farads() - 5e-12).abs() < 1e-20);
+    }
+}

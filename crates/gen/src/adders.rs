@@ -1,0 +1,308 @@
+//! Adder generators: static CMOS ripple carry and a domino Manchester
+//! carry chain — the archetypal "high speed clocks combined with complex
+//! circuit styles" structure the methodology exists to verify.
+
+use cbv_netlist::{Device, FlatNetlist, NetId, NetKind};
+use cbv_tech::{MosKind, Process};
+
+use crate::gates::{add_inverter, add_nand, add_xor2, Sizing};
+use crate::Generated;
+
+/// Generates an n-bit static CMOS ripple-carry adder.
+///
+/// Nets: inputs `a[i]`, `b[i]`, `cin`; outputs `s[i]`, `cout`.
+pub fn static_ripple_adder(width: u32, process: &Process) -> Generated {
+    assert!(width >= 1, "adder needs at least one bit");
+    let mut f = FlatNetlist::new(format!("ripple{width}"));
+    let vdd = f.add_net("vdd", NetKind::Power);
+    let gnd = f.add_net("gnd", NetKind::Ground);
+    let s1 = Sizing::standard(process, 1.0);
+    let a: Vec<NetId> = (0..width)
+        .map(|i| f.add_net(&format!("a[{i}]"), NetKind::Input))
+        .collect();
+    let b: Vec<NetId> = (0..width)
+        .map(|i| f.add_net(&format!("b[{i}]"), NetKind::Input))
+        .collect();
+    let s: Vec<NetId> = (0..width)
+        .map(|i| f.add_net(&format!("s[{i}]"), NetKind::Output))
+        .collect();
+    let mut carry = f.add_net("cin", NetKind::Input);
+    let cin = carry;
+    for i in 0..width as usize {
+        let p = f.add_net(&format!("p{i}"), NetKind::Signal);
+        add_xor2(&mut f, &format!("xp{i}"), a[i], b[i], p, vdd, gnd, s1);
+        add_xor2(&mut f, &format!("xs{i}"), p, carry, s[i], vdd, gnd, s1);
+        // cout = NAND(/g, /t) with /g = NAND(a,b), /t = NAND(p, c).
+        let ng = f.add_net(&format!("ng{i}"), NetKind::Signal);
+        let nt = f.add_net(&format!("nt{i}"), NetKind::Signal);
+        add_nand(&mut f, &format!("g{i}"), &[a[i], b[i]], ng, vdd, gnd, s1);
+        add_nand(&mut f, &format!("t{i}"), &[p, carry], nt, vdd, gnd, s1);
+        let next = if i + 1 == width as usize {
+            f.add_net("cout", NetKind::Output)
+        } else {
+            f.add_net(&format!("c{}", i + 1), NetKind::Signal)
+        };
+        add_nand(&mut f, &format!("co{i}"), &[ng, nt], next, vdd, gnd, s1);
+        carry = next;
+    }
+    let mut inputs: Vec<NetId> = a;
+    inputs.extend(b);
+    inputs.push(cin);
+    let mut outputs = s;
+    outputs.push(carry);
+    Generated {
+        netlist: f,
+        inputs,
+        outputs,
+        clocks: Vec::new(),
+    }
+}
+
+/// Generates an n-bit **domino Manchester carry chain** adder.
+///
+/// The carry rail is a chain of precharged nodes `nc[i]` (active-low
+/// carry): a *generate* device (`a·b`) discharges its node, a
+/// *propagate* pass device (gated by `a⊕b`) lets an upstream discharge
+/// ripple through, and a clocked precharger restores the chain each
+/// cycle. Sums are formed statically from the inverted carry nodes.
+///
+/// Nets: `clk`, inputs `a[i]`, `b[i]`, `cin`; outputs `s[i]`, `cout`.
+/// During evaluation (`clk` high) inputs must be stable (monotonic) —
+/// exactly the constraint §4.3 infers for dynamic nodes.
+pub fn manchester_domino_adder(width: u32, process: &Process) -> Generated {
+    assert!(width >= 1, "adder needs at least one bit");
+    let mut f = FlatNetlist::new(format!("manchester{width}"));
+    let vdd = f.add_net("vdd", NetKind::Power);
+    let gnd = f.add_net("gnd", NetKind::Ground);
+    let s1 = Sizing::standard(process, 1.0);
+    let s2 = Sizing::standard(process, 2.0);
+    let clk = f.add_net("clk", NetKind::Clock);
+    let a: Vec<NetId> = (0..width)
+        .map(|i| f.add_net(&format!("a[{i}]"), NetKind::Input))
+        .collect();
+    let b: Vec<NetId> = (0..width)
+        .map(|i| f.add_net(&format!("b[{i}]"), NetKind::Input))
+        .collect();
+    let cin = f.add_net("cin", NetKind::Input);
+    let s: Vec<NetId> = (0..width)
+        .map(|i| f.add_net(&format!("s[{i}]"), NetKind::Output))
+        .collect();
+
+    // Per-bit propagate (p = a^b) and generate-bar are static helpers.
+    let p: Vec<NetId> = (0..width as usize)
+        .map(|i| {
+            let pi = f.add_net(&format!("p{i}"), NetKind::Signal);
+            add_xor2(&mut f, &format!("xp{i}"), a[i], b[i], pi, vdd, gnd, s1);
+            pi
+        })
+        .collect();
+
+    // Carry chain: nc[0] corresponds to carry INTO bit 0.
+    // nc node low  <=>  carry = 1.
+    let nc: Vec<NetId> = (0..=width as usize)
+        .map(|i| f.add_net(&format!("nc{i}"), NetKind::Signal))
+        .collect();
+    for (i, &node) in nc.iter().enumerate() {
+        // Precharge every chain node.
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("pre{i}"),
+            clk,
+            node,
+            vdd,
+            vdd,
+            s2.wp,
+            s2.l,
+        ));
+        if i == 0 {
+            // Inject cin: discharge nc0 when cin=1 during eval.
+            let foot = f.add_net("cin_foot", NetKind::Signal);
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "cin_g".to_owned(),
+                cin,
+                node,
+                foot,
+                gnd,
+                s2.wn,
+                s2.l,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "cin_foot_d".to_owned(),
+                clk,
+                foot,
+                gnd,
+                gnd,
+                s2.wn,
+                s2.l,
+            ));
+        } else {
+            let bit = i - 1;
+            // Generate: a·b discharges this node (clocked foot).
+            let x = f.add_net(&format!("gx{bit}"), NetKind::Signal);
+            let foot = f.add_net(&format!("gf{bit}"), NetKind::Signal);
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("gen_a{bit}"),
+                a[bit],
+                node,
+                x,
+                gnd,
+                2.0 * s2.wn,
+                s2.l,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("gen_b{bit}"),
+                b[bit],
+                x,
+                foot,
+                gnd,
+                2.0 * s2.wn,
+                s2.l,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("gen_foot{bit}"),
+                clk,
+                foot,
+                gnd,
+                gnd,
+                3.0 * s2.wn,
+                s2.l,
+            ));
+            // Propagate: pass device between adjacent chain nodes.
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("prop{bit}"),
+                p[bit],
+                nc[bit],
+                node,
+                gnd,
+                2.0 * s2.wn,
+                s2.l,
+            ));
+        }
+    }
+    // Carry into each bit (true sense), sums, and a weak keeper per
+    // chain node — an unshielded keeperless carry chain fails the Fig 3
+    // noise checks, exactly as it would in silicon.
+    let add_keeper = |f: &mut FlatNetlist, i: usize, node: NetId, inv_out: NetId| {
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("keep{i}"),
+            inv_out,
+            node,
+            vdd,
+            vdd,
+            0.5 * s1.wn,
+            3.0 * s1.l,
+        ));
+    };
+    for i in 0..width as usize {
+        let c_true = f.add_net(&format!("c{i}"), NetKind::Signal);
+        add_inverter(&mut f, &format!("ci{i}"), nc[i], c_true, vdd, gnd, s2);
+        add_keeper(&mut f, i, nc[i], c_true);
+        add_xor2(&mut f, &format!("xs{i}"), p[i], c_true, s[i], vdd, gnd, s1);
+    }
+    let cout = f.add_net("cout", NetKind::Output);
+    add_inverter(&mut f, "cinv_out", nc[width as usize], cout, vdd, gnd, s2);
+    add_keeper(&mut f, width as usize, nc[width as usize], cout);
+
+    let mut inputs: Vec<NetId> = a;
+    inputs.extend(b);
+    inputs.push(cin);
+    let mut outputs = s;
+    outputs.push(cout);
+    Generated {
+        netlist: f,
+        inputs,
+        outputs,
+        clocks: vec![clk],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_sim::{Logic, SwitchSim};
+
+    fn drive_bus(sim: &mut SwitchSim<'_>, nets: &[NetId], value: u64) {
+        for (i, &n) in nets.iter().enumerate() {
+            sim.set(n, Logic::from_bool((value >> i) & 1 == 1));
+        }
+    }
+
+    fn read_bus(sim: &SwitchSim<'_>, nets: &[NetId]) -> Option<u64> {
+        let mut out = 0u64;
+        for (i, &n) in nets.iter().enumerate() {
+            match sim.value(n) {
+                Logic::One => out |= 1 << i,
+                Logic::Zero => {}
+                Logic::X => return None,
+            }
+        }
+        Some(out)
+    }
+
+    #[test]
+    fn static_adder_exhaustive_3bit() {
+        let g = static_ripple_adder(3, &Process::strongarm_035());
+        let mut sim = SwitchSim::new(&g.netlist);
+        let (a_nets, rest) = g.inputs.split_at(3);
+        let (b_nets, cin) = rest.split_at(3);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                for c in 0u64..2 {
+                    drive_bus(&mut sim, a_nets, a);
+                    drive_bus(&mut sim, b_nets, b);
+                    sim.set(cin[0], Logic::from_bool(c == 1));
+                    sim.settle().unwrap();
+                    let result = read_bus(&sim, &g.outputs).expect("no X outputs");
+                    assert_eq!(result, a + b + c, "a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domino_adder_exhaustive_3bit() {
+        let g = manchester_domino_adder(3, &Process::strongarm_035());
+        let mut sim = SwitchSim::new(&g.netlist);
+        let clk = g.clocks[0];
+        let (a_nets, rest) = g.inputs.split_at(3);
+        let (b_nets, cin) = rest.split_at(3);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                for c in 0u64..2 {
+                    // Precharge with inputs low (monotonic discipline).
+                    sim.set(clk, Logic::Zero);
+                    drive_bus(&mut sim, a_nets, 0);
+                    drive_bus(&mut sim, b_nets, 0);
+                    sim.set(cin[0], Logic::Zero);
+                    sim.settle().unwrap();
+                    // Evaluate.
+                    sim.set(clk, Logic::One);
+                    drive_bus(&mut sim, a_nets, a);
+                    drive_bus(&mut sim, b_nets, b);
+                    sim.set(cin[0], Logic::from_bool(c == 1));
+                    sim.settle().unwrap();
+                    let result = read_bus(&sim, &g.outputs).expect("no X outputs");
+                    assert_eq!(result, a + b + c, "a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_adders_have_proportional_device_counts() {
+        let p = Process::strongarm_035();
+        let d4 = static_ripple_adder(4, &p).netlist.devices().len();
+        let d8 = static_ripple_adder(8, &p).netlist.devices().len();
+        assert_eq!(d8, 2 * d4);
+        let m4 = manchester_domino_adder(4, &p).netlist.devices().len();
+        let m8 = manchester_domino_adder(8, &p).netlist.devices().len();
+        assert!(m8 > 2 * m4 - 8 && m8 < 2 * m4 + 8);
+    }
+}

@@ -1,0 +1,266 @@
+//! Parameterized static CMOS gate generators.
+//!
+//! These are *templates*, not library cells: every instantiation chooses
+//! its own device sizes, matching the paper's "a NAND gate function can
+//! have a NAND gate appearance, but have individual control of device
+//! sizes per instance".
+
+use cbv_netlist::{Device, FlatNetlist, NetId};
+use cbv_tech::{MosKind, Process};
+
+/// Standard gate sizing: NMOS width as a multiple of minimum, PMOS width
+/// set by the process beta for balanced edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sizing {
+    /// NMOS width in meters.
+    pub wn: f64,
+    /// PMOS width in meters.
+    pub wp: f64,
+    /// Channel length in meters.
+    pub l: f64,
+}
+
+impl Sizing {
+    /// A gate `strength` times minimum size, beta-balanced for the
+    /// process.
+    pub fn standard(process: &Process, strength: f64) -> Sizing {
+        let l = process.l_min().meters();
+        let wn = 4.0 * l * strength;
+        Sizing {
+            wn,
+            wp: wn * process.balanced_beta(),
+            l,
+        }
+    }
+}
+
+/// Adds an inverter; returns nothing (devices named `{name}_p/{name}_n`).
+pub fn add_inverter(
+    f: &mut FlatNetlist,
+    name: &str,
+    a: NetId,
+    y: NetId,
+    vdd: NetId,
+    gnd: NetId,
+    s: Sizing,
+) {
+    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_p"), a, y, vdd, vdd, s.wp, s.l));
+    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_n"), a, y, gnd, gnd, s.wn, s.l));
+}
+
+/// Adds an N-input NAND (series NMOS sized up by the stack factor).
+pub fn add_nand(
+    f: &mut FlatNetlist,
+    name: &str,
+    inputs: &[NetId],
+    y: NetId,
+    vdd: NetId,
+    gnd: NetId,
+    s: Sizing,
+) {
+    assert!(!inputs.is_empty(), "nand needs inputs");
+    let stack = inputs.len() as f64;
+    for (i, &a) in inputs.iter().enumerate() {
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("{name}_p{i}"),
+            a,
+            y,
+            vdd,
+            vdd,
+            s.wp,
+            s.l,
+        ));
+    }
+    let mut top = y;
+    for (i, &a) in inputs.iter().enumerate() {
+        let bottom = if i + 1 == inputs.len() {
+            gnd
+        } else {
+            f.add_net(&format!("{name}_x{i}"), cbv_netlist::NetKind::Signal)
+        };
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("{name}_n{i}"),
+            a,
+            top,
+            bottom,
+            gnd,
+            s.wn * stack,
+            s.l,
+        ));
+        top = bottom;
+    }
+}
+
+/// Adds an N-input NOR (series PMOS sized up by the stack factor).
+pub fn add_nor(
+    f: &mut FlatNetlist,
+    name: &str,
+    inputs: &[NetId],
+    y: NetId,
+    vdd: NetId,
+    gnd: NetId,
+    s: Sizing,
+) {
+    assert!(!inputs.is_empty(), "nor needs inputs");
+    let stack = inputs.len() as f64;
+    let mut top = vdd;
+    for (i, &a) in inputs.iter().enumerate() {
+        let bottom = if i + 1 == inputs.len() {
+            y
+        } else {
+            f.add_net(&format!("{name}_px{i}"), cbv_netlist::NetKind::Signal)
+        };
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("{name}_p{i}"),
+            a,
+            top,
+            bottom,
+            vdd,
+            s.wp * stack,
+            s.l,
+        ));
+        top = bottom;
+    }
+    for (i, &a) in inputs.iter().enumerate() {
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("{name}_n{i}"),
+            a,
+            y,
+            gnd,
+            gnd,
+            s.wn,
+            s.l,
+        ));
+    }
+}
+
+/// Adds a 2-input static XOR built from pass logic + inverters (6T style
+/// with complement generation): `y = a ^ b`.
+pub fn add_xor2(
+    f: &mut FlatNetlist,
+    name: &str,
+    a: NetId,
+    b: NetId,
+    y: NetId,
+    vdd: NetId,
+    gnd: NetId,
+    s: Sizing,
+) {
+    let an = f.add_net(&format!("{name}_an"), cbv_netlist::NetKind::Signal);
+    let bn = f.add_net(&format!("{name}_bn"), cbv_netlist::NetKind::Signal);
+    // The complement rails each drive four branch gates and often travel
+    // through the routing channel; size their drivers up 2x so coupling
+    // noise stays restorable.
+    let s2 = Sizing { wn: 2.0 * s.wn, wp: 2.0 * s.wp, l: s.l };
+    add_inverter(f, &format!("{name}_ia"), a, an, vdd, gnd, s2);
+    add_inverter(f, &format!("{name}_ib"), b, bn, vdd, gnd, s2);
+    // y = a·bn + an·b as AOI + inverter would be fully static; use two
+    // complementary branches: pull y high when a^b, low when !(a^b).
+    // PMOS pull-ups: (an,b) series and (a,bn) series... PMOS conduct on 0:
+    // series pair gated (a, b n?) — build with gates chosen so the pair
+    // conducts exactly when a^b = 1:
+    //   pull-up 1: gates an (conducts when a=1) and bn? No: PMOS gated an
+    //   conducts when an=0 i.e. a=1. So series (gate an, gate b) conducts
+    //   when a=1 & b=0. Series (gate a, gate bn) conducts when a=0 & b=1.
+    let m1 = f.add_net(&format!("{name}_m1"), cbv_netlist::NetKind::Signal);
+    let m2 = f.add_net(&format!("{name}_m2"), cbv_netlist::NetKind::Signal);
+    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu1a"), an, vdd, m1, vdd, 2.0 * s.wp, s.l));
+    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu1b"), b, m1, y, vdd, 2.0 * s.wp, s.l));
+    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu2a"), a, vdd, m2, vdd, 2.0 * s.wp, s.l));
+    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu2b"), bn, m2, y, vdd, 2.0 * s.wp, s.l));
+    // NMOS pull-downs: conduct when !(a^b): (a & b) or (an & bn).
+    let m3 = f.add_net(&format!("{name}_m3"), cbv_netlist::NetKind::Signal);
+    let m4 = f.add_net(&format!("{name}_m4"), cbv_netlist::NetKind::Signal);
+    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd1a"), a, y, m3, gnd, 2.0 * s.wn, s.l));
+    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd1b"), b, m3, gnd, gnd, 2.0 * s.wn, s.l));
+    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd2a"), an, y, m4, gnd, 2.0 * s.wn, s.l));
+    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd2b"), bn, m4, gnd, gnd, 2.0 * s.wn, s.l));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_netlist::NetKind;
+    use cbv_sim::{Logic, SwitchSim};
+
+    fn rails(f: &mut FlatNetlist) -> (NetId, NetId) {
+        (
+            f.add_net("vdd", NetKind::Power),
+            f.add_net("gnd", NetKind::Ground),
+        )
+    }
+
+    #[test]
+    fn nand3_truth_table() {
+        let mut f = FlatNetlist::new("nand3");
+        let (vdd, gnd) = rails(&mut f);
+        let ins: Vec<NetId> = (0..3)
+            .map(|i| f.add_net(&format!("i{i}"), NetKind::Input))
+            .collect();
+        let y = f.add_net("y", NetKind::Output);
+        let s = Sizing::standard(&Process::strongarm_035(), 1.0);
+        add_nand(&mut f, "g", &ins, y, vdd, gnd, s);
+        let mut sim = SwitchSim::new(&f);
+        for m in 0u32..8 {
+            for (i, &n) in ins.iter().enumerate() {
+                sim.set(n, Logic::from_bool((m >> i) & 1 == 1));
+            }
+            sim.settle().unwrap();
+            let expect = !(m == 7);
+            assert_eq!(sim.value(y), Logic::from_bool(expect), "m={m:03b}");
+        }
+    }
+
+    #[test]
+    fn nor2_truth_table() {
+        let mut f = FlatNetlist::new("nor2");
+        let (vdd, gnd) = rails(&mut f);
+        let a = f.add_net("a", NetKind::Input);
+        let b = f.add_net("b", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        let s = Sizing::standard(&Process::strongarm_035(), 1.0);
+        add_nor(&mut f, "g", &[a, b], y, vdd, gnd, s);
+        let mut sim = SwitchSim::new(&f);
+        for m in 0u32..4 {
+            sim.set(a, Logic::from_bool(m & 1 == 1));
+            sim.set(b, Logic::from_bool(m & 2 == 2));
+            sim.settle().unwrap();
+            assert_eq!(sim.value(y), Logic::from_bool(m == 0), "m={m:02b}");
+        }
+    }
+
+    #[test]
+    fn xor2_truth_table() {
+        let mut f = FlatNetlist::new("xor2");
+        let (vdd, gnd) = rails(&mut f);
+        let a = f.add_net("a", NetKind::Input);
+        let b = f.add_net("b", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        let s = Sizing::standard(&Process::strongarm_035(), 1.0);
+        add_xor2(&mut f, "g", a, b, y, vdd, gnd, s);
+        let mut sim = SwitchSim::new(&f);
+        for m in 0u32..4 {
+            let (va, vb) = (m & 1 == 1, m & 2 == 2);
+            sim.set(a, Logic::from_bool(va));
+            sim.set(b, Logic::from_bool(vb));
+            sim.settle().unwrap();
+            assert_eq!(sim.value(y), Logic::from_bool(va ^ vb), "m={m:02b}");
+        }
+    }
+
+    #[test]
+    fn sizing_scales_with_process_and_strength() {
+        let p35 = Process::strongarm_035();
+        let p75 = Process::alpha_21064();
+        let s1 = Sizing::standard(&p35, 1.0);
+        let s4 = Sizing::standard(&p35, 4.0);
+        assert!((s4.wn / s1.wn - 4.0).abs() < 1e-9);
+        let sbig = Sizing::standard(&p75, 1.0);
+        assert!(sbig.wn > s1.wn);
+        assert!(s1.wp > s1.wn, "beta-balanced PMOS is wider");
+    }
+}

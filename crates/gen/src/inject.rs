@@ -1,0 +1,168 @@
+//! Fault injectors: plant one §4.2 hazard class into a clean design.
+//!
+//! "First-pass silicon" cannot be tested here, but the next best thing
+//! can: seed the electrical bugs the paper's checks exist to catch and
+//! verify the corresponding verifier fires (experiment E12's detection
+//! matrix) while the others stay quiet.
+
+use cbv_netlist::{DeviceId, FlatNetlist};
+use cbv_tech::MosKind;
+
+/// The hazard classes that can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Grossly skew a complementary gate's beta ratio (PMOS ×12).
+    BetaSkew,
+    /// Draw a device below minimum channel length.
+    SubMinLength,
+    /// Blow up a keeper to fight its evaluate path.
+    MonsterKeeper,
+    /// Replace an eval device with a wide, min-length leaker.
+    LeakyDynamic,
+    /// Widen the internal stack devices of a dynamic gate (charge
+    /// sharing).
+    ChargeShare,
+    /// Shrink a driver under a heavy load (edge rate / slow path).
+    WeakDriver,
+    /// Swap a device's polarity (functional bug for shadow/equiv).
+    WrongPolarity,
+}
+
+impl FaultKind {
+    /// All injectable kinds.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::BetaSkew,
+        FaultKind::SubMinLength,
+        FaultKind::MonsterKeeper,
+        FaultKind::LeakyDynamic,
+        FaultKind::ChargeShare,
+        FaultKind::WeakDriver,
+        FaultKind::WrongPolarity,
+    ];
+}
+
+/// Injects `kind` into the netlist, using name heuristics to find an
+/// appropriate victim device. Returns a description of what was done, or
+/// `None` when no suitable victim exists.
+pub fn inject(netlist: &mut FlatNetlist, kind: FaultKind) -> Option<String> {
+    let find = |netlist: &FlatNetlist, pred: &dyn Fn(&cbv_netlist::Device) -> bool| -> Option<DeviceId> {
+        netlist
+            .device_ids()
+            .find(|&d| pred(netlist.device(d)))
+    };
+    match kind {
+        FaultKind::BetaSkew => {
+            let id = find(netlist, &|d| d.kind == MosKind::Pmos)?;
+            let dev = netlist.device_mut(id);
+            dev.w *= 12.0;
+            Some(format!("beta skew: widened PMOS `{}` 12x", dev.name))
+        }
+        FaultKind::SubMinLength => {
+            let id = find(netlist, &|d| d.kind == MosKind::Nmos)?;
+            let dev = netlist.device_mut(id);
+            dev.l *= 0.6;
+            Some(format!("sub-min length: shrank `{}` to 0.6 L", dev.name))
+        }
+        FaultKind::MonsterKeeper => {
+            let id = find(netlist, &|d| d.name.contains("keep"))?;
+            let dev = netlist.device_mut(id);
+            dev.w *= 25.0;
+            dev.l = dev.l / 2.0;
+            Some(format!("monster keeper: `{}` now 25x wide", dev.name))
+        }
+        FaultKind::LeakyDynamic => {
+            let id = find(netlist, &|d| {
+                d.kind == MosKind::Nmos && (d.name.contains("eval") || d.name.contains("gen_"))
+            })?;
+            let dev = netlist.device_mut(id);
+            dev.w *= 15.0;
+            Some(format!("leaky dynamic: widened eval device `{}` 15x", dev.name))
+        }
+        FaultKind::ChargeShare => {
+            // Widen every internal stack device (heuristic: NMOS whose
+            // channel touches no rail on either side).
+            let victims: Vec<DeviceId> = netlist
+                .device_ids()
+                .filter(|&id| {
+                    let d = netlist.device(id);
+                    d.kind == MosKind::Nmos
+                        && !netlist.net_kind(d.source).is_rail()
+                        && !netlist.net_kind(d.drain).is_rail()
+                })
+                .collect();
+            if victims.is_empty() {
+                return None;
+            }
+            let n = victims.len();
+            for id in victims {
+                netlist.device_mut(id).w *= 10.0;
+            }
+            Some(format!("charge share: widened {n} stack devices 10x"))
+        }
+        FaultKind::WeakDriver => {
+            // Shrink the most heavily gate-loaded net's driver.
+            let mut best: Option<(DeviceId, f64)> = None;
+            for id in netlist.device_ids().collect::<Vec<_>>() {
+                let d = netlist.device(id).clone();
+                for net in [d.source, d.drain] {
+                    if netlist.net_kind(net).is_rail() {
+                        continue;
+                    }
+                    let load = netlist.gate_width_on(net);
+                    if load > best.map(|(_, l)| l).unwrap_or(0.0) {
+                        best = Some((id, load));
+                    }
+                }
+            }
+            let (id, _) = best?;
+            let dev = netlist.device_mut(id);
+            dev.w /= 10.0;
+            Some(format!("weak driver: shrank `{}` 10x", dev.name))
+        }
+        FaultKind::WrongPolarity => {
+            let id = find(netlist, &|d| d.kind == MosKind::Nmos)?;
+            let dev = netlist.device_mut(id);
+            dev.kind = MosKind::Pmos;
+            Some(format!("wrong polarity: `{}` NMOS -> PMOS", dev.name))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latches::keeper_domino;
+    use cbv_tech::Process;
+
+    #[test]
+    fn every_fault_injects_into_keeper_domino() {
+        let p = Process::strongarm_035();
+        for kind in FaultKind::ALL {
+            let mut g = keeper_domino(&p, 1e-6);
+            let desc = inject(&mut g.netlist, kind);
+            assert!(desc.is_some(), "{kind:?} found no victim");
+        }
+    }
+
+    #[test]
+    fn injection_changes_geometry() {
+        let p = Process::strongarm_035();
+        let mut g = keeper_domino(&p, 1e-6);
+        let before: Vec<(f64, f64)> = g.netlist.devices().iter().map(|d| (d.w, d.l)).collect();
+        inject(&mut g.netlist, FaultKind::BetaSkew).unwrap();
+        let after: Vec<(f64, f64)> = g.netlist.devices().iter().map(|d| (d.w, d.l)).collect();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn missing_victim_returns_none() {
+        // A netlist with only NMOS devices can't take a BetaSkew.
+        let mut f = FlatNetlist::new("nmos_only");
+        let a = f.add_net("a", cbv_netlist::NetKind::Input);
+        let y = f.add_net("y", cbv_netlist::NetKind::Output);
+        let gnd = f.add_net("gnd", cbv_netlist::NetKind::Ground);
+        f.add_device(cbv_netlist::Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 1e-6, 0.35e-6));
+        assert!(inject(&mut f, FaultKind::BetaSkew).is_none());
+        assert!(inject(&mut f, FaultKind::MonsterKeeper).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Integer geometry in nanometers.
+
+/// A point in nanometers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// X coordinate (nm).
+    pub x: i64,
+    /// Y coordinate (nm).
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: i64, y: i64) -> Point {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle in nanometers, normalized so `x0 <= x1` and
+/// `y0 <= y1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: i64,
+    /// Bottom edge.
+    pub y0: i64,
+    /// Right edge.
+    pub x1: i64,
+    /// Top edge.
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing corner order.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width in nm.
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in nm.
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter in nm.
+    pub fn perimeter(&self) -> i64 {
+        2 * (self.width() + self.height())
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Whether the rectangles overlap (touching edges do not count).
+    pub fn intersects(&self, other: Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Overlap length of the projections on the X axis (0 if disjoint).
+    pub fn x_overlap(&self, other: Rect) -> i64 {
+        (self.x1.min(other.x1) - self.x0.max(other.x0)).max(0)
+    }
+
+    /// Overlap length of the projections on the Y axis (0 if disjoint).
+    pub fn y_overlap(&self, other: Rect) -> i64 {
+        (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0)
+    }
+
+    /// Gap between the two rectangles along X (0 when overlapping).
+    pub fn x_gap(&self, other: Rect) -> i64 {
+        (other.x0 - self.x1).max(self.x0 - other.x1).max(0)
+    }
+
+    /// Gap between the two rectangles along Y (0 when overlapping).
+    pub fn y_gap(&self, other: Rect) -> i64 {
+        (other.y0 - self.y1).max(self.y0 - other.y1).max(0)
+    }
+
+    /// Rectangle translated by (dx, dy).
+    pub fn translate(&self, dx: i64, dy: i64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Whether this rectangle is taller than wide (a vertical wire).
+    pub fn is_vertical(&self) -> bool {
+        self.height() > self.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r, Rect::new(0, 5, 10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 20, 20);
+        assert!(a.intersects(b));
+        assert_eq!(a.union(b), Rect::new(0, 0, 20, 20));
+        let c = Rect::new(10, 0, 20, 10);
+        assert!(!a.intersects(c), "touching edges do not intersect");
+    }
+
+    #[test]
+    fn overlaps_and_gaps() {
+        let a = Rect::new(0, 0, 10, 2);
+        let b = Rect::new(4, 5, 14, 7);
+        assert_eq!(a.x_overlap(b), 6);
+        assert_eq!(a.y_overlap(b), 0);
+        assert_eq!(a.y_gap(b), 3);
+        assert_eq!(a.x_gap(b), 0);
+    }
+
+    #[test]
+    fn geometry_metrics() {
+        let r = Rect::new(0, 0, 4, 6);
+        assert_eq!(r.area(), 24);
+        assert_eq!(r.perimeter(), 20);
+        assert_eq!(r.center(), Point::new(2, 3));
+        assert!(r.is_vertical());
+        assert_eq!(r.translate(1, -1), Rect::new(1, -1, 5, 5));
+    }
+}

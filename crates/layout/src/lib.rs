@@ -1,0 +1,202 @@
+//! `cbv-layout` — macrocell layout assistance.
+//!
+//! §2.2: "CAD layout synthesis and assistance tools have had a greater
+//! impact in our layout creation. The emphasis of these layout generation
+//! tools is to assist in the creation of macrocells, at the level of
+//! transistor place and route."
+//!
+//! This crate provides exactly that level of automation:
+//!
+//! * [`geom`] — integer (nanometer) rectangles and points;
+//! * [`rules`] — lambda-style design rules derived from a process;
+//! * [`place`] — row-based transistor placement (PMOS row over NMOS row,
+//!   greedy diffusion sharing), with per-finger gate strips;
+//! * [`route`] — a left-edge channel router assigning one horizontal
+//!   track per net with vertical connection stubs;
+//! * [`drc`] — lambda-rule width/spacing checking over the result
+//!   (correct-by-verification applies to the assist tools' own output);
+//! * [`Layout`] — the resulting geometry, each shape tagged with its net,
+//!   ready for parasitic extraction by `cbv-extract`.
+//!
+//! # Example
+//!
+//! ```
+//! use cbv_layout::synthesize;
+//! use cbv_netlist::{Device, FlatNetlist, NetKind};
+//! use cbv_tech::{MosKind, Process};
+//!
+//! let mut f = FlatNetlist::new("inv");
+//! let a = f.add_net("a", NetKind::Input);
+//! let y = f.add_net("y", NetKind::Output);
+//! let vdd = f.add_net("vdd", NetKind::Power);
+//! let gnd = f.add_net("gnd", NetKind::Ground);
+//! f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
+//! f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+//!
+//! let layout = synthesize(&mut f, &Process::strongarm_035());
+//! assert!(layout.area() > 0.0);
+//! ```
+
+pub mod drc;
+pub mod geom;
+pub mod place;
+pub mod route;
+pub mod rules;
+
+pub use drc::{check_drc, DrcViolation};
+pub use geom::{Point, Rect};
+pub use place::{place_rows, DeviceSite, Placement};
+pub use route::route_channel;
+pub use rules::Rules;
+
+use cbv_netlist::{DeviceId, FlatNetlist, NetId};
+use cbv_tech::{Layer, Process};
+
+/// One rectangle of geometry on a layer, tagged with the net it carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape {
+    /// The layer.
+    pub layer: Layer,
+    /// The rectangle (nanometers).
+    pub rect: Rect,
+    /// The electrical net, when known (wells and dummy fill carry none).
+    pub net: Option<NetId>,
+}
+
+/// A synthesized macrocell layout.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// Cell name.
+    pub name: String,
+    /// All geometry.
+    pub shapes: Vec<Shape>,
+    /// Where each device's gate landed (for back-annotation and the
+    /// distributed-driver analyses of Fig 5).
+    pub sites: Vec<DeviceSite>,
+}
+
+impl Layout {
+    /// Bounding box of all shapes; zero rect when empty.
+    pub fn bbox(&self) -> Rect {
+        let mut it = self.shapes.iter();
+        let first = match it.next() {
+            Some(s) => s.rect,
+            None => return Rect::new(0, 0, 0, 0),
+        };
+        it.fold(first, |acc, s| acc.union(s.rect))
+    }
+
+    /// Cell area in square meters.
+    pub fn area(&self) -> f64 {
+        let b = self.bbox();
+        (b.width() as f64 * 1e-9) * (b.height() as f64 * 1e-9)
+    }
+
+    /// All shapes on a given net.
+    pub fn shapes_on(&self, net: NetId) -> impl Iterator<Item = &Shape> {
+        self.shapes.iter().filter(move |s| s.net == Some(net))
+    }
+
+    /// Total wire length (meters) on a net for a layer, counting the long
+    /// dimension of each shape.
+    pub fn wire_length(&self, net: NetId, layer: Layer) -> f64 {
+        self.shapes_on(net)
+            .filter(|s| s.layer == layer)
+            .map(|s| s.rect.width().max(s.rect.height()) as f64 * 1e-9)
+            .sum()
+    }
+
+    /// The placement site of a device, if placed.
+    pub fn site(&self, device: DeviceId) -> Option<&DeviceSite> {
+        self.sites.iter().find(|s| s.device == device)
+    }
+}
+
+/// Synthesizes a macrocell layout for a flat netlist: row placement then
+/// channel routing.
+pub fn synthesize(netlist: &mut FlatNetlist, process: &Process) -> Layout {
+    let rules = Rules::for_process(process);
+    let placement = place_rows(netlist, &rules);
+    let mut layout = Layout {
+        name: netlist.name().to_owned(),
+        shapes: placement.shapes.clone(),
+        sites: placement.sites.clone(),
+    };
+    let routed = route_channel(netlist, &placement, &rules);
+    layout.shapes.extend(routed);
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_netlist::{Device, NetKind};
+    use cbv_tech::MosKind;
+
+    fn nand2() -> FlatNetlist {
+        let mut f = FlatNetlist::new("nand2");
+        let a = f.add_net("a", NetKind::Input);
+        let b = f.add_net("b", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        let x = f.add_net("x", NetKind::Signal);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f
+    }
+
+    #[test]
+    fn synthesized_layout_has_positive_area() {
+        let mut f = nand2();
+        let l = synthesize(&mut f, &Process::strongarm_035());
+        assert!(l.area() > 0.0);
+        assert_eq!(l.sites.len(), 4, "all four devices placed");
+    }
+
+    #[test]
+    fn every_signal_net_gets_geometry() {
+        let mut f = nand2();
+        let l = synthesize(&mut f, &Process::strongarm_035());
+        for name in ["a", "b", "y"] {
+            let n = f.find_net(name).unwrap();
+            assert!(
+                l.shapes_on(n).count() > 0,
+                "net `{name}` has no geometry"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_devices_make_bigger_cells() {
+        let mut small = nand2();
+        let l1 = synthesize(&mut small, &Process::strongarm_035());
+        let mut big = FlatNetlist::new("nand2w");
+        let a = big.add_net("a", NetKind::Input);
+        let b = big.add_net("b", NetKind::Input);
+        let y = big.add_net("y", NetKind::Output);
+        let x = big.add_net("x", NetKind::Signal);
+        let vdd = big.add_net("vdd", NetKind::Power);
+        let gnd = big.add_net("gnd", NetKind::Ground);
+        big.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 20e-6, 0.35e-6));
+        big.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 20e-6, 0.35e-6));
+        big.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 20e-6, 0.35e-6));
+        big.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 20e-6, 0.35e-6));
+        let l2 = synthesize(&mut big, &Process::strongarm_035());
+        assert!(l2.area() > l1.area());
+    }
+
+    #[test]
+    fn wire_length_accumulates() {
+        let mut f = nand2();
+        let l = synthesize(&mut f, &Process::strongarm_035());
+        let a = f.find_net("a").unwrap();
+        let total: f64 = cbv_tech::Layer::ALL
+            .iter()
+            .map(|&layer| l.wire_length(a, layer))
+            .sum();
+        assert!(total > 0.0);
+    }
+}

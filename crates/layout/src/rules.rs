@@ -1,0 +1,89 @@
+//! Lambda-style design rules derived from a process.
+
+use cbv_tech::{Layer, Process};
+
+/// Geometric design rules in nanometers, derived from the process minimum
+/// feature size (the classic Mead–Conway lambda system: λ = L_min / 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rules {
+    /// Lambda in nm.
+    pub lambda: i64,
+    /// Poly gate length (drawn channel length), nm.
+    pub gate_length: i64,
+    /// Poly extension past diffusion, nm.
+    pub poly_extension: i64,
+    /// Minimum metal1 width, nm.
+    pub m1_width: i64,
+    /// Minimum metal1 spacing, nm.
+    pub m1_space: i64,
+    /// Minimum metal2 width, nm.
+    pub m2_width: i64,
+    /// Minimum metal2 spacing, nm.
+    pub m2_space: i64,
+    /// Contact size, nm.
+    pub contact: i64,
+    /// Diffusion extension past gate (source/drain landing), nm.
+    pub diff_extension: i64,
+    /// Separation between the NMOS and PMOS rows (the routing channel), nm.
+    pub row_gap: i64,
+    /// Spacing between adjacent unshared diffusions, nm.
+    pub diff_space: i64,
+}
+
+impl Rules {
+    /// Derives rules from a process.
+    pub fn for_process(process: &Process) -> Rules {
+        let lambda = (process.l_min().meters() * 1e9 / 2.0).round() as i64;
+        let w = |layer: Layer| (process.wires().params(layer).width_min * 1e9).round() as i64;
+        let s = |layer: Layer| (process.wires().params(layer).spacing_min * 1e9).round() as i64;
+        Rules {
+            lambda,
+            gate_length: 2 * lambda,
+            poly_extension: 2 * lambda,
+            m1_width: w(Layer::Metal1),
+            m1_space: s(Layer::Metal1),
+            m2_width: w(Layer::Metal2),
+            m2_space: s(Layer::Metal2),
+            // Contacts carry metal1 and must satisfy its width rule.
+            contact: (2 * lambda).max(w(Layer::Metal1)),
+            // Wide enough that adjacent gate and contact stubs obey
+            // metal1 spacing.
+            diff_extension: 9 * lambda,
+            row_gap: 40 * lambda,
+            diff_space: 3 * lambda,
+        }
+    }
+
+    /// Horizontal routing pitch (track to track) for metal2.
+    pub fn m2_pitch(&self) -> i64 {
+        self.m2_width + self.m2_space
+    }
+
+    /// Horizontal pitch of one transistor finger (gate + contacted
+    /// diffusion).
+    pub fn finger_pitch(&self) -> i64 {
+        self.gate_length + self.diff_extension + self.contact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_tracks_process() {
+        let r035 = Rules::for_process(&Process::strongarm_035());
+        let r075 = Rules::for_process(&Process::alpha_21064());
+        assert_eq!(r035.lambda, 175);
+        assert_eq!(r075.lambda, 375);
+        assert!(r035.m2_pitch() < r075.m2_pitch());
+    }
+
+    #[test]
+    fn pitches_positive() {
+        let r = Rules::for_process(&Process::alpha_21164());
+        assert!(r.m2_pitch() > 0);
+        assert!(r.finger_pitch() > 0);
+        assert!(r.row_gap > r.m2_pitch(), "channel fits at least one track");
+    }
+}

@@ -1,0 +1,442 @@
+//! Hierarchical cells and the cell library.
+//!
+//! Hierarchy here is *electrical*: a cell is any reusable cluster of
+//! transistors the designer found convenient (the paper's "macro-box"
+//! templates), not a mandated logic boundary. Flattening resolves the
+//! whole tree to one transistor network for analysis.
+
+use std::collections::HashMap;
+
+use crate::device::{Device, Passive};
+use crate::error::NetlistError;
+use crate::flat::FlatNetlist;
+use crate::{NetId, NetKind};
+
+/// Index of a cell within a [`Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An instance of another cell inside a parent cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name (hierarchical path component).
+    pub name: String,
+    /// The master cell being instantiated.
+    pub master: CellId,
+    /// Parent-cell nets bound to the master's ports, in the master's port
+    /// declaration order.
+    pub connections: Vec<NetId>,
+}
+
+/// One schematic cell: nets, devices, passives and subcell instances.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cell {
+    name: String,
+    net_names: Vec<String>,
+    net_kinds: Vec<NetKind>,
+    ports: Vec<NetId>,
+    devices: Vec<Device>,
+    passives: Vec<Passive>,
+    instances: Vec<Instance>,
+}
+
+impl Cell {
+    /// Creates an empty cell.
+    pub fn new(name: impl Into<String>) -> Cell {
+        Cell {
+            name: name.into(),
+            ..Cell::default()
+        }
+    }
+
+    /// The cell's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a net and returns its id. Nets whose kind
+    /// [`is_port`](NetKind::is_port) are appended to the port list in
+    /// creation order.
+    pub fn add_net(&mut self, name: impl Into<String>, kind: NetKind) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(name.into());
+        self.net_kinds.push(kind);
+        if kind.is_port() {
+            self.ports.push(id);
+        }
+        id
+    }
+
+    /// Adds a MOS device.
+    pub fn add_device(&mut self, device: Device) {
+        self.devices.push(device);
+    }
+
+    /// Adds a passive element.
+    pub fn add_passive(&mut self, passive: Passive) {
+        self.passives.push(passive);
+    }
+
+    /// Adds an instance of another cell.
+    pub fn add_instance(&mut self, instance: Instance) {
+        self.instances.push(instance);
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.index()]
+    }
+
+    /// Kind of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net_kind(&self, id: NetId) -> NetKind {
+        self.net_kinds[id.index()]
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// The ports in declaration order.
+    pub fn ports(&self) -> &[NetId] {
+        &self.ports
+    }
+
+    /// The devices of this cell (not of subcells).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The passive elements of this cell.
+    pub fn passives(&self) -> &[Passive] {
+        &self.passives
+    }
+
+    /// The subcell instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Checks that all net references inside the cell are in range.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let n = self.net_names.len() as u32;
+        let check = |id: NetId| -> Result<(), NetlistError> {
+            if id.0 < n {
+                Ok(())
+            } else {
+                Err(NetlistError::InvalidNet {
+                    cell: self.name.clone(),
+                    index: id.0,
+                })
+            }
+        };
+        for d in &self.devices {
+            check(d.gate)?;
+            check(d.source)?;
+            check(d.drain)?;
+            check(d.bulk)?;
+        }
+        for p in &self.passives {
+            check(p.a)?;
+            check(p.b)?;
+        }
+        for i in &self.instances {
+            for &c in &i.connections {
+                check(c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A library of cells, the root container of a schematic design.
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+/// Maximum instantiation depth tolerated during flattening.
+const MAX_DEPTH: usize = 64;
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new() -> Library {
+        Library::default()
+    }
+
+    /// Adds a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateCell`] if a cell with the same name
+    /// exists, or [`NetlistError::InvalidNet`] if the cell fails
+    /// [`Cell::validate`].
+    pub fn add_cell(&mut self, cell: Cell) -> Result<CellId, NetlistError> {
+        cell.validate()?;
+        if self.by_name.contains_key(cell.name()) {
+            return Err(NetlistError::DuplicateCell(cell.name().to_owned()));
+        }
+        let id = CellId(self.cells.len() as u32);
+        self.by_name.insert(cell.name().to_owned(), id);
+        self.cells.push(cell);
+        Ok(id)
+    }
+
+    /// Looks up a cell by name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrows a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// All cells, in insertion order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Flattens `top` and everything below it into a single transistor
+    /// network. Hierarchical names are joined with `/`. Rail nets (power /
+    /// ground) of subcells are merged with the parent rails they connect
+    /// to via ports; unconnected internal rails remain distinct nets but
+    /// keep their rail kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dangling cell references, port count mismatches
+    /// or excessive depth (cyclic hierarchy).
+    pub fn flatten(&self, top: CellId) -> Result<FlatNetlist, NetlistError> {
+        let top_cell = self.cell(top);
+        let mut flat = FlatNetlist::new(top_cell.name());
+        // Map the top cell's nets straight through.
+        let mut net_map = Vec::with_capacity(top_cell.net_count());
+        for i in 0..top_cell.net_count() {
+            let id = NetId(i as u32);
+            net_map.push(flat.add_net(top_cell.net_name(id), top_cell.net_kind(id)));
+        }
+        self.flatten_into(top, "", &net_map, &mut flat, 0)?;
+        Ok(flat)
+    }
+
+    fn flatten_into(
+        &self,
+        cell_id: CellId,
+        prefix: &str,
+        net_map: &[NetId],
+        flat: &mut FlatNetlist,
+        depth: usize,
+    ) -> Result<(), NetlistError> {
+        let cell = self.cell(cell_id);
+        if depth > MAX_DEPTH {
+            return Err(NetlistError::RecursionLimit(cell.name().to_owned()));
+        }
+        let qualify = |name: &str| -> String {
+            if prefix.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{prefix}/{name}")
+            }
+        };
+        for d in cell.devices() {
+            let mut d2 = d.clone();
+            d2.name = qualify(&d.name);
+            d2.gate = net_map[d.gate.index()];
+            d2.source = net_map[d.source.index()];
+            d2.drain = net_map[d.drain.index()];
+            d2.bulk = net_map[d.bulk.index()];
+            flat.add_device(d2);
+        }
+        for p in cell.passives() {
+            let mut p2 = p.clone();
+            p2.name = qualify(&p.name);
+            p2.a = net_map[p.a.index()];
+            p2.b = net_map[p.b.index()];
+            flat.add_passive(p2);
+        }
+        for inst in cell.instances() {
+            let master = self
+                .cells
+                .get(inst.master.index())
+                .ok_or_else(|| NetlistError::UnknownCell(format!("#{}", inst.master.0)))?;
+            if master.ports().len() != inst.connections.len() {
+                return Err(NetlistError::PortCountMismatch {
+                    instance: qualify(&inst.name),
+                    master: master.name().to_owned(),
+                    expected: master.ports().len(),
+                    actual: inst.connections.len(),
+                });
+            }
+            // Build the child's net map: ports bind to parent nets,
+            // internal nets become fresh flat nets.
+            let mut child_map = vec![NetId(u32::MAX); master.net_count()];
+            for (port, &conn) in master.ports().iter().zip(&inst.connections) {
+                child_map[port.index()] = net_map[conn.index()];
+            }
+            let child_prefix = qualify(&inst.name);
+            for i in 0..master.net_count() {
+                let id = NetId(i as u32);
+                if child_map[i].0 == u32::MAX {
+                    let name = format!("{child_prefix}/{}", master.net_name(id));
+                    child_map[i] = flat.add_net(&name, master.net_kind(id));
+                }
+            }
+            self.flatten_into(inst.master, &child_prefix, &child_map, flat, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_tech::MosKind;
+
+    fn inverter_cell() -> Cell {
+        let mut inv = Cell::new("inv");
+        let a = inv.add_net("a", NetKind::Input);
+        let y = inv.add_net("y", NetKind::Output);
+        let vdd = inv.add_net("vdd", NetKind::Inout);
+        let gnd = inv.add_net("gnd", NetKind::Inout);
+        inv.add_device(Device::mos(MosKind::Pmos, "mp", a, y, vdd, vdd, 4e-6, 0.35e-6));
+        inv.add_device(Device::mos(MosKind::Nmos, "mn", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        inv
+    }
+
+    #[test]
+    fn two_level_flatten_merges_ports() {
+        let mut lib = Library::new();
+        let inv_id = lib.add_cell(inverter_cell()).unwrap();
+
+        let mut buf = Cell::new("buf");
+        let a = buf.add_net("a", NetKind::Input);
+        let y = buf.add_net("y", NetKind::Output);
+        let vdd = buf.add_net("vdd", NetKind::Power);
+        let gnd = buf.add_net("gnd", NetKind::Ground);
+        let mid = buf.add_net("mid", NetKind::Signal);
+        buf.add_instance(Instance {
+            name: "i0".into(),
+            master: inv_id,
+            connections: vec![a, mid, vdd, gnd],
+        });
+        buf.add_instance(Instance {
+            name: "i1".into(),
+            master: inv_id,
+            connections: vec![mid, y, vdd, gnd],
+        });
+        let top = lib.add_cell(buf).unwrap();
+
+        let flat = lib.flatten(top).unwrap();
+        assert_eq!(flat.devices().len(), 4);
+        // a, y, vdd, gnd, mid — no extra nets (inverter has no internals).
+        assert_eq!(flat.net_count(), 5);
+        assert!(flat.find_net("mid").is_some());
+        let names: Vec<_> = flat.devices().iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"i0/mp"));
+        assert!(names.contains(&"i1/mn"));
+    }
+
+    #[test]
+    fn port_mismatch_is_reported() {
+        let mut lib = Library::new();
+        let inv_id = lib.add_cell(inverter_cell()).unwrap();
+        let mut top = Cell::new("top");
+        let a = top.add_net("a", NetKind::Input);
+        top.add_instance(Instance {
+            name: "i0".into(),
+            master: inv_id,
+            connections: vec![a],
+        });
+        let top_id = lib.add_cell(top).unwrap();
+        let err = lib.flatten(top_id).unwrap_err();
+        assert!(matches!(err, NetlistError::PortCountMismatch { expected: 4, actual: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let mut lib = Library::new();
+        lib.add_cell(Cell::new("x")).unwrap();
+        assert!(matches!(
+            lib.add_cell(Cell::new("x")),
+            Err(NetlistError::DuplicateCell(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_net_rejected_at_add() {
+        let mut bad = Cell::new("bad");
+        let a = bad.add_net("a", NetKind::Input);
+        bad.add_device(Device::mos(
+            MosKind::Nmos,
+            "m",
+            a,
+            NetId(99),
+            a,
+            a,
+            1e-6,
+            0.35e-6,
+        ));
+        let mut lib = Library::new();
+        assert!(matches!(
+            lib.add_cell(bad),
+            Err(NetlistError::InvalidNet { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_hits_depth_limit() {
+        let mut lib = Library::new();
+        // Manually create a self-instantiating cell; add_cell can't know
+        // the id ahead of time so we cheat by referencing CellId(0).
+        let mut c = Cell::new("ouroboros");
+        let a = c.add_net("a", NetKind::Input);
+        c.add_instance(Instance {
+            name: "self".into(),
+            master: CellId(0),
+            connections: vec![a],
+        });
+        let id = lib.add_cell(c).unwrap();
+        let err = lib.flatten(id).unwrap_err();
+        assert!(matches!(err, NetlistError::RecursionLimit(_)));
+    }
+
+    #[test]
+    fn find_net_and_names() {
+        let inv = inverter_cell();
+        let a = inv.find_net("a").unwrap();
+        assert_eq!(inv.net_name(a), "a");
+        assert_eq!(inv.net_kind(a), NetKind::Input);
+        assert!(inv.find_net("nope").is_none());
+        assert_eq!(inv.ports().len(), 4);
+    }
+}

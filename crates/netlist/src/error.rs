@@ -1,0 +1,90 @@
+//! Error type for netlist construction, flattening and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the netlist database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell name was defined twice in a library.
+    DuplicateCell(String),
+    /// A referenced cell does not exist in the library.
+    UnknownCell(String),
+    /// An instance supplied the wrong number of connections for its
+    /// master's port list.
+    PortCountMismatch {
+        /// Instance name.
+        instance: String,
+        /// Master cell name.
+        master: String,
+        /// Ports the master declares.
+        expected: usize,
+        /// Connections the instance supplied.
+        actual: usize,
+    },
+    /// Instantiation recursion exceeded the depth limit (almost certainly
+    /// a cycle in the cell graph).
+    RecursionLimit(String),
+    /// A net id referenced something outside the cell it was used in.
+    InvalidNet {
+        /// The cell where the bad reference appeared.
+        cell: String,
+        /// The offending index.
+        index: u32,
+    },
+    /// SPICE text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateCell(name) => {
+                write!(f, "cell `{name}` is already defined in the library")
+            }
+            NetlistError::UnknownCell(name) => write!(f, "unknown cell `{name}`"),
+            NetlistError::PortCountMismatch {
+                instance,
+                master,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "instance `{instance}` of `{master}` connects {actual} nets but the master declares {expected} ports"
+            ),
+            NetlistError::RecursionLimit(cell) => write!(
+                f,
+                "instantiation depth limit exceeded while flattening `{cell}` (cycle in cell graph?)"
+            ),
+            NetlistError::InvalidNet { cell, index } => {
+                write!(f, "net index {index} is out of range in cell `{cell}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownCell("adder".into());
+        assert_eq!(e.to_string(), "unknown cell `adder`");
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

@@ -1,0 +1,347 @@
+//! The flattened transistor network — the substrate every verifier runs on.
+
+use std::collections::HashMap;
+
+use crate::device::{Device, Passive};
+use crate::{DeviceId, NetId, NetKind};
+
+/// How a device touches a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetUse {
+    /// The net drives the device's gate.
+    Gate(DeviceId),
+    /// The net is a channel terminal (source or drain) of the device.
+    Channel(DeviceId),
+    /// The net ties the device's bulk.
+    Bulk(DeviceId),
+}
+
+impl NetUse {
+    /// The device involved, whatever the terminal.
+    pub fn device(self) -> DeviceId {
+        match self {
+            NetUse::Gate(d) | NetUse::Channel(d) | NetUse::Bulk(d) => d,
+        }
+    }
+}
+
+/// A flattened design: plain vectors of nets and devices plus connectivity
+/// indices. Construction is append-only; the connectivity index is built
+/// lazily and cached.
+#[derive(Debug, Clone)]
+pub struct FlatNetlist {
+    name: String,
+    net_names: Vec<String>,
+    net_kinds: Vec<NetKind>,
+    by_name: HashMap<String, NetId>,
+    devices: Vec<Device>,
+    passives: Vec<Passive>,
+    /// net -> uses; rebuilt on demand.
+    uses: Vec<Vec<NetUse>>,
+    uses_valid: bool,
+}
+
+impl FlatNetlist {
+    /// Creates an empty flat netlist named after its top cell.
+    pub fn new(name: impl Into<String>) -> FlatNetlist {
+        FlatNetlist {
+            name: name.into(),
+            net_names: Vec::new(),
+            net_kinds: Vec::new(),
+            by_name: HashMap::new(),
+            devices: Vec::new(),
+            passives: Vec::new(),
+            uses: Vec::new(),
+            uses_valid: true,
+        }
+    }
+
+    /// Name of the design (top cell).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a net. Duplicate names are allowed (hierarchical paths make
+    /// them unique in practice); `find_net` returns the first match.
+    pub fn add_net(&mut self, name: &str, kind: NetKind) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(name.to_owned());
+        self.by_name.entry(name.to_owned()).or_insert(id);
+        self.net_kinds.push(kind);
+        self.uses.push(Vec::new());
+        id
+    }
+
+    /// Appends a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any terminal references a net that does not exist.
+    pub fn add_device(&mut self, device: Device) -> DeviceId {
+        let n = self.net_names.len() as u32;
+        assert!(
+            device.gate.0 < n && device.source.0 < n && device.drain.0 < n && device.bulk.0 < n,
+            "device `{}` references an out-of-range net",
+            device.name
+        );
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(device);
+        self.uses_valid = false;
+        id
+    }
+
+    /// Appends a passive element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a terminal references a net that does not exist.
+    pub fn add_passive(&mut self, passive: Passive) {
+        let n = self.net_names.len() as u32;
+        assert!(
+            passive.a.0 < n && passive.b.0 < n,
+            "passive `{}` references an out-of-range net",
+            passive.name
+        );
+        self.passives.push(passive);
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.index()]
+    }
+
+    /// Kind of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn net_kind(&self, id: NetId) -> NetKind {
+        self.net_kinds[id.index()]
+    }
+
+    /// Reclassifies a net (e.g. recognition promoting a signal to clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_net_kind(&mut self, id: NetId, kind: NetKind) {
+        self.net_kinds[id.index()] = kind;
+    }
+
+    /// First net with the given name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.net_names.len() as u32).map(NetId)
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Borrow one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Mutable access to one device (used by sizing optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.index()]
+    }
+
+    /// The passive elements.
+    pub fn passives(&self) -> &[Passive] {
+        &self.passives
+    }
+
+    /// All device ids.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len() as u32).map(DeviceId)
+    }
+
+    /// Ensures the net→use index is current.
+    fn build_uses(&mut self) {
+        for u in &mut self.uses {
+            u.clear();
+        }
+        self.uses.resize(self.net_names.len(), Vec::new());
+        for (i, d) in self.devices.iter().enumerate() {
+            let id = DeviceId(i as u32);
+            self.uses[d.gate.index()].push(NetUse::Gate(id));
+            self.uses[d.source.index()].push(NetUse::Channel(id));
+            if d.drain != d.source {
+                self.uses[d.drain.index()].push(NetUse::Channel(id));
+            }
+            self.uses[d.bulk.index()].push(NetUse::Bulk(id));
+        }
+        self.uses_valid = true;
+    }
+
+    /// The uses (terminal attachments) of a net. Builds the connectivity
+    /// index on first call after mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn net_uses(&mut self, id: NetId) -> &[NetUse] {
+        if !self.uses_valid {
+            self.build_uses();
+        }
+        &self.uses[id.index()]
+    }
+
+    /// Snapshot of the full net→uses table (index = net id). Useful when a
+    /// read-only analysis wants connectivity without holding `&mut self`.
+    pub fn uses_table(&mut self) -> Vec<Vec<NetUse>> {
+        if !self.uses_valid {
+            self.build_uses();
+        }
+        self.uses.clone()
+    }
+
+    /// Devices whose gate is on `net`.
+    pub fn gate_loads(&mut self, net: NetId) -> Vec<DeviceId> {
+        self.net_uses(net)
+            .iter()
+            .filter_map(|u| match u {
+                NetUse::Gate(d) => Some(*d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Devices with a channel terminal on `net`.
+    pub fn channel_devices(&mut self, net: NetId) -> Vec<DeviceId> {
+        self.net_uses(net)
+            .iter()
+            .filter_map(|u| match u {
+                NetUse::Channel(d) => Some(*d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All rail nets (power and ground).
+    pub fn rails(&self) -> Vec<NetId> {
+        self.net_ids()
+            .filter(|&n| self.net_kind(n).is_rail())
+            .collect()
+    }
+
+    /// All primary input / clock nets.
+    pub fn external_drivers(&self) -> Vec<NetId> {
+        self.net_ids()
+            .filter(|&n| self.net_kind(n).is_driven_externally())
+            .collect()
+    }
+
+    /// Total transistor width attached by gate to the net — the gate load
+    /// used everywhere in delay and power estimation.
+    pub fn gate_width_on(&mut self, net: NetId) -> f64 {
+        self.gate_loads(net)
+            .into_iter()
+            .map(|d| self.device(d).w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_tech::MosKind;
+
+    fn nand2() -> FlatNetlist {
+        let mut f = FlatNetlist::new("nand2");
+        let a = f.add_net("a", NetKind::Input);
+        let b = f.add_net("b", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        let x = f.add_net("x", NetKind::Signal);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        f.add_device(Device::mos(MosKind::Pmos, "mpa", a, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Pmos, "mpb", b, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "mna", a, y, x, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "mnb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f
+    }
+
+    #[test]
+    fn uses_index_tracks_terminals() {
+        let mut f = nand2();
+        let a = f.find_net("a").unwrap();
+        let gates = f.gate_loads(a);
+        assert_eq!(gates.len(), 2);
+        let y = f.find_net("y").unwrap();
+        let ch = f.channel_devices(y);
+        assert_eq!(ch.len(), 3, "y touches both pullups and the top nmos");
+    }
+
+    #[test]
+    fn gate_width_accumulates() {
+        let mut f = nand2();
+        let a = f.find_net("a").unwrap();
+        assert!((f.gate_width_on(a) - 8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rails_and_externals() {
+        let f = nand2();
+        assert_eq!(f.rails().len(), 2);
+        assert_eq!(f.external_drivers().len(), 2);
+    }
+
+    #[test]
+    fn index_rebuilds_after_mutation() {
+        let mut f = nand2();
+        let a = f.find_net("a").unwrap();
+        assert_eq!(f.gate_loads(a).len(), 2);
+        let gnd = f.find_net("gnd").unwrap();
+        let y = f.find_net("y").unwrap();
+        f.add_device(Device::mos(MosKind::Nmos, "extra", a, y, gnd, gnd, 1e-6, 0.35e-6));
+        assert_eq!(f.gate_loads(a).len(), 3);
+    }
+
+    #[test]
+    fn set_net_kind_reclassifies() {
+        let mut f = nand2();
+        let a = f.find_net("a").unwrap();
+        f.set_net_kind(a, NetKind::Clock);
+        assert_eq!(f.net_kind(a), NetKind::Clock);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn device_with_bad_net_panics() {
+        let mut f = FlatNetlist::new("bad");
+        let a = f.add_net("a", NetKind::Input);
+        f.add_device(Device::mos(MosKind::Nmos, "m", a, NetId(9), a, a, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn netuse_device_accessor() {
+        assert_eq!(NetUse::Gate(DeviceId(4)).device(), DeviceId(4));
+        assert_eq!(NetUse::Channel(DeviceId(1)).device(), DeviceId(1));
+        assert_eq!(NetUse::Bulk(DeviceId(2)).device(), DeviceId(2));
+    }
+}

@@ -1,0 +1,26 @@
+//! `cbv-power` — power estimation and the §3 low-power design models.
+//!
+//! Three pieces, matching the paper's §3:
+//!
+//! * [`estimate`] — switched-capacitance dynamic power of a transistor
+//!   netlist (`P = Σ α·C·V²·f`) with conditional-clocking credit, plus
+//!   total leakage power at a corner;
+//! * [`waterfall`] — the **Table 1** ALPHA → StrongARM power reduction
+//!   chain, computed from process parameters rather than hard-coded
+//!   (VDD², functionality, process scale, clock load, clock rate);
+//! * [`standby`] — standby-current analysis with selective channel
+//!   lengthening ("devices in the cache arrays, the pad drivers, and
+//!   certain other areas were lengthened by 0.045 µm or 0.09 µm ...
+//!   below the 20 mW specification in the fastest process corner").
+//! * [`activity`] — toggle-rate measurement on an RTL design driven by
+//!   the `cbv-rtl` interpreter, the source of realistic α values.
+
+pub mod activity;
+pub mod estimate;
+pub mod standby;
+pub mod waterfall;
+
+pub use activity::{measure_activity, ActivityModel};
+pub use estimate::{dynamic_power, leakage_power, PowerBreakdown};
+pub use standby::{standby_analysis, LengtheningPolicy, StandbyReport};
+pub use waterfall::{strongarm_waterfall, WaterfallRow};

@@ -1,0 +1,193 @@
+//! Standby-current analysis with selective channel lengthening (§3).
+//!
+//! "While this leakage is not large enough to cause a problem for normal
+//! operation, it does pose problems for standby current. To reduce this
+//! leakage, devices in the cache arrays, the pad drivers, and certain
+//! other areas were lengthened by 0.045 µm or 0.09 µm as part of the
+//! design process. This brought the leakage power to below the 20 mW
+//! specification in the fastest process corner."
+
+use cbv_netlist::FlatNetlist;
+use cbv_tech::{Corner, Process, Watts};
+
+use crate::estimate::leakage_power;
+
+/// Which devices get lengthened, and by how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengtheningPolicy {
+    /// Substring selectors on device names (e.g. `"cache"`, `"pad"`) —
+    /// matching devices are lengthened. Empty = lengthen everything.
+    pub name_selectors: Vec<String>,
+    /// The length increase in meters (the paper's 0.045 µm / 0.09 µm).
+    pub delta_l: f64,
+}
+
+impl LengtheningPolicy {
+    /// Lengthen every device by `delta_l`.
+    pub fn all(delta_l: f64) -> LengtheningPolicy {
+        LengtheningPolicy {
+            name_selectors: Vec::new(),
+            delta_l,
+        }
+    }
+
+    /// Lengthen devices whose name contains any selector.
+    pub fn selective(selectors: &[&str], delta_l: f64) -> LengtheningPolicy {
+        LengtheningPolicy {
+            name_selectors: selectors.iter().map(|s| (*s).to_owned()).collect(),
+            delta_l,
+        }
+    }
+
+    fn applies_to(&self, name: &str) -> bool {
+        self.name_selectors.is_empty()
+            || self.name_selectors.iter().any(|s| name.contains(s.as_str()))
+    }
+}
+
+/// Result of a standby analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandbyReport {
+    /// Leakage before lengthening.
+    pub before: Watts,
+    /// Leakage after applying the policy.
+    pub after: Watts,
+    /// How many devices were lengthened.
+    pub lengthened: usize,
+    /// Whether `after` meets the specification.
+    pub meets_spec: bool,
+}
+
+/// Applies a lengthening policy (mutating the netlist) and reports the
+/// standby leakage before/after against a specification at a corner —
+/// the paper checks at the fastest corner.
+pub fn standby_analysis(
+    netlist: &mut FlatNetlist,
+    process: &Process,
+    corner: &Corner,
+    policy: &LengtheningPolicy,
+    spec: Watts,
+) -> StandbyReport {
+    let before = leakage_power(netlist, process, corner);
+    let mut lengthened = 0;
+    for did in netlist.device_ids().collect::<Vec<_>>() {
+        let name = netlist.device(did).name.clone();
+        if policy.applies_to(&name) {
+            netlist.device_mut(did).l += policy.delta_l;
+            lengthened += 1;
+        }
+    }
+    let after = leakage_power(netlist, process, corner);
+    StandbyReport {
+        before,
+        after,
+        lengthened,
+        meets_spec: after.watts() <= spec.watts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_netlist::{Device, NetKind};
+    use cbv_tech::{units::milliwatts, MosKind};
+
+    /// A leaky "cache array": many wide low-Vt devices, plus a small
+    /// amount of random logic.
+    fn leaky_chip() -> FlatNetlist {
+        let mut f = FlatNetlist::new("chip");
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let bit = f.add_net("bit", NetKind::Signal);
+        let w = f.add_net("w", NetKind::Input);
+        for i in 0..2000 {
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("cache_cell{i}"),
+                w,
+                bit,
+                gnd,
+                gnd,
+                3e-6,
+                0.35e-6,
+            ));
+        }
+        for i in 0..50 {
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("logic{i}"),
+                w,
+                bit,
+                gnd,
+                gnd,
+                2e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("plogic{i}"),
+                w,
+                bit,
+                vdd,
+                vdd,
+                4e-6,
+                0.35e-6,
+            ));
+        }
+        f
+    }
+
+    #[test]
+    fn lengthening_cuts_leakage_superlinearly() {
+        let p = Process::strongarm_035();
+        let fast = Corner::fast(&p);
+        let mut f = leaky_chip();
+        let r = standby_analysis(
+            &mut f,
+            &p,
+            &fast,
+            &LengtheningPolicy::all(0.09e-6),
+            milliwatts(20.0),
+        );
+        assert!(r.after.watts() < r.before.watts() / 5.0,
+            "0.09 um must cut leakage >5x: {} -> {}", r.before, r.after);
+    }
+
+    #[test]
+    fn selective_policy_targets_cache_only() {
+        let p = Process::strongarm_035();
+        let fast = Corner::fast(&p);
+        let mut f = leaky_chip();
+        let r = standby_analysis(
+            &mut f,
+            &p,
+            &fast,
+            &LengtheningPolicy::selective(&["cache"], 0.045e-6),
+            milliwatts(20.0),
+        );
+        assert_eq!(r.lengthened, 2000);
+        // Logic devices untouched.
+        let logic_l = f
+            .devices()
+            .iter()
+            .find(|d| d.name == "logic0")
+            .unwrap()
+            .l;
+        assert!((logic_l - 0.35e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_lengthening_leaks_less() {
+        let p = Process::strongarm_035();
+        let fast = Corner::fast(&p);
+        let after_of = |dl: f64| {
+            let mut f = leaky_chip();
+            standby_analysis(&mut f, &p, &fast, &LengtheningPolicy::all(dl), milliwatts(20.0)).after
+        };
+        let a0 = after_of(0.0);
+        let a45 = after_of(0.045e-6);
+        let a90 = after_of(0.090e-6);
+        assert!(a45.watts() < a0.watts());
+        assert!(a90.watts() < a45.watts());
+    }
+}

@@ -1,0 +1,368 @@
+//! State-element recognition.
+//!
+//! In a full-custom methodology "functional units and state-elements can
+//! be invented on-the-fly" (§2), so there is no latch library to match
+//! against. State is found structurally: a feedback loop in the
+//! gate-connection graph of channel-connected components is storage. The
+//! loop's composition then classifies it — a keeper hanging on a dynamic
+//! node, a clock-cut level latch, or a plain cross-coupled pair.
+
+use cbv_netlist::{Ccc, CccId, FlatNetlist, NetId};
+use cbv_tech::MosKind;
+
+use crate::family::{CccClass, LogicFamily};
+
+/// Kinds of recognized state elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateKind {
+    /// A weak device (or half-latch) restoring a dynamic node.
+    Keeper,
+    /// A transparent latch: feedback loop cut by a clocked pass or
+    /// tristate element.
+    LevelLatch,
+    /// Cross-coupled static storage (SRAM cell core, set-reset pair).
+    CrossCoupled,
+}
+
+/// One recognized state element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateElement {
+    /// Classification.
+    pub kind: StateKind,
+    /// The components forming the feedback loop.
+    pub cccs: Vec<CccId>,
+    /// The nets that hold state (outputs of the loop components).
+    pub storage_nets: Vec<NetId>,
+    /// Clocks gating the loop, if any.
+    pub clocks: Vec<NetId>,
+}
+
+/// Finds feedback loops in the CCC gate graph and classifies them.
+pub fn find_state_elements(
+    netlist: &FlatNetlist,
+    cccs: &[Ccc],
+    classes: &[CccClass],
+    clock_nets: &[NetId],
+) -> Vec<StateElement> {
+    let n = cccs.len();
+    // net -> driving ccc (as output)
+    let mut driver: Vec<Option<usize>> = vec![None; netlist.net_count()];
+    for (i, c) in cccs.iter().enumerate() {
+        for &o in &c.outputs {
+            driver[o.index()] = Some(i);
+        }
+    }
+    // Edges: driver(ccc) -> reader(ccc) through gate inputs; record which
+    // pass-channel feedback exists too (an output of i being a *channel*
+    // net of j merges them into one CCC already, so only gate edges
+    // matter between CCCs).
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, c) in cccs.iter().enumerate() {
+        for &inp in &c.inputs {
+            if let Some(i) = driver[inp.index()] {
+                if i != j && !succ[i].contains(&j) {
+                    succ[i].push(j);
+                }
+            }
+        }
+    }
+    // Self-feedback inside one CCC: an output of the CCC is also one of
+    // its own gate inputs (e.g. a keeper device in the same channel
+    // group, or cross-coupled inverters that share channel nets).
+    let mut self_loop = vec![false; n];
+    for (i, c) in cccs.iter().enumerate() {
+        for &inp in &c.inputs {
+            if c.outputs.contains(&inp) {
+                self_loop[i] = true;
+            }
+        }
+    }
+
+    // Tarjan SCC.
+    let sccs = tarjan(n, &succ);
+
+    let mut out = Vec::new();
+    for comp in sccs {
+        let is_loop = comp.len() > 1 || (comp.len() == 1 && self_loop[comp[0]]);
+        if !is_loop {
+            continue;
+        }
+        let mut storage_nets = Vec::new();
+        let mut clocks = Vec::new();
+        let mut kind = StateKind::CrossCoupled;
+        let mut saw_pass = false;
+        let mut saw_dynamic = false;
+        for &i in &comp {
+            for &o in &cccs[i].outputs {
+                // Storage nets: outputs read *within* the loop.
+                let read_in_loop = comp
+                    .iter()
+                    .any(|&j| cccs[j].inputs.contains(&o));
+                if read_in_loop && !storage_nets.contains(&o) {
+                    storage_nets.push(o);
+                }
+            }
+            match classes[i].family {
+                LogicFamily::Dynamic { .. } => saw_dynamic = true,
+                LogicFamily::PassTransistor => saw_pass = true,
+                _ => {}
+            }
+            // Clocked devices in the loop.
+            for &did in &cccs[i].devices {
+                let d = netlist.device(did);
+                if clock_nets.contains(&d.gate) && !clocks.contains(&d.gate) {
+                    clocks.push(d.gate);
+                }
+            }
+            // A tiny keeper device: PMOS feedback onto a dynamic node.
+            for &did in &cccs[i].devices {
+                let d = netlist.device(did);
+                if d.kind == MosKind::Pmos
+                    && classes
+                        .iter()
+                        .any(|cl| cl.dynamic_outputs.iter().any(|&dn| d.channel_touches(dn)))
+                {
+                    saw_dynamic = true;
+                }
+            }
+        }
+        if saw_dynamic {
+            kind = StateKind::Keeper;
+            // Only the dynamic node itself stores charge; the feedback
+            // inverter's output is an ordinary driven net.
+            storage_nets.retain(|&n| {
+                classes.iter().any(|c| c.dynamic_outputs.contains(&n))
+            });
+        } else if saw_pass || !clocks.is_empty() {
+            kind = StateKind::LevelLatch;
+            // A latch's true storage nodes are the ones a clocked channel
+            // device can isolate; downstream combinational nets swept into
+            // the same feedback SCC (e.g. logic inside an accumulator
+            // loop) are not storage.
+            if !clocks.is_empty() {
+                storage_nets.retain(|&n| {
+                    comp.iter().any(|&i| {
+                        cccs[i].devices.iter().any(|&did| {
+                            let d = netlist.device(did);
+                            clock_nets.contains(&d.gate) && d.channel_touches(n)
+                        })
+                    })
+                });
+            }
+        }
+        storage_nets.sort();
+        out.push(StateElement {
+            kind,
+            cccs: comp.iter().map(|&i| CccId(i as u32)).collect(),
+            storage_nets,
+            clocks,
+        });
+    }
+    out
+}
+
+/// Iterative Tarjan strongly-connected components; returns components in
+/// reverse topological order.
+fn tarjan(n: usize, succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct Info {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut info = vec![
+        Info {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut counter = 0u32;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..n {
+        if info[root].visited {
+            continue;
+        }
+        // Explicit DFS stack: (node, next-successor-index).
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut si)) = dfs.last_mut() {
+            if *si == 0 {
+                info[v].visited = true;
+                info[v].index = counter;
+                info[v].lowlink = counter;
+                counter += 1;
+                stack.push(v);
+                info[v].on_stack = true;
+            }
+            if *si < succ[v].len() {
+                let w = succ[v][*si];
+                *si += 1;
+                if !info[w].visited {
+                    dfs.push((w, 0));
+                } else if info[w].on_stack {
+                    info[v].lowlink = info[v].lowlink.min(info[w].index);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    let low = info[v].lowlink;
+                    info[parent].lowlink = info[parent].lowlink.min(low);
+                }
+                if info[v].lowlink == info[v].index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        info[w].on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocks::infer_clocks;
+    use crate::family::classify_ccc;
+    use cbv_netlist::{partition_cccs, Device, NetKind};
+
+    fn run(f: &mut FlatNetlist) -> Vec<StateElement> {
+        let (cccs, _) = partition_cccs(f);
+        let clocks = infer_clocks(f, &cccs);
+        let classes: Vec<CccClass> = cccs.iter().map(|c| classify_ccc(f, c, &clocks)).collect();
+        find_state_elements(f, &cccs, &classes, &clocks)
+    }
+
+    fn add_inverter(f: &mut FlatNetlist, name: &str, a: NetId, y: NetId, vdd: NetId, gnd: NetId) {
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("{name}_p"),
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("{name}_n"),
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+    }
+
+    #[test]
+    fn cross_coupled_inverters_found() {
+        let mut f = FlatNetlist::new("cc");
+        let q = f.add_net("q", NetKind::Output);
+        let qb = f.add_net("qb", NetKind::Output);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        add_inverter(&mut f, "i1", q, qb, vdd, gnd);
+        add_inverter(&mut f, "i2", qb, q, vdd, gnd);
+        let ses = run(&mut f);
+        assert_eq!(ses.len(), 1);
+        assert_eq!(ses[0].kind, StateKind::CrossCoupled);
+        assert_eq!(ses[0].storage_nets, vec![q, qb]);
+    }
+
+    #[test]
+    fn inverter_chain_is_not_state() {
+        let mut f = FlatNetlist::new("chain");
+        let a = f.add_net("a", NetKind::Input);
+        let b = f.add_net("b", NetKind::Signal);
+        let c = f.add_net("c", NetKind::Output);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        add_inverter(&mut f, "i1", a, b, vdd, gnd);
+        add_inverter(&mut f, "i2", b, c, vdd, gnd);
+        assert!(run(&mut f).is_empty());
+    }
+
+    #[test]
+    fn transparent_latch_found() {
+        // d -passgate(ck)- x ; x -> inv -> y ; y -> inv -> x (feedback).
+        let mut f = FlatNetlist::new("latch");
+        let d = f.add_net("d", NetKind::Input);
+        let ck = f.add_net("ck", NetKind::Clock);
+        let x = f.add_net("x", NetKind::Signal);
+        let y = f.add_net("y", NetKind::Output);
+        let fb = f.add_net("fb", NetKind::Signal);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        f.add_device(Device::mos(MosKind::Nmos, "pass", ck, d, x, gnd, 2e-6, 0.35e-6));
+        add_inverter(&mut f, "fwd", x, y, vdd, gnd);
+        add_inverter(&mut f, "bck", y, fb, vdd, gnd);
+        // Weak feedback through a second pass device gated by ckb... use
+        // a direct weak connection: feedback inverter drives x through a
+        // pass device gated by vdd-as-signal is unusual; instead connect
+        // fb to x via always-on nmos gated by vdd? Rails as gates are
+        // legal in full custom. Simpler: drive x directly (fb == x) is a
+        // short; use a pass gated by ck (jam latch style).
+        f.add_device(Device::mos(MosKind::Nmos, "fbk", ck, fb, x, gnd, 1e-6, 0.7e-6));
+        let ses = run(&mut f);
+        assert_eq!(ses.len(), 1, "one storage loop");
+        assert_eq!(ses[0].kind, StateKind::LevelLatch);
+        assert!(ses[0].clocks.contains(&ck));
+    }
+
+    #[test]
+    fn domino_keeper_found() {
+        // Dynamic node with half-keeper: dyn -> inverter -> out; weak
+        // PMOS from vdd to dyn gated by out.
+        let mut f = FlatNetlist::new("keeper");
+        let clk = f.add_net("clk", NetKind::Clock);
+        let a = f.add_net("a", NetKind::Input);
+        let dyn_n = f.add_net("dyn", NetKind::Signal);
+        let out = f.add_net("out", NetKind::Output);
+        let x = f.add_net("x", NetKind::Signal);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, dyn_n, vdd, vdd, 3e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "na", a, dyn_n, x, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        add_inverter(&mut f, "oinv", dyn_n, out, vdd, gnd);
+        // Keeper: weak pmos, gate = out, channel vdd->dyn.
+        f.add_device(Device::mos(MosKind::Pmos, "keep", out, dyn_n, vdd, vdd, 0.8e-6, 0.7e-6));
+        let ses = run(&mut f);
+        assert_eq!(ses.len(), 1);
+        assert_eq!(ses[0].kind, StateKind::Keeper);
+    }
+
+    #[test]
+    fn tarjan_handles_diamond() {
+        // Pure function test: diamond (no cycle) + triangle (cycle).
+        let succ = vec![
+            vec![1, 2], // 0 -> 1,2
+            vec![3],    // 1 -> 3
+            vec![3],    // 2 -> 3
+            vec![],     // 3
+            vec![5],    // 4 -> 5
+            vec![6],    // 5 -> 6
+            vec![4],    // 6 -> 4 (cycle 4-5-6)
+        ];
+        let comps = tarjan(7, &succ);
+        let cyc: Vec<_> = comps.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(*cyc[0], vec![4, 5, 6]);
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 7);
+    }
+}

@@ -1,0 +1,278 @@
+//! Abstract syntax tree for the HDL.
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+    /// Clock input (drives `at posedge(...)` blocks).
+    Clock,
+}
+
+/// Clock edge for sequential blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Rising edge.
+    Pos,
+    /// Falling edge.
+    Neg,
+}
+
+/// A declared port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: Dir,
+    /// Name.
+    pub name: String,
+    /// Bit width (1 for clocks).
+    pub width: u32,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Bitwise complement `~a`.
+    Not,
+    /// Logical not `!a` (1-bit result: a == 0).
+    LogicNot,
+    /// Reduction AND `&a`.
+    RedAnd,
+    /// Reduction OR `|a`.
+    RedOr,
+    /// Reduction XOR (parity) `^a`.
+    RedXor,
+    /// Two's-complement negate `-a`.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Addition (modulo 2^width).
+    Add,
+    /// Subtraction (modulo 2^width).
+    Sub,
+    /// Left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    Lt,
+    /// Unsigned less-or-equal (1-bit result).
+    Le,
+    /// Unsigned greater-than (1-bit result).
+    Gt,
+    /// Unsigned greater-or-equal (1-bit result).
+    Ge,
+    /// Logical AND (operands reduced to 1 bit first).
+    LogicAnd,
+    /// Logical OR (operands reduced to 1 bit first).
+    LogicOr,
+}
+
+/// CAM access methods available in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CamMethod {
+    /// 1-bit: does any entry equal the key?
+    Hit,
+    /// Index of the first (lowest) matching entry; zero when no hit.
+    Index,
+    /// Stored word at a given index.
+    Read,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal, optionally with an explicit width.
+    Lit {
+        /// Value.
+        value: u64,
+        /// Width if written as `8'hff`; inferred otherwise.
+        width: Option<u32>,
+    },
+    /// Signal reference.
+    Ident(String),
+    /// Single-bit select `a[i]` (index may be dynamic).
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Bit index expression.
+        index: Box<Expr>,
+    },
+    /// Constant slice `a[hi:lo]`.
+    Slice {
+        /// Base expression.
+        base: Box<Expr>,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Concatenation `{a, b, c}` — first element is most significant.
+    Concat(Vec<Expr>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conditional `c ? a : b`.
+    Ternary {
+        /// Condition (reduced to 1 bit).
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        els: Box<Expr>,
+    },
+    /// CAM access: `tags.hit(key)`, `tags.index(key)`, `tags.read(i)`.
+    CamOp {
+        /// CAM name.
+        cam: String,
+        /// Which method.
+        method: CamMethod,
+        /// The key or index argument.
+        arg: Box<Expr>,
+    },
+    /// Instance output: `u0.sum`.
+    Field {
+        /// Instance name.
+        inst: String,
+        /// Output port name.
+        port: String,
+    },
+}
+
+/// Assignment targets in sequential blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A register.
+    Reg(String),
+    /// A CAM entry: `tags[idx] <= value`.
+    CamEntry {
+        /// CAM name.
+        cam: String,
+        /// Entry index expression.
+        index: Expr,
+    },
+}
+
+/// Statements inside sequential blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Non-blocking assignment `target <= expr;`.
+    NonBlocking {
+        /// Destination.
+        target: Target,
+        /// Source expression (evaluated pre-edge).
+        expr: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (reduced to 1 bit).
+        cond: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+}
+
+/// Module-level items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `reg name[w] = init;`
+    Reg {
+        /// Name.
+        name: String,
+        /// Width.
+        width: u32,
+        /// Reset/initial value.
+        init: u64,
+    },
+    /// `wire name[w] = expr;` or `assign name = expr;` (width inferred).
+    Wire {
+        /// Name.
+        name: String,
+        /// Declared width, if any.
+        width: Option<u32>,
+        /// Driver.
+        expr: Expr,
+    },
+    /// `cam name[entries][width];`
+    Cam {
+        /// Name.
+        name: String,
+        /// Number of entries.
+        entries: u32,
+        /// Word width.
+        width: u32,
+    },
+    /// `at posedge(ck) { ... }`
+    Seq {
+        /// Clock signal.
+        clock: String,
+        /// Edge.
+        edge: Edge,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `inst u0 = adder(a: x, b: y);`
+    Inst {
+        /// Instance name.
+        name: String,
+        /// Master module name.
+        module: String,
+        /// Input connections: (port, driver expression).
+        conns: Vec<(String, Expr)>,
+    },
+}
+
+/// One module definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleAst {
+    /// Module name.
+    pub name: String,
+    /// Declared ports.
+    pub ports: Vec<PortDecl>,
+    /// Body items.
+    pub items: Vec<Item>,
+}
+
+/// A parsed source file: a set of modules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<ModuleAst>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&ModuleAst> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}

@@ -1,0 +1,591 @@
+//! Bit-blasting: word-level [`RtlDesign`] → gate-level [`BoolNet`].
+//!
+//! Every word node expands to one boolean function per bit. CAMs expand to
+//! `entries × width` state bits plus match/priority-encode/read logic —
+//! the gate explosion the paper's custom HDL avoids at simulation time,
+//! made explicit here for equivalence checking (and measured against the
+//! native interpreter in experiment E7).
+
+use crate::boolnet::{BoolId, BoolNet, Gate};
+use crate::design::{NodeId, RtlDesign, WordOp};
+use crate::error::RtlError;
+
+/// Refuse to blast CAMs larger than this many entries: the gate network
+/// grows as `entries × width` and equivalence checking beyond this size is
+/// the wrong tool (the paper's point exactly).
+pub const MAX_BLAST_CAM_ENTRIES: u32 = 512;
+
+struct Blaster<'d> {
+    d: &'d RtlDesign,
+    net: BoolNet,
+    /// design node -> bit vector (LSB first)
+    map: Vec<Vec<BoolId>>,
+    /// design reg index -> state bits
+    reg_bits: Vec<Vec<BoolId>>,
+    /// design cam index -> per-entry state bits
+    cam_bits: Vec<Vec<Vec<BoolId>>>,
+}
+
+/// Bit-blasts a design.
+///
+/// # Errors
+///
+/// Returns an error if the design contains a CAM with more than
+/// [`MAX_BLAST_CAM_ENTRIES`] entries.
+pub fn blast(design: &RtlDesign) -> Result<BoolNet, RtlError> {
+    let mut b = Blaster {
+        d: design,
+        net: BoolNet::new(),
+        map: Vec::with_capacity(design.nodes.len()),
+        reg_bits: Vec::new(),
+        cam_bits: Vec::new(),
+    };
+    b.net.clocks = design.clocks.clone();
+
+    // Declare inputs bit-by-bit.
+    let mut input_bits: Vec<Vec<BoolId>> = Vec::new();
+    for (name, width) in &design.inputs {
+        let bits: Vec<BoolId> = (0..*width)
+            .map(|i| b.net.input(format!("{name}[{i}]")))
+            .collect();
+        input_bits.push(bits);
+    }
+    // Declare register state bits.
+    for r in &design.regs {
+        let bits: Vec<BoolId> = (0..r.width)
+            .map(|i| {
+                b.net.state_on_edge(
+                    format!("{}[{i}]", r.name),
+                    (r.init >> i) & 1 == 1,
+                    r.clock,
+                    r.edge,
+                )
+            })
+            .collect();
+        b.reg_bits.push(bits);
+    }
+    // Declare CAM state bits.
+    for c in &design.cams {
+        if c.entries > MAX_BLAST_CAM_ENTRIES {
+            return Err(RtlError::elab(format!(
+                "cam `{}` has {} entries; bit-blasting is capped at {} (use the word-level interpreter)",
+                c.name, c.entries, MAX_BLAST_CAM_ENTRIES
+            )));
+        }
+        let clock = if c.clock == u32::MAX { 0 } else { c.clock };
+        let entries: Vec<Vec<BoolId>> = (0..c.entries)
+            .map(|e| {
+                (0..c.width)
+                    .map(|i| {
+                        b.net
+                            .state_on_edge(format!("{}[{e}][{i}]", c.name), false, clock, c.edge)
+                    })
+                    .collect()
+            })
+            .collect();
+        b.cam_bits.push(entries);
+    }
+
+    // Blast all combinational nodes in order.
+    for idx in 0..design.nodes.len() {
+        let bits = b.blast_node(NodeId(idx as u32), &input_bits);
+        b.map.push(bits);
+    }
+
+    // Register next-state functions.
+    for (ri, r) in design.regs.iter().enumerate() {
+        let next = b.map[r.next.index()].clone();
+        for (bi, bit) in b.reg_bits[ri].iter().enumerate() {
+            let sidx = match b.net.gates()[bit.index()] {
+                Gate::State(k) => k as usize,
+                _ => unreachable!("reg bits are state gates"),
+            };
+            b.net.states[sidx].next = next[bi];
+        }
+    }
+    // CAM next-state: fold writes in program order (later wins).
+    for (ci, c) in design.cams.iter().enumerate() {
+        let iw = RtlDesign::cam_index_width(c.entries);
+        for e in 0..c.entries {
+            let mut cur: Vec<BoolId> = b.cam_bits[ci][e as usize].clone();
+            for w in &c.writes {
+                let en = b.map[w.enable.index()][0];
+                let idx_bits = b.map[w.index.index()].clone();
+                let val_bits = b.map[w.value.index()].clone();
+                // idx == e
+                let mut hit = b.net.constant(true);
+                for k in 0..iw {
+                    let want = (e >> k) & 1 == 1;
+                    let bit = idx_bits[k as usize];
+                    let term = if want { bit } else { b.net.mk(Gate::Not(bit)) };
+                    hit = b.net.mk(Gate::And(hit, term));
+                }
+                let we = b.net.mk(Gate::And(en, hit));
+                cur = (0..c.width as usize)
+                    .map(|k| b.net.mk(Gate::Mux(we, val_bits[k], cur[k])))
+                    .collect();
+            }
+            for (k, bit) in b.cam_bits[ci][e as usize].iter().enumerate() {
+                let sidx = match b.net.gates()[bit.index()] {
+                    Gate::State(s) => s as usize,
+                    _ => unreachable!("cam bits are state gates"),
+                };
+                b.net.states[sidx].next = cur[k];
+            }
+        }
+    }
+
+    // Outputs.
+    for (name, node) in &design.outputs {
+        b.net
+            .outputs
+            .push((name.clone(), b.map[node.index()].clone()));
+    }
+    Ok(b.net)
+}
+
+impl<'d> Blaster<'d> {
+    fn bits(&self, id: NodeId) -> &[BoolId] {
+        &self.map[id.index()]
+    }
+
+    fn blast_node(&mut self, id: NodeId, input_bits: &[Vec<BoolId>]) -> Vec<BoolId> {
+        let node = self.d.node(id);
+        let w = node.width as usize;
+        match node.op {
+            WordOp::Input(k) => input_bits[k as usize].clone(),
+            WordOp::Reg(k) => self.reg_bits[k as usize].clone(),
+            WordOp::Lit(v) => (0..w)
+                .map(|i| self.net.constant((v >> i) & 1 == 1))
+                .collect(),
+            WordOp::Not(a) => {
+                let a = self.bits(a).to_vec();
+                a.iter().map(|&b| self.net.mk(Gate::Not(b))).collect()
+            }
+            WordOp::And(a, b) => self.bitwise(a, b, |n, x, y| n.mk(Gate::And(x, y))),
+            WordOp::Or(a, b) => self.bitwise(a, b, |n, x, y| n.mk(Gate::Or(x, y))),
+            WordOp::Xor(a, b) => self.bitwise(a, b, |n, x, y| n.mk(Gate::Xor(x, y))),
+            WordOp::RedAnd(a) => {
+                let bits = self.bits(a).to_vec();
+                vec![self.fold(&bits, |n, x, y| n.mk(Gate::And(x, y)), true)]
+            }
+            WordOp::RedOr(a) => {
+                let bits = self.bits(a).to_vec();
+                vec![self.fold(&bits, |n, x, y| n.mk(Gate::Or(x, y)), false)]
+            }
+            WordOp::RedXor(a) => {
+                let bits = self.bits(a).to_vec();
+                vec![self.fold(&bits, |n, x, y| n.mk(Gate::Xor(x, y)), false)]
+            }
+            WordOp::Neg(a) => {
+                // ~a + 1
+                let a = self.bits(a).to_vec();
+                let inv: Vec<BoolId> = a.iter().map(|&b| self.net.mk(Gate::Not(b))).collect();
+                let one_bits: Vec<BoolId> = (0..w)
+                    .map(|i| self.net.constant(i == 0))
+                    .collect();
+                self.ripple_add(&inv, &one_bits).0
+            }
+            WordOp::Add(a, b) => {
+                let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+                self.ripple_add(&a, &b).0
+            }
+            WordOp::Sub(a, b) => {
+                let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+                self.ripple_sub(&a, &b).0
+            }
+            WordOp::Shl(a, b) => self.barrel(a, b, true),
+            WordOp::Shr(a, b) => self.barrel(a, b, false),
+            WordOp::Eq(a, b) => {
+                let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+                let diffs: Vec<BoolId> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| self.net.mk(Gate::Xor(x, y)))
+                    .collect();
+                let any = self.fold(&diffs, |n, x, y| n.mk(Gate::Or(x, y)), false);
+                vec![self.net.mk(Gate::Not(any))]
+            }
+            WordOp::Lt(a, b) => {
+                let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+                // a < b  ⟺  borrow out of a - b.
+                vec![self.ripple_sub(&a, &b).1]
+            }
+            WordOp::Le(a, b) => {
+                let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+                // a <= b ⟺ !(b < a)
+                let blta = self.ripple_sub(&b, &a).1;
+                vec![self.net.mk(Gate::Not(blta))]
+            }
+            WordOp::Mux(s, a, b) => {
+                let s = self.bits(s)[0];
+                let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| self.net.mk(Gate::Mux(s, x, y)))
+                    .collect()
+            }
+            WordOp::Slice { a, lo } => {
+                let a = self.bits(a);
+                (0..w).map(|i| a[lo as usize + i]).collect()
+            }
+            WordOp::Concat { hi, lo } => {
+                let mut bits = self.bits(lo).to_vec();
+                bits.extend_from_slice(self.bits(hi));
+                bits
+            }
+            WordOp::ZExt(a) => {
+                let mut bits = self.bits(a).to_vec();
+                let zero = self.net.constant(false);
+                bits.resize(w, zero);
+                bits
+            }
+            WordOp::CamHit { cam, key } => {
+                let key = self.bits(key).to_vec();
+                let matches = self.cam_matches(cam, &key);
+                vec![self.fold(&matches, |n, x, y| n.mk(Gate::Or(x, y)), false)]
+            }
+            WordOp::CamIndex { cam, key } => {
+                let key = self.bits(key).to_vec();
+                let matches = self.cam_matches(cam, &key);
+                // Priority encode: first match wins.
+                let mut none_before = self.net.constant(true);
+                let mut idx_bits = vec![self.net.constant(false); w];
+                for (e, &m) in matches.iter().enumerate() {
+                    let sel = self.net.mk(Gate::And(m, none_before));
+                    for (k, ib) in idx_bits.iter_mut().enumerate() {
+                        if (e >> k) & 1 == 1 {
+                            *ib = self.net.mk(Gate::Or(*ib, sel));
+                        }
+                    }
+                    let nm = self.net.mk(Gate::Not(m));
+                    none_before = self.net.mk(Gate::And(none_before, nm));
+                }
+                idx_bits
+            }
+            WordOp::CamRead { cam, index } => {
+                let idx_bits = self.bits(index).to_vec();
+                let entries = self.cam_bits[cam as usize].clone();
+                let iw = idx_bits.len();
+                let mut out = vec![self.net.constant(false); w];
+                for (e, entry) in entries.iter().enumerate() {
+                    // decode idx == e
+                    let mut hit = self.net.constant(true);
+                    for (k, &ib) in idx_bits.iter().enumerate().take(iw) {
+                        let want = (e >> k) & 1 == 1;
+                        let term = if want { ib } else { self.net.mk(Gate::Not(ib)) };
+                        hit = self.net.mk(Gate::And(hit, term));
+                    }
+                    for (k, ob) in out.iter_mut().enumerate() {
+                        let sel = self.net.mk(Gate::And(hit, entry[k]));
+                        *ob = self.net.mk(Gate::Or(*ob, sel));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn cam_matches(&mut self, cam: u32, key: &[BoolId]) -> Vec<BoolId> {
+        let entries = self.cam_bits[cam as usize].clone();
+        entries
+            .iter()
+            .map(|entry| {
+                let diffs: Vec<BoolId> = entry
+                    .iter()
+                    .zip(key)
+                    .map(|(&e, &k)| self.net.mk(Gate::Xor(e, k)))
+                    .collect();
+                let any = self.fold(&diffs, |n, x, y| n.mk(Gate::Or(x, y)), false);
+                self.net.mk(Gate::Not(any))
+            })
+            .collect()
+    }
+
+    fn bitwise(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        f: fn(&mut BoolNet, BoolId, BoolId) -> BoolId,
+    ) -> Vec<BoolId> {
+        let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
+        a.iter().zip(&b).map(|(&x, &y)| f(&mut self.net, x, y)).collect()
+    }
+
+    fn fold(
+        &mut self,
+        bits: &[BoolId],
+        f: fn(&mut BoolNet, BoolId, BoolId) -> BoolId,
+        empty: bool,
+    ) -> BoolId {
+        match bits.split_first() {
+            None => self.net.constant(empty),
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &b in rest {
+                    acc = f(&mut self.net, acc, b);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Ripple-carry addition; returns (sum bits, carry out).
+    fn ripple_add(&mut self, a: &[BoolId], b: &[BoolId]) -> (Vec<BoolId>, BoolId) {
+        let mut carry = self.net.constant(false);
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.net.mk(Gate::Xor(x, y));
+            let s = self.net.mk(Gate::Xor(xy, carry));
+            let c1 = self.net.mk(Gate::And(x, y));
+            let c2 = self.net.mk(Gate::And(xy, carry));
+            carry = self.net.mk(Gate::Or(c1, c2));
+            out.push(s);
+        }
+        (out, carry)
+    }
+
+    /// Ripple-borrow subtraction; returns (difference bits, borrow out).
+    fn ripple_sub(&mut self, a: &[BoolId], b: &[BoolId]) -> (Vec<BoolId>, BoolId) {
+        let mut borrow = self.net.constant(false);
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.net.mk(Gate::Xor(x, y));
+            let d = self.net.mk(Gate::Xor(xy, borrow));
+            let nx = self.net.mk(Gate::Not(x));
+            let b1 = self.net.mk(Gate::And(nx, y));
+            let nxy = self.net.mk(Gate::Not(xy));
+            let b2 = self.net.mk(Gate::And(nxy, borrow));
+            borrow = self.net.mk(Gate::Or(b1, b2));
+            out.push(d);
+        }
+        (out, borrow)
+    }
+
+    /// Barrel shifter for dynamic shifts.
+    fn barrel(&mut self, a: NodeId, amount: NodeId, left: bool) -> Vec<BoolId> {
+        let mut cur = self.bits(a).to_vec();
+        let amt = self.bits(amount).to_vec();
+        let w = cur.len();
+        let zero = self.net.constant(false);
+        // Stages for each shift-amount bit that can matter.
+        let significant = (usize::BITS - (w.max(2) - 1).leading_zeros()) as usize;
+        for (k, &sbit) in amt.iter().enumerate() {
+            if k < significant {
+                let dist = 1usize << k;
+                let shifted: Vec<BoolId> = (0..w)
+                    .map(|i| {
+                        if left {
+                            if i >= dist {
+                                cur[i - dist]
+                            } else {
+                                zero
+                            }
+                        } else if i + dist < w {
+                            cur[i + dist]
+                        } else {
+                            zero
+                        }
+                    })
+                    .collect();
+                cur = (0..w)
+                    .map(|i| self.net.mk(Gate::Mux(sbit, shifted[i], cur[i])))
+                    .collect();
+            } else {
+                // Any set high bit shifts everything out.
+                cur = (0..w)
+                    .map(|i| self.net.mk(Gate::Mux(sbit, zero, cur[i])))
+                    .collect();
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::interp::Interp;
+
+    /// Cross-validation harness: interpreter vs blasted network on a
+    /// deterministic input sweep.
+    fn cross_check(src: &str, top: &str, cycles: usize, seed: u64) {
+        let d = compile(src, top).unwrap();
+        let net = blast(&d).unwrap();
+        let mut sim = Interp::new(&d);
+        let mut states = net.initial_states();
+        let mut rng = seed;
+        let mut next_rand = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 16
+        };
+        for cycle in 0..cycles {
+            // Random inputs.
+            let mut in_words = Vec::new();
+            for (name, width) in d.inputs.clone() {
+                let v = next_rand() & if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+                sim.set_input(&name, v);
+                in_words.push(v);
+            }
+            // Expand to bits in declaration order.
+            let mut in_bits = Vec::new();
+            for (w, v) in d.inputs.iter().map(|(_, w)| *w).zip(&in_words) {
+                for i in 0..w {
+                    in_bits.push((v >> i) & 1 == 1);
+                }
+            }
+            let values = net.eval(&in_bits, &states);
+            // Compare every output.
+            for (name, _) in &d.outputs {
+                let word = sim.output(name);
+                let bits = net.output(name).unwrap();
+                let blasted: u64 = bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (values[b.index()] as u64) << i)
+                    .sum();
+                assert_eq!(word, blasted, "output `{name}` mismatch at cycle {cycle}");
+            }
+            // Step every clock in order (full cycle: rising then falling).
+            for (ci, ck) in d.clocks.iter().enumerate() {
+                sim.step(ck);
+                let values = net.eval(&in_bits, &states);
+                states = net.next_states(&values, &states, ci as u32);
+                if net.has_negedge(ci as u32) {
+                    let values = net.eval(&in_bits, &states);
+                    states = net.next_states_edge(
+                        &values,
+                        &states,
+                        ci as u32,
+                        crate::ast::Edge::Neg,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_cross_check() {
+        cross_check(
+            "module m(in a[12], in b[12], out s[13], out lt, out le) { assign s = {1'b0, a} + b; assign lt = a < b; assign le = a <= b; }",
+            "m",
+            64,
+            7,
+        );
+    }
+
+    #[test]
+    fn subtract_neg_cross_check() {
+        cross_check(
+            "module m(in a[9], in b[9], out d[9], out n[9]) { assign d = a - b; assign n = -a; }",
+            "m",
+            64,
+            11,
+        );
+    }
+
+    #[test]
+    fn shifts_cross_check() {
+        cross_check(
+            "module m(in a[16], in s[5], out l[16], out r[16]) { assign l = a << s; assign r = a >> s; }",
+            "m",
+            128,
+            13,
+        );
+    }
+
+    #[test]
+    fn reductions_cross_check() {
+        cross_check(
+            "module m(in a[7], out ra, out ro, out rx) { assign ra = &a; assign ro = |a; assign rx = ^a; }",
+            "m",
+            64,
+            17,
+        );
+    }
+
+    #[test]
+    fn sequential_cross_check() {
+        cross_check(
+            "module m(clock ck, in d[4], in en, out q[4]) { reg r[4] = 5; at posedge(ck) { if (en) { r <= d + r; } } assign q = r; }",
+            "m",
+            64,
+            23,
+        );
+    }
+
+    #[test]
+    fn two_phase_negedge_cross_check() {
+        // Posedge stage feeds a negedge stage on the same clock: the
+        // blasted network's two-phase commit must track the interpreter
+        // cycle-for-cycle, including the intra-cycle a -> b transfer.
+        cross_check(
+            "module m(clock ck, in d[4], out qa[4], out qb[4], out diff[4]) {\n\
+               reg a[4]; reg b[4];\n\
+               at posedge(ck) { a <= d; }\n\
+               at negedge(ck) { b <= a + 1; }\n\
+               assign qa = a; assign qb = b; assign diff = b - a;\n\
+             }",
+            "m",
+            64,
+            41,
+        );
+    }
+
+    #[test]
+    fn cam_cross_check() {
+        cross_check(
+            "module m(clock ck, in we, in wi[3], in wv[8], in k[8], out h, out x[3], out rd[8]) {\n\
+               cam t[8][8];\n\
+               at posedge(ck) { if (we) { t[wi] <= wv; } }\n\
+               assign h = t.hit(k); assign x = t.index(k); assign rd = t.read(wi);\n\
+             }",
+            "m",
+            64,
+            29,
+        );
+    }
+
+    #[test]
+    fn mux_concat_slice_cross_check() {
+        cross_check(
+            "module m(in a[8], in b[8], in s, out y[8], out c[16], out hi[4]) {\n\
+               assign y = s ? a : b; assign c = {a, b}; assign hi = a[7:4];\n\
+             }",
+            "m",
+            64,
+            31,
+        );
+    }
+
+    #[test]
+    fn oversized_cam_refused() {
+        let d = compile(
+            "module m(in k[8], out h) { cam t[2048][8]; assign h = t.hit(k); }",
+            "m",
+        )
+        .unwrap();
+        assert!(blast(&d).is_err());
+    }
+
+    #[test]
+    fn blast_gate_counts_grow_with_cam_size() {
+        let small = compile(
+            "module m(in k[8], out h) { cam t[8][8]; assign h = t.hit(k); }",
+            "m",
+        )
+        .unwrap();
+        let big = compile(
+            "module m(in k[8], out h) { cam t[64][8]; assign h = t.hit(k); }",
+            "m",
+        )
+        .unwrap();
+        let g_small = blast(&small).unwrap().gate_count();
+        let g_big = blast(&big).unwrap().gate_count();
+        assert!(
+            g_big > 4 * g_small,
+            "64-entry cam must cost far more gates ({g_big} vs {g_small})"
+        );
+    }
+}

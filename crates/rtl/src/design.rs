@@ -1,0 +1,385 @@
+//! Elaborated word-level IR.
+//!
+//! [`RtlDesign`] is a flat dataflow graph over ≤64-bit words: combinational
+//! nodes in topological (creation) order, registers with next-state node
+//! references, and CAM arrays with native match/read/write operations.
+//! Nodes are hash-consed so common subexpressions are shared; this is what
+//! "compiles into very efficient code" (§4.1) means here — a 2000-entry
+//! CAM lookup is **one node**, not two thousand comparators.
+
+use std::collections::HashMap;
+
+use crate::ast::Edge;
+use crate::error::RtlError;
+
+/// Index of a combinational node in an [`RtlDesign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Word-level operations. All values are unsigned words of the node's
+/// width; arithmetic wraps modulo 2^width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordOp {
+    /// Primary input (index into [`RtlDesign::inputs`]).
+    Input(u32),
+    /// Current value of a register (index into [`RtlDesign::regs`]).
+    Reg(u32),
+    /// Constant.
+    Lit(u64),
+    /// Bitwise complement.
+    Not(NodeId),
+    /// Bitwise AND.
+    And(NodeId, NodeId),
+    /// Bitwise OR.
+    Or(NodeId, NodeId),
+    /// Bitwise XOR.
+    Xor(NodeId, NodeId),
+    /// Reduction AND (1-bit result).
+    RedAnd(NodeId),
+    /// Reduction OR (1-bit result).
+    RedOr(NodeId),
+    /// Reduction XOR / parity (1-bit result).
+    RedXor(NodeId),
+    /// Two's-complement negation within the operand width.
+    Neg(NodeId),
+    /// Addition modulo 2^width.
+    Add(NodeId, NodeId),
+    /// Subtraction modulo 2^width.
+    Sub(NodeId, NodeId),
+    /// Left shift by a dynamic amount (zero fill; result width = lhs).
+    Shl(NodeId, NodeId),
+    /// Logical right shift by a dynamic amount.
+    Shr(NodeId, NodeId),
+    /// Equality (1-bit result).
+    Eq(NodeId, NodeId),
+    /// Unsigned less-than (1-bit result).
+    Lt(NodeId, NodeId),
+    /// Unsigned less-or-equal (1-bit result).
+    Le(NodeId, NodeId),
+    /// 2:1 multiplexer: `sel ? a : b` (sel is 1 bit).
+    Mux(NodeId, NodeId, NodeId),
+    /// Contiguous bit field starting at `lo`; the node's width gives the
+    /// field size.
+    Slice {
+        /// Source word.
+        a: NodeId,
+        /// Low bit.
+        lo: u32,
+    },
+    /// Concatenation: `hi` becomes the most significant bits.
+    Concat {
+        /// High part.
+        hi: NodeId,
+        /// Low part.
+        lo: NodeId,
+    },
+    /// Zero extension to the node's width.
+    ZExt(NodeId),
+    /// CAM associative lookup: 1 if any entry equals the key.
+    CamHit {
+        /// Index into [`RtlDesign::cams`].
+        cam: u32,
+        /// Key node (cam word width).
+        key: NodeId,
+    },
+    /// Index of the first matching CAM entry (0 when no hit).
+    CamIndex {
+        /// Index into [`RtlDesign::cams`].
+        cam: u32,
+        /// Key node.
+        key: NodeId,
+    },
+    /// CAM read port: the stored word at an index.
+    CamRead {
+        /// Index into [`RtlDesign::cams`].
+        cam: u32,
+        /// Index node.
+        index: NodeId,
+    },
+}
+
+/// A combinational node: operation plus result width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// The operation.
+    pub op: WordOp,
+    /// Result width in bits (1..=64).
+    pub width: u32,
+}
+
+/// A register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegSpec {
+    /// Hierarchical name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Initial / reset value.
+    pub init: u64,
+    /// Index into [`RtlDesign::clocks`] of the driving clock.
+    pub clock: u32,
+    /// Node computing the next value (evaluated pre-edge).
+    pub next: NodeId,
+    /// Active edge of the driving clock. `at negedge(ck)` registers
+    /// commit on the falling edge — the second half of an
+    /// [`crate::interp::Interp::step`] full cycle.
+    pub edge: Edge,
+}
+
+/// A conditional CAM entry write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamWrite {
+    /// 1-bit enable node.
+    pub enable: NodeId,
+    /// Entry index node.
+    pub index: NodeId,
+    /// Value node (cam word width).
+    pub value: NodeId,
+}
+
+/// A content-addressable memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CamSpec {
+    /// Hierarchical name.
+    pub name: String,
+    /// Number of entries.
+    pub entries: u32,
+    /// Word width.
+    pub width: u32,
+    /// Index into [`RtlDesign::clocks`] of the write clock (writes found
+    /// in `at` blocks on that clock). `u32::MAX` when the CAM is never
+    /// written.
+    pub clock: u32,
+    /// Writes in program order (later writes win on index collision).
+    pub writes: Vec<CamWrite>,
+    /// Active edge of the write clock.
+    pub edge: Edge,
+}
+
+/// The elaborated design.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RtlDesign {
+    /// Top module name.
+    pub name: String,
+    /// Clock names in declaration order.
+    pub clocks: Vec<String>,
+    /// Primary inputs: (name, width).
+    pub inputs: Vec<(String, u32)>,
+    /// Primary outputs: (name, node).
+    pub outputs: Vec<(String, NodeId)>,
+    /// Combinational nodes in topological order.
+    pub nodes: Vec<Node>,
+    /// Registers.
+    pub regs: Vec<RegSpec>,
+    /// CAM arrays.
+    pub cams: Vec<CamSpec>,
+    #[doc(hidden)]
+    pub cons: HashMap<Node, NodeId>,
+}
+
+impl RtlDesign {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> RtlDesign {
+        RtlDesign {
+            name: name.into(),
+            ..RtlDesign::default()
+        }
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// Width of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn width(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].width
+    }
+
+    /// Interns a node (hash-consing). Operands must already exist, which
+    /// keeps `nodes` topologically ordered.
+    pub fn intern(&mut self, op: WordOp, width: u32) -> NodeId {
+        debug_assert!((1..=64).contains(&width), "width {width} out of range");
+        let node = Node { op, width };
+        if let Some(&id) = self.cons.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.cons.insert(node, id);
+        id
+    }
+
+    /// Constant node of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the width.
+    pub fn lit(&mut self, value: u64, width: u32) -> NodeId {
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "literal {value} does not fit in {width} bits"
+        );
+        self.intern(WordOp::Lit(value), width)
+    }
+
+    /// Zero-extends (or returns unchanged) a node to `width`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this would *truncate*.
+    pub fn zext(&mut self, a: NodeId, width: u32) -> Result<NodeId, RtlError> {
+        let aw = self.width(a);
+        if aw == width {
+            return Ok(a);
+        }
+        if aw > width {
+            return Err(RtlError::elab(format!(
+                "cannot zero-extend {aw} bits down to {width}"
+            )));
+        }
+        Ok(self.intern(WordOp::ZExt(a), width))
+    }
+
+    /// Truncates or zero-extends `a` to exactly `width` (assignment
+    /// semantics).
+    pub fn resize(&mut self, a: NodeId, width: u32) -> NodeId {
+        let aw = self.width(a);
+        if aw == width {
+            a
+        } else if aw < width {
+            self.intern(WordOp::ZExt(a), width)
+        } else {
+            self.intern(WordOp::Slice { a, lo: 0 }, width)
+        }
+    }
+
+    /// Reduces a node to 1 bit via reduction-OR (`!= 0`), the HDL's
+    /// truthiness rule.
+    pub fn to_bool(&mut self, a: NodeId) -> NodeId {
+        if self.width(a) == 1 {
+            a
+        } else {
+            self.intern(WordOp::RedOr(a), 1)
+        }
+    }
+
+    /// Total combinational node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a primary input index by name.
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|(n, _)| n == name)
+    }
+
+    /// Looks up an output node by name.
+    pub fn output(&self, name: &str) -> Option<NodeId> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+    }
+
+    /// Looks up a clock index by name.
+    pub fn clock_index(&self, name: &str) -> Option<usize> {
+        self.clocks.iter().position(|c| c == name)
+    }
+
+    /// True when any register or CAM write commits on the falling edge
+    /// of clock `clock` — i.e. a full [`crate::interp::Interp::step`]
+    /// cycle of that clock needs a second (negedge) commit phase.
+    pub fn has_negedge(&self, clock: u32) -> bool {
+        self.regs
+            .iter()
+            .any(|r| r.clock == clock && r.edge == Edge::Neg)
+            || self
+                .cams
+                .iter()
+                .any(|c| c.clock == clock && c.edge == Edge::Neg)
+    }
+
+    /// Bits needed for a CAM index bus.
+    pub fn cam_index_width(entries: u32) -> u32 {
+        (32 - (entries.max(2) - 1).leading_zeros()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_shares_structure() {
+        let mut d = RtlDesign::new("t");
+        let a = d.intern(WordOp::Input(0), 8);
+        let b = d.intern(WordOp::Input(1), 8);
+        let x = d.intern(WordOp::Add(a, b), 8);
+        let y = d.intern(WordOp::Add(a, b), 8);
+        assert_eq!(x, y);
+        assert_eq!(d.node_count(), 3);
+    }
+
+    #[test]
+    fn resize_up_and_down() {
+        let mut d = RtlDesign::new("t");
+        let a = d.intern(WordOp::Input(0), 8);
+        let up = d.resize(a, 16);
+        assert_eq!(d.width(up), 16);
+        let down = d.resize(a, 4);
+        assert_eq!(d.width(down), 4);
+        assert_eq!(d.resize(a, 8), a);
+    }
+
+    #[test]
+    fn zext_rejects_truncation() {
+        let mut d = RtlDesign::new("t");
+        let a = d.intern(WordOp::Input(0), 8);
+        assert!(d.zext(a, 4).is_err());
+        assert_eq!(d.zext(a, 8).unwrap(), a);
+    }
+
+    #[test]
+    fn to_bool_passthrough_for_one_bit() {
+        let mut d = RtlDesign::new("t");
+        let a = d.intern(WordOp::Input(0), 1);
+        assert_eq!(d.to_bool(a), a);
+        let b = d.intern(WordOp::Input(1), 8);
+        let rb = d.to_bool(b);
+        assert_eq!(d.width(rb), 1);
+    }
+
+    #[test]
+    fn cam_index_width_math() {
+        assert_eq!(RtlDesign::cam_index_width(1), 1);
+        assert_eq!(RtlDesign::cam_index_width(2), 1);
+        assert_eq!(RtlDesign::cam_index_width(3), 2);
+        assert_eq!(RtlDesign::cam_index_width(64), 6);
+        assert_eq!(RtlDesign::cam_index_width(65), 7);
+        assert_eq!(RtlDesign::cam_index_width(2000), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_literal_panics() {
+        let mut d = RtlDesign::new("t");
+        let _ = d.lit(16, 4);
+    }
+}

@@ -1,0 +1,855 @@
+//! Elaboration: AST → flat word-level [`RtlDesign`].
+//!
+//! Instances are inlined recursively; wires resolve on demand with
+//! combinational-cycle detection; sequential blocks compile each register's
+//! next-state function into a mux tree over the block's conditions.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::design::{CamSpec, CamWrite, NodeId, RegSpec, RtlDesign, WordOp};
+use crate::error::RtlError;
+
+/// Maximum module instantiation depth (cycle guard).
+const MAX_DEPTH: usize = 32;
+
+/// Elaborates module `top` of `file` into a flat design.
+///
+/// # Errors
+///
+/// Returns [`RtlError::Elab`] on unknown names, width violations,
+/// combinational cycles, multiple drivers, clock misuse or missing
+/// connections.
+pub fn elaborate(file: &SourceFile, top: &str) -> Result<RtlDesign, RtlError> {
+    let module = file
+        .module(top)
+        .ok_or_else(|| RtlError::elab(format!("unknown top module `{top}`")))?;
+    let mut e = Elab {
+        file,
+        d: RtlDesign::new(top),
+    };
+    // Top-level ports become primary inputs/clocks.
+    let mut bindings = HashMap::new();
+    for p in &module.ports {
+        match p.dir {
+            Dir::In => {
+                let idx = e.d.inputs.len() as u32;
+                e.d.inputs.push((p.name.clone(), p.width));
+                let node = e.d.intern(WordOp::Input(idx), p.width);
+                bindings.insert(p.name.clone(), PortBinding::Value(node));
+            }
+            Dir::Clock => {
+                let idx = e.d.clocks.len() as u32;
+                e.d.clocks.push(p.name.clone());
+                bindings.insert(p.name.clone(), PortBinding::Clock(idx));
+            }
+            Dir::Out => {}
+        }
+    }
+    let outputs = e.instantiate(module, "", &bindings, 0)?;
+    // Record top outputs in port declaration order.
+    for p in &module.ports {
+        if p.dir == Dir::Out {
+            let node = *outputs
+                .get(&p.name)
+                .ok_or_else(|| RtlError::elab(format!("output `{}` is never driven", p.name)))?;
+            let node = e.d.resize(node, p.width);
+            e.d.outputs.push((p.name.clone(), node));
+        }
+    }
+    Ok(e.d)
+}
+
+/// How a master's port is bound at an instantiation site.
+#[derive(Debug, Clone, Copy)]
+enum PortBinding {
+    /// Data connection.
+    Value(NodeId),
+    /// Clock connection (design clock index).
+    Clock(u32),
+}
+
+/// A name in scope.
+#[derive(Debug, Clone)]
+enum Binding {
+    /// A resolved value.
+    Node(NodeId),
+    /// A clock.
+    Clock(u32),
+    /// A CAM (index into design cams).
+    Cam(u32),
+    /// An elaborated instance: output port name → node.
+    Inst(HashMap<String, NodeId>),
+}
+
+struct Scope<'m> {
+    prefix: String,
+    names: HashMap<String, Binding>,
+    /// Unresolved wire drivers.
+    wires: HashMap<String, &'m Expr>,
+    /// Unelaborated instances.
+    insts: HashMap<String, &'m Item>,
+    /// Local register name → design register index.
+    regs: HashMap<String, u32>,
+    /// Cycle detection for wire resolution.
+    resolving: HashSet<String>,
+}
+
+struct Elab<'f> {
+    file: &'f SourceFile,
+    d: RtlDesign,
+}
+
+impl<'f> Elab<'f> {
+    /// Instantiates `module` with the given port bindings; returns its
+    /// output port values.
+    fn instantiate(
+        &mut self,
+        module: &'f ModuleAst,
+        prefix: &str,
+        bindings: &HashMap<String, PortBinding>,
+        depth: usize,
+    ) -> Result<HashMap<String, NodeId>, RtlError> {
+        if depth > MAX_DEPTH {
+            return Err(RtlError::elab(format!(
+                "instantiation depth limit exceeded in `{}` (recursive modules?)",
+                module.name
+            )));
+        }
+        let mut scope = Scope {
+            prefix: prefix.to_owned(),
+            names: HashMap::new(),
+            wires: HashMap::new(),
+            insts: HashMap::new(),
+            regs: HashMap::new(),
+            resolving: HashSet::new(),
+        };
+        // Bind ports.
+        for p in &module.ports {
+            match p.dir {
+                Dir::In => {
+                    let Some(PortBinding::Value(n)) = bindings.get(&p.name) else {
+                        return Err(RtlError::elab(format!(
+                            "input port `{}` of `{}` is not connected",
+                            p.name, module.name
+                        )));
+                    };
+                    let n = self.d.resize(*n, p.width);
+                    scope.names.insert(p.name.clone(), Binding::Node(n));
+                }
+                Dir::Clock => {
+                    let Some(PortBinding::Clock(c)) = bindings.get(&p.name) else {
+                        return Err(RtlError::elab(format!(
+                            "clock port `{}` of `{}` must be connected to a clock",
+                            p.name, module.name
+                        )));
+                    };
+                    scope.names.insert(p.name.clone(), Binding::Clock(*c));
+                }
+                Dir::Out => {}
+            }
+        }
+        let qualified = |scope: &Scope, name: &str| {
+            if scope.prefix.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{}/{}", scope.prefix, name)
+            }
+        };
+        // Declaration pass.
+        for item in &module.items {
+            match item {
+                Item::Reg { name, width, init } => {
+                    if *width < 64 && *init >= 1u64 << width {
+                        return Err(RtlError::elab(format!(
+                            "init value {init} does not fit register `{name}` of width {width}"
+                        )));
+                    }
+                    self.declare_unique(&scope, name)?;
+                    let idx = self.d.regs.len() as u32;
+                    let node = self.d.intern(WordOp::Reg(idx), *width);
+                    self.d.regs.push(RegSpec {
+                        name: qualified(&scope, name),
+                        width: *width,
+                        init: *init,
+                        clock: u32::MAX,
+                        next: node, // hold by default
+                        edge: Edge::Pos,
+                    });
+                    scope.regs.insert(name.clone(), idx);
+                    scope.names.insert(name.clone(), Binding::Node(node));
+                }
+                Item::Cam {
+                    name,
+                    entries,
+                    width,
+                } => {
+                    self.declare_unique(&scope, name)?;
+                    let idx = self.d.cams.len() as u32;
+                    self.d.cams.push(CamSpec {
+                        name: qualified(&scope, name),
+                        entries: *entries,
+                        width: *width,
+                        clock: u32::MAX,
+                        writes: Vec::new(),
+                        edge: Edge::Pos,
+                    });
+                    scope.names.insert(name.clone(), Binding::Cam(idx));
+                }
+                Item::Wire { name, expr, .. } => {
+                    if scope.names.contains_key(name) || scope.wires.contains_key(name) {
+                        return Err(RtlError::elab(format!(
+                            "`{name}` is driven more than once in `{}`",
+                            module.name
+                        )));
+                    }
+                    scope.wires.insert(name.clone(), expr);
+                }
+                Item::Inst { name, .. } => {
+                    self.declare_unique(&scope, name)?;
+                    scope.insts.insert(name.clone(), item);
+                }
+                Item::Seq { .. } => {}
+            }
+        }
+        // Force-elaborate every instance (even ones whose outputs are
+        // unused: their registers still exist and tick).
+        let inst_names: Vec<String> = scope.insts.keys().cloned().collect();
+        for name in inst_names {
+            self.resolve_inst(&mut scope, &name, depth)?;
+        }
+        // Resolve every wire (unused wires still get width checks).
+        let wire_names: Vec<String> = scope.wires.keys().cloned().collect();
+        for name in wire_names {
+            self.resolve_name(&mut scope, &name, depth)?;
+        }
+        // Sequential blocks.
+        for item in &module.items {
+            if let Item::Seq { clock, body, edge } = item {
+                let clock_idx = match scope.names.get(clock.as_str()) {
+                    Some(Binding::Clock(c)) => *c,
+                    _ => {
+                        return Err(RtlError::elab(format!(
+                            "`{clock}` is not a clock in `{}`",
+                            module.name
+                        )))
+                    }
+                };
+                self.seq_block(&mut scope, clock_idx, *edge, body, None, depth)?;
+            }
+        }
+        // Collect outputs: wires or regs matching output port names.
+        let mut outputs = HashMap::new();
+        for p in &module.ports {
+            if p.dir == Dir::Out {
+                let node = self.resolve_name(&mut scope, &p.name, depth)?;
+                outputs.insert(p.name.clone(), node);
+            }
+        }
+        // Also expose every named wire/reg so parents can use `u0.x` even
+        // for non-port signals? No — only declared outputs, to keep module
+        // interfaces meaningful.
+        Ok(outputs)
+    }
+
+    fn declare_unique(&self, scope: &Scope, name: &str) -> Result<(), RtlError> {
+        if scope.names.contains_key(name) || scope.wires.contains_key(name) {
+            return Err(RtlError::elab(format!("`{name}` is declared more than once")));
+        }
+        Ok(())
+    }
+
+    fn resolve_name(
+        &mut self,
+        scope: &mut Scope<'f>,
+        name: &str,
+        depth: usize,
+    ) -> Result<NodeId, RtlError> {
+        if let Some(b) = scope.names.get(name) {
+            return match b {
+                Binding::Node(n) => Ok(*n),
+                Binding::Clock(_) => Err(RtlError::elab(format!(
+                    "clock `{name}` cannot be used as a data value"
+                ))),
+                Binding::Cam(_) => Err(RtlError::elab(format!(
+                    "cam `{name}` cannot be used directly; use .hit/.index/.read"
+                ))),
+                Binding::Inst(_) => Err(RtlError::elab(format!(
+                    "instance `{name}` cannot be used directly; select an output port"
+                ))),
+            };
+        }
+        if let Some(expr) = scope.wires.remove(name) {
+            if !scope.resolving.insert(name.to_owned()) {
+                return Err(RtlError::elab(format!(
+                    "combinational cycle through `{name}`"
+                )));
+            }
+            let node = self.resolve_expr(scope, expr, depth)?;
+            scope.resolving.remove(name);
+            scope.names.insert(name.to_owned(), Binding::Node(node));
+            return Ok(node);
+        }
+        if scope.resolving.contains(name) {
+            return Err(RtlError::elab(format!(
+                "combinational cycle through `{name}`"
+            )));
+        }
+        Err(RtlError::elab(format!("unknown signal `{name}`")))
+    }
+
+    fn resolve_inst(
+        &mut self,
+        scope: &mut Scope<'f>,
+        name: &str,
+        depth: usize,
+    ) -> Result<(), RtlError> {
+        let Some(item) = scope.insts.remove(name) else {
+            return Ok(()); // already elaborated
+        };
+        let Item::Inst {
+            module: master_name,
+            conns,
+            ..
+        } = item
+        else {
+            unreachable!("insts map only holds Item::Inst");
+        };
+        let master = self
+            .file
+            .module(master_name)
+            .ok_or_else(|| RtlError::elab(format!("unknown module `{master_name}`")))?;
+        let mut bindings = HashMap::new();
+        for (port, expr) in conns {
+            let decl = master
+                .ports
+                .iter()
+                .find(|p| &p.name == port)
+                .ok_or_else(|| {
+                    RtlError::elab(format!("`{master_name}` has no port `{port}`"))
+                })?;
+            match decl.dir {
+                Dir::In => {
+                    let n = self.resolve_expr(scope, expr, depth)?;
+                    bindings.insert(port.clone(), PortBinding::Value(n));
+                }
+                Dir::Clock => {
+                    let Expr::Ident(cname) = expr else {
+                        return Err(RtlError::elab(format!(
+                            "clock port `{port}` must be connected to a clock name"
+                        )));
+                    };
+                    match scope.names.get(cname.as_str()) {
+                        Some(Binding::Clock(c)) => {
+                            bindings.insert(port.clone(), PortBinding::Clock(*c));
+                        }
+                        _ => {
+                            return Err(RtlError::elab(format!(
+                                "`{cname}` is not a clock (connecting `{port}` of `{master_name}`)"
+                            )))
+                        }
+                    }
+                }
+                Dir::Out => {
+                    return Err(RtlError::elab(format!(
+                        "cannot drive output port `{port}` of `{master_name}` from outside"
+                    )))
+                }
+            }
+        }
+        let child_prefix = if scope.prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}/{name}", scope.prefix)
+        };
+        let outputs = self.instantiate(master, &child_prefix, &bindings, depth + 1)?;
+        scope.names.insert(name.to_owned(), Binding::Inst(outputs));
+        Ok(())
+    }
+
+    fn seq_block(
+        &mut self,
+        scope: &mut Scope<'f>,
+        clock: u32,
+        edge: Edge,
+        body: &'f [Stmt],
+        cond: Option<NodeId>,
+        depth: usize,
+    ) -> Result<(), RtlError> {
+        for stmt in body {
+            match stmt {
+                Stmt::NonBlocking { target, expr } => {
+                    let rhs = self.resolve_expr(scope, expr, depth)?;
+                    match target {
+                        Target::Reg(name) => {
+                            let Some(&reg_idx) = scope.regs.get(name.as_str()) else {
+                                return Err(RtlError::elab(format!(
+                                    "`{name}` is not a register (non-blocking assignment target)"
+                                )));
+                            };
+                            let spec = &self.d.regs[reg_idx as usize];
+                            if spec.clock != u32::MAX
+                                && (spec.clock != clock || spec.edge != edge)
+                            {
+                                return Err(RtlError::elab(format!(
+                                    "register `{name}` is written from two different clocks or edges"
+                                )));
+                            }
+                            let width = spec.width;
+                            let prev = spec.next;
+                            let rhs = self.d.resize(rhs, width);
+                            let next = match cond {
+                                Some(c) => self.d.intern(WordOp::Mux(c, rhs, prev), width),
+                                None => rhs,
+                            };
+                            let spec = &mut self.d.regs[reg_idx as usize];
+                            spec.next = next;
+                            spec.clock = clock;
+                            spec.edge = edge;
+                        }
+                        Target::CamEntry { cam, index } => {
+                            let cam_idx = match scope.names.get(cam.as_str()) {
+                                Some(Binding::Cam(c)) => *c,
+                                _ => {
+                                    return Err(RtlError::elab(format!(
+                                        "`{cam}` is not a cam (indexed assignment target)"
+                                    )))
+                                }
+                            };
+                            let spec = &self.d.cams[cam_idx as usize];
+                            if spec.clock != u32::MAX
+                                && (spec.clock != clock || spec.edge != edge)
+                            {
+                                return Err(RtlError::elab(format!(
+                                    "cam `{cam}` is written from two different clocks or edges"
+                                )));
+                            }
+                            let (entries, width) = (spec.entries, spec.width);
+                            let idx_node = self.resolve_expr(scope, index, depth)?;
+                            let iw = RtlDesign::cam_index_width(entries);
+                            let idx_node = self.d.resize(idx_node, iw);
+                            let value = self.d.resize(rhs, width);
+                            let enable = match cond {
+                                Some(c) => c,
+                                None => self.d.lit(1, 1),
+                            };
+                            let spec = &mut self.d.cams[cam_idx as usize];
+                            spec.clock = clock;
+                            spec.edge = edge;
+                            spec.writes.push(CamWrite {
+                                enable,
+                                index: idx_node,
+                                value,
+                            });
+                        }
+                    }
+                }
+                Stmt::If {
+                    cond: c,
+                    then,
+                    els,
+                } => {
+                    let c_node = self.resolve_expr(scope, c, depth)?;
+                    let c_node = self.d.to_bool(c_node);
+                    let then_cond = match cond {
+                        Some(outer) => self.d.intern(WordOp::And(outer, c_node), 1),
+                        None => c_node,
+                    };
+                    self.seq_block(scope, clock, edge, then, Some(then_cond), depth)?;
+                    if !els.is_empty() {
+                        let not_c = self.d.intern(WordOp::Not(c_node), 1);
+                        let els_cond = match cond {
+                            Some(outer) => self.d.intern(WordOp::And(outer, not_c), 1),
+                            None => not_c,
+                        };
+                        self.seq_block(scope, clock, edge, els, Some(els_cond), depth)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_expr(
+        &mut self,
+        scope: &mut Scope<'f>,
+        expr: &'f Expr,
+        depth: usize,
+    ) -> Result<NodeId, RtlError> {
+        match expr {
+            Expr::Lit { value, width } => {
+                let w = width.unwrap_or_else(|| (64 - value.leading_zeros()).max(1));
+                Ok(self.d.lit(*value, w))
+            }
+            Expr::Ident(name) => self.resolve_name(scope, name, depth),
+            Expr::Index { base, index } => {
+                let b = self.resolve_expr(scope, base, depth)?;
+                if let Expr::Lit { value, .. } = index.as_ref() {
+                    let bit = *value as u32;
+                    if bit >= self.d.width(b) {
+                        return Err(RtlError::elab(format!(
+                            "bit index {bit} out of range for {}-bit value",
+                            self.d.width(b)
+                        )));
+                    }
+                    return Ok(self.d.intern(WordOp::Slice { a: b, lo: bit }, 1));
+                }
+                let i = self.resolve_expr(scope, index, depth)?;
+                let bw = self.d.width(b);
+                let shifted = self.d.intern(WordOp::Shr(b, i), bw);
+                Ok(self.d.intern(WordOp::Slice { a: shifted, lo: 0 }, 1))
+            }
+            Expr::Slice { base, hi, lo } => {
+                let b = self.resolve_expr(scope, base, depth)?;
+                if *hi >= self.d.width(b) {
+                    return Err(RtlError::elab(format!(
+                        "slice [{hi}:{lo}] out of range for {}-bit value",
+                        self.d.width(b)
+                    )));
+                }
+                Ok(self
+                    .d
+                    .intern(WordOp::Slice { a: b, lo: *lo }, hi - lo + 1))
+            }
+            Expr::Concat(parts) => {
+                let mut nodes = Vec::with_capacity(parts.len());
+                let mut total = 0u32;
+                for p in parts {
+                    let n = self.resolve_expr(scope, p, depth)?;
+                    total += self.d.width(n);
+                    nodes.push(n);
+                }
+                if total > 64 {
+                    return Err(RtlError::elab(format!(
+                        "concatenation width {total} exceeds 64 bits"
+                    )));
+                }
+                let mut acc = nodes[0];
+                for &n in &nodes[1..] {
+                    let w = self.d.width(acc) + self.d.width(n);
+                    acc = self.d.intern(WordOp::Concat { hi: acc, lo: n }, w);
+                }
+                Ok(acc)
+            }
+            Expr::Unary { op, expr } => {
+                let a = self.resolve_expr(scope, expr, depth)?;
+                let w = self.d.width(a);
+                Ok(match op {
+                    UnaryOp::Not => self.d.intern(WordOp::Not(a), w),
+                    UnaryOp::LogicNot => {
+                        let b = self.d.to_bool(a);
+                        self.d.intern(WordOp::Not(b), 1)
+                    }
+                    UnaryOp::RedAnd => self.d.intern(WordOp::RedAnd(a), 1),
+                    UnaryOp::RedOr => self.d.intern(WordOp::RedOr(a), 1),
+                    UnaryOp::RedXor => self.d.intern(WordOp::RedXor(a), 1),
+                    UnaryOp::Neg => self.d.intern(WordOp::Neg(a), w),
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.resolve_expr(scope, lhs, depth)?;
+                let b = self.resolve_expr(scope, rhs, depth)?;
+                self.binary(*op, a, b)
+            }
+            Expr::Ternary { cond, then, els } => {
+                let c = self.resolve_expr(scope, cond, depth)?;
+                let c = self.d.to_bool(c);
+                let t = self.resolve_expr(scope, then, depth)?;
+                let e = self.resolve_expr(scope, els, depth)?;
+                let w = self.d.width(t).max(self.d.width(e));
+                let t = self.d.zext(t, w)?;
+                let e = self.d.zext(e, w)?;
+                Ok(self.d.intern(WordOp::Mux(c, t, e), w))
+            }
+            Expr::CamOp { cam, method, arg } => {
+                let cam_idx = match scope.names.get(cam.as_str()) {
+                    Some(Binding::Cam(c)) => *c,
+                    _ => {
+                        return Err(RtlError::elab(format!("`{cam}` is not a cam")));
+                    }
+                };
+                let spec = &self.d.cams[cam_idx as usize];
+                let (entries, width) = (spec.entries, spec.width);
+                let a = self.resolve_expr(scope, arg, depth)?;
+                Ok(match method {
+                    CamMethod::Hit => {
+                        let key = self.d.resize(a, width);
+                        self.d.intern(WordOp::CamHit { cam: cam_idx, key }, 1)
+                    }
+                    CamMethod::Index => {
+                        let key = self.d.resize(a, width);
+                        let iw = RtlDesign::cam_index_width(entries);
+                        self.d.intern(WordOp::CamIndex { cam: cam_idx, key }, iw)
+                    }
+                    CamMethod::Read => {
+                        let iw = RtlDesign::cam_index_width(entries);
+                        let index = self.d.resize(a, iw);
+                        self.d.intern(WordOp::CamRead { cam: cam_idx, index }, width)
+                    }
+                })
+            }
+            Expr::Field { inst, port } => {
+                self.resolve_inst(scope, inst, depth)?;
+                match scope.names.get(inst.as_str()) {
+                    Some(Binding::Inst(outputs)) => outputs.get(port).copied().ok_or_else(|| {
+                        RtlError::elab(format!("instance `{inst}` has no output `{port}`"))
+                    }),
+                    _ => Err(RtlError::elab(format!("`{inst}` is not an instance"))),
+                }
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinaryOp, a: NodeId, b: NodeId) -> Result<NodeId, RtlError> {
+        let equalize = |d: &mut RtlDesign, a: NodeId, b: NodeId| -> (NodeId, NodeId, u32) {
+            let w = d.width(a).max(d.width(b));
+            let a = d.resize(a, w);
+            let b = d.resize(b, w);
+            (a, b, w)
+        };
+        Ok(match op {
+            BinaryOp::And => {
+                let (a, b, w) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::And(a, b), w)
+            }
+            BinaryOp::Or => {
+                let (a, b, w) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Or(a, b), w)
+            }
+            BinaryOp::Xor => {
+                let (a, b, w) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Xor(a, b), w)
+            }
+            BinaryOp::Add => {
+                let (a, b, w) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Add(a, b), w)
+            }
+            BinaryOp::Sub => {
+                let (a, b, w) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Sub(a, b), w)
+            }
+            BinaryOp::Shl => {
+                let w = self.d.width(a);
+                self.d.intern(WordOp::Shl(a, b), w)
+            }
+            BinaryOp::Shr => {
+                let w = self.d.width(a);
+                self.d.intern(WordOp::Shr(a, b), w)
+            }
+            BinaryOp::Eq => {
+                let (a, b, _) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Eq(a, b), 1)
+            }
+            BinaryOp::Ne => {
+                let (a, b, _) = equalize(&mut self.d, a, b);
+                let eq = self.d.intern(WordOp::Eq(a, b), 1);
+                self.d.intern(WordOp::Not(eq), 1)
+            }
+            BinaryOp::Lt => {
+                let (a, b, _) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Lt(a, b), 1)
+            }
+            BinaryOp::Le => {
+                let (a, b, _) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Le(a, b), 1)
+            }
+            BinaryOp::Gt => {
+                let (a, b, _) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Lt(b, a), 1)
+            }
+            BinaryOp::Ge => {
+                let (a, b, _) = equalize(&mut self.d, a, b);
+                self.d.intern(WordOp::Le(b, a), 1)
+            }
+            BinaryOp::LogicAnd => {
+                let a = self.d.to_bool(a);
+                let b = self.d.to_bool(b);
+                self.d.intern(WordOp::And(a, b), 1)
+            }
+            BinaryOp::LogicOr => {
+                let a = self.d.to_bool(a);
+                let b = self.d.to_bool(b);
+                self.d.intern(WordOp::Or(a, b), 1)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn compile(src: &str, top: &str) -> Result<RtlDesign, RtlError> {
+        elaborate(&parse(src).unwrap(), top)
+    }
+
+    #[test]
+    fn simple_combinational() {
+        let d = compile(
+            "module m(in a[4], in b[4], out s[5]) { assign s = {1'b0, a} + b; }",
+            "m",
+        )
+        .unwrap();
+        assert_eq!(d.inputs.len(), 2);
+        assert_eq!(d.outputs.len(), 1);
+        assert_eq!(d.width(d.outputs[0].1), 5);
+    }
+
+    #[test]
+    fn register_with_hold() {
+        let d = compile(
+            "module m(clock ck, in en, in v[8], out q[8]) { reg r[8]; at posedge(ck) { if (en) { r <= v; } } assign q = r; }",
+            "m",
+        )
+        .unwrap();
+        assert_eq!(d.regs.len(), 1);
+        // Next must be a mux (hold path present).
+        assert!(matches!(d.node(d.regs[0].next).op, WordOp::Mux(..)));
+    }
+
+    #[test]
+    fn unconditional_write_has_no_mux() {
+        let d = compile(
+            "module m(clock ck, in v[8], out q[8]) { reg r[8]; at posedge(ck) { r <= v; } assign q = r; }",
+            "m",
+        )
+        .unwrap();
+        assert!(matches!(d.node(d.regs[0].next).op, WordOp::ZExt(_) | WordOp::Input(_)));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let e = compile(
+            "module m(in a, out y) { wire p = q | a; wire q = p; assign y = q; }",
+            "m",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("combinational cycle"), "{e}");
+    }
+
+    #[test]
+    fn unknown_signal_detected() {
+        let e = compile("module m(out y) { assign y = ghost; }", "m").unwrap_err();
+        assert!(e.to_string().contains("unknown signal"));
+    }
+
+    #[test]
+    fn double_driver_detected() {
+        let e = compile(
+            "module m(in a, out y) { assign y = a; assign y = ~a; }",
+            "m",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn hierarchical_instance() {
+        let d = compile(
+            "module ha(in a, in b, out s, out c) { assign s = a ^ b; assign c = a & b; }\n\
+             module top(in x, in y, out sum, out carry) {\n\
+               inst u = ha(a: x, b: y);\n\
+               assign sum = u.s; assign carry = u.c;\n\
+             }",
+            "top",
+        )
+        .unwrap();
+        assert_eq!(d.outputs.len(), 2);
+    }
+
+    #[test]
+    fn instance_registers_get_prefixed_names() {
+        let d = compile(
+            "module dff(clock ck, in d, out q) { reg r; at posedge(ck) { r <= d; } assign q = r; }\n\
+             module top(clock ck, in d, out q) { inst f0 = dff(ck: ck, d: d); inst f1 = dff(ck: ck, d: f0.q); assign q = f1.q; }",
+            "top",
+        )
+        .unwrap();
+        let names: Vec<&str> = d.regs.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"f0/r"));
+        assert!(names.contains(&"f1/r"));
+    }
+
+    #[test]
+    fn clock_cannot_be_data() {
+        let e = compile("module m(clock ck, out y) { assign y = ck; }", "m").unwrap_err();
+        assert!(e.to_string().contains("clock"));
+    }
+
+    #[test]
+    fn two_clock_write_rejected() {
+        let e = compile(
+            "module m(clock c1, clock c2, in v, out q) { reg r; at posedge(c1) { r <= v; } at posedge(c2) { r <= ~v; } assign q = r; }",
+            "m",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("two different clocks"));
+    }
+
+    #[test]
+    fn two_edge_write_rejected() {
+        // A register written on both edges of the same clock is a DDR
+        // flop — out of scope, rejected like a two-clock write.
+        let e = compile(
+            "module m(clock ck, in v, out q) { reg r; at posedge(ck) { r <= v; } at negedge(ck) { r <= ~v; } assign q = r; }",
+            "m",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("two different clocks or edges"));
+    }
+
+    #[test]
+    fn negedge_block_elaborates_with_edge() {
+        let d = compile(
+            "module m(clock ck, in v, out q) { reg r; at negedge(ck) { r <= v; } assign q = r; }",
+            "m",
+        )
+        .unwrap();
+        assert_eq!(d.regs.len(), 1);
+        assert_eq!(d.regs[0].edge, Edge::Neg);
+        assert!(d.has_negedge(0));
+    }
+
+    #[test]
+    fn cam_ops_elaborate() {
+        let d = compile(
+            "module m(clock ck, in k[16], in i[4], in v[16], in we, out hit, out idx[4]) {\n\
+               cam t[16][16];\n\
+               at posedge(ck) { if (we) { t[i] <= v; } }\n\
+               assign hit = t.hit(k); assign idx = t.index(k);\n\
+             }",
+            "m",
+        )
+        .unwrap();
+        assert_eq!(d.cams.len(), 1);
+        assert_eq!(d.cams[0].writes.len(), 1);
+        assert_eq!(d.width(d.output("idx").unwrap()), 4);
+    }
+
+    #[test]
+    fn recursive_module_rejected() {
+        let e = compile(
+            "module m(in a, out y) { inst u = m(a: a); assign y = u.y; }",
+            "m",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn output_must_be_driven() {
+        let e = compile("module m(in a, out y) { wire z = a; }", "m").unwrap_err();
+        assert!(e.to_string().contains("unknown signal `y`") || e.to_string().contains("never driven"));
+    }
+
+    #[test]
+    fn oversized_concat_rejected() {
+        let e = compile(
+            "module m(in a[40], in b[40], out y) { assign y = {a, b} == 0; }",
+            "m",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("exceeds 64"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the HDL front end and elaborator.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from parsing, elaborating or simulating HDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// Lexical error (bad character, malformed literal).
+    Lex {
+        /// Where.
+        pos: Pos,
+        /// What.
+        message: String,
+    },
+    /// Syntax error.
+    Syntax {
+        /// Where.
+        pos: Pos,
+        /// What.
+        message: String,
+    },
+    /// Semantic error during elaboration (unknown names, width problems,
+    /// combinational cycles, multiple drivers...).
+    Elab {
+        /// What.
+        message: String,
+    },
+}
+
+impl RtlError {
+    /// Convenience constructor for elaboration errors.
+    pub fn elab(message: impl Into<String>) -> RtlError {
+        RtlError::Elab {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            RtlError::Syntax { pos, message } => write!(f, "syntax error at {pos}: {message}"),
+            RtlError::Elab { message } => write!(f, "elaboration error: {message}"),
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = RtlError::Syntax {
+            pos: Pos { line: 4, col: 7 },
+            message: "expected `;`".into(),
+        };
+        assert_eq!(e.to_string(), "syntax error at 4:7: expected `;`");
+    }
+}

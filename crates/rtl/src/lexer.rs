@@ -1,0 +1,234 @@
+//! Tokenizer for the HDL.
+
+use crate::error::{Pos, RtlError};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal with optional explicit width (`8'hff` style or bare).
+    Lit {
+        /// The value.
+        value: u64,
+        /// Explicit width if the `w'bxx` form was used.
+        width: Option<u32>,
+    },
+    /// Punctuation / operator, canonical spelling.
+    Punct(&'static str),
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "?", ".",
+    "~", "!", "&", "|", "^", "+", "-", "*", "<", ">", "=",
+];
+
+/// Tokenizes source text.
+///
+/// # Errors
+///
+/// Returns [`RtlError::Lex`] on unrecognized characters or malformed
+/// literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, RtlError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize, bytes: &[u8]| {
+        for _ in 0..n {
+            if *i < bytes.len() && bytes[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        if c.is_ascii_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            continue;
+        }
+        // Line comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            out.push(Token {
+                tok: Tok::Ident(source[start..i].to_owned()),
+                pos,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+            {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            let text: String = source[start..i].chars().filter(|&ch| ch != '_').collect();
+            let (value, width) = parse_literal(&text).map_err(|message| RtlError::Lex {
+                pos,
+                message,
+            })?;
+            out.push(Token {
+                tok: Tok::Lit { value, width },
+                pos,
+            });
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest = &source[i..];
+        let mut matched = None;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        match matched {
+            Some(p) => {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    pos,
+                });
+                advance(&mut i, &mut line, &mut col, p.len(), bytes);
+            }
+            None => {
+                return Err(RtlError::Lex {
+                    pos,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `255`, `0xff`, `0b1010`, `8'hff`, `4'b1010`, `10'd512`.
+fn parse_literal(text: &str) -> Result<(u64, Option<u32>), String> {
+    if let Some((w, rest)) = text.split_once('\'') {
+        let width: u32 = w
+            .parse()
+            .map_err(|_| format!("malformed width in literal `{text}`"))?;
+        if width == 0 || width > 64 {
+            return Err(format!("literal width {width} out of range 1..=64"));
+        }
+        let (radix, digits) = match rest.chars().next() {
+            Some('h') => (16, &rest[1..]),
+            Some('b') => (2, &rest[1..]),
+            Some('d') => (10, &rest[1..]),
+            Some('o') => (8, &rest[1..]),
+            _ => return Err(format!("literal `{text}` needs a base (h/b/d/o)")),
+        };
+        let value = u64::from_str_radix(digits, radix)
+            .map_err(|_| format!("malformed digits in literal `{text}`"))?;
+        if width < 64 && value >= 1u64 << width {
+            return Err(format!("literal `{text}` does not fit in {width} bits"));
+        }
+        Ok((value, Some(width)))
+    } else if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+            .map(|v| (v, None))
+            .map_err(|_| format!("malformed hex literal `{text}`"))
+    } else if let Some(bin) = text.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2)
+            .map(|v| (v, None))
+            .map_err(|_| format!("malformed binary literal `{text}`"))
+    } else {
+        text.parse()
+            .map(|v| (v, None))
+            .map_err(|_| format!("malformed literal `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = toks("module foo(a, b) { a <= b; }");
+        assert_eq!(t[0], Tok::Ident("module".into()));
+        assert!(t.contains(&Tok::Punct("<=")));
+        assert!(t.contains(&Tok::Punct("{")));
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(toks("255")[0], Tok::Lit { value: 255, width: None });
+        assert_eq!(toks("0xff")[0], Tok::Lit { value: 255, width: None });
+        assert_eq!(toks("0b1010")[0], Tok::Lit { value: 10, width: None });
+        assert_eq!(toks("8'hff")[0], Tok::Lit { value: 255, width: Some(8) });
+        assert_eq!(toks("4'b1010")[0], Tok::Lit { value: 10, width: Some(4) });
+        assert_eq!(toks("10'd512")[0], Tok::Lit { value: 512, width: Some(10) });
+        assert_eq!(toks("1_000")[0], Tok::Lit { value: 1000, width: None });
+    }
+
+    #[test]
+    fn literal_overflow_rejected() {
+        assert!(lex("4'hff").is_err());
+        assert!(lex("99'h0").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("a // comment with <= stuff\nb");
+        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn maximal_munch() {
+        let t = toks("a<<2 b<=c d<e");
+        assert!(t.contains(&Tok::Punct("<<")));
+        assert!(t.contains(&Tok::Punct("<=")));
+        assert!(t.contains(&Tok::Punct("<")));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_char_reports_position() {
+        let e = lex("a $").unwrap_err();
+        match e {
+            RtlError::Lex { pos, .. } => assert_eq!(pos, Pos { line: 1, col: 3 }),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

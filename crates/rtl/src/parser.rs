@@ -1,0 +1,703 @@
+//! Recursive-descent parser for the HDL.
+
+use crate::ast::*;
+use crate::error::{Pos, RtlError};
+use crate::lexer::{Tok, Token};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+type PResult<T> = Result<T, RtlError>;
+
+impl<'a> Parser<'a> {
+    fn pos(&self) -> Pos {
+        self.toks
+            .get(self.i)
+            .or_else(|| self.toks.last())
+            .map(|t| t.pos)
+            .unwrap_or_default()
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(RtlError::Syntax {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|t| t.tok.clone());
+        self.i += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.i += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.i += 1;
+                Ok(s)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.i += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{kw}`"))
+        }
+    }
+
+    fn expect_lit(&mut self) -> PResult<u64> {
+        match self.peek() {
+            Some(&Tok::Lit { value, .. }) => {
+                self.i += 1;
+                Ok(value)
+            }
+            _ => self.err("expected integer literal"),
+        }
+    }
+
+    /// Optional `[N]` width suffix.
+    fn opt_width(&mut self) -> PResult<Option<u32>> {
+        if self.eat_punct("[") {
+            let w = self.expect_lit()?;
+            self.expect_punct("]")?;
+            if w == 0 || w > 64 {
+                return self.err(format!("width {w} out of range 1..=64"));
+            }
+            Ok(Some(w as u32))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn file(&mut self) -> PResult<SourceFile> {
+        let mut modules = Vec::new();
+        while self.peek().is_some() {
+            modules.push(self.module()?);
+        }
+        Ok(SourceFile { modules })
+    }
+
+    fn module(&mut self) -> PResult<ModuleAst> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut ports = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let dir = if self.eat_keyword("in") {
+                    Dir::In
+                } else if self.eat_keyword("out") {
+                    Dir::Out
+                } else if self.eat_keyword("clock") {
+                    Dir::Clock
+                } else {
+                    return self.err("expected port direction `in`, `out` or `clock`");
+                };
+                let pname = self.expect_ident()?;
+                let width = self.opt_width()?.unwrap_or(1);
+                if dir == Dir::Clock && width != 1 {
+                    return self.err("clock ports must be 1 bit");
+                }
+                ports.push(PortDecl {
+                    dir,
+                    name: pname,
+                    width,
+                });
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct("{")?;
+        let mut items = Vec::new();
+        while !self.eat_punct("}") {
+            items.push(self.item()?);
+        }
+        Ok(ModuleAst { name, ports, items })
+    }
+
+    fn item(&mut self) -> PResult<Item> {
+        if self.eat_keyword("reg") {
+            let name = self.expect_ident()?;
+            let width = self.opt_width()?.unwrap_or(1);
+            let init = if self.eat_punct("=") {
+                self.expect_lit()?
+            } else {
+                0
+            };
+            self.expect_punct(";")?;
+            return Ok(Item::Reg { name, width, init });
+        }
+        if self.eat_keyword("wire") {
+            let name = self.expect_ident()?;
+            let width = self.opt_width()?;
+            self.expect_punct("=")?;
+            let expr = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Item::Wire { name, width, expr });
+        }
+        if self.eat_keyword("assign") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let expr = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Item::Wire {
+                name,
+                width: None,
+                expr,
+            });
+        }
+        if self.eat_keyword("cam") {
+            let name = self.expect_ident()?;
+            self.expect_punct("[")?;
+            let entries = self.expect_lit()?;
+            self.expect_punct("]")?;
+            self.expect_punct("[")?;
+            let width = self.expect_lit()?;
+            self.expect_punct("]")?;
+            self.expect_punct(";")?;
+            if entries == 0 || entries > 65536 {
+                return self.err(format!("cam entry count {entries} out of range 1..=65536"));
+            }
+            if width == 0 || width > 64 {
+                return self.err(format!("cam width {width} out of range 1..=64"));
+            }
+            return Ok(Item::Cam {
+                name,
+                entries: entries as u32,
+                width: width as u32,
+            });
+        }
+        if self.eat_keyword("at") {
+            let edge = if self.eat_keyword("posedge") {
+                Edge::Pos
+            } else if self.eat_keyword("negedge") {
+                Edge::Neg
+            } else {
+                return self.err("expected `posedge` or `negedge`");
+            };
+            self.expect_punct("(")?;
+            let clock = self.expect_ident()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Item::Seq { clock, edge, body });
+        }
+        if self.eat_keyword("inst") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let module = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut conns = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    let port = self.expect_ident()?;
+                    self.expect_punct(":")?;
+                    let expr = self.expr()?;
+                    conns.push((port, expr));
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            self.expect_punct(";")?;
+            return Ok(Item::Inst {
+                name,
+                module,
+                conns,
+            });
+        }
+        self.err("expected `reg`, `wire`, `assign`, `cam`, `at` or `inst`")
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let els = if self.eat_keyword("else") {
+                if matches!(self.peek(), Some(Tok::Ident(k)) if k == "if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        // target <= expr ;
+        let name = self.expect_ident()?;
+        let target = if self.eat_punct("[") {
+            let index = self.expr()?;
+            self.expect_punct("]")?;
+            Target::CamEntry { cam: name, index }
+        } else {
+            Target::Reg(name)
+        };
+        self.expect_punct("<=")?;
+        let expr = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::NonBlocking { target, expr })
+    }
+
+    // --- Expressions (precedence climbing) ---
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.logic_or()?;
+        if self.eat_punct("?") {
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(&str, BinaryOp)],
+        next: fn(&mut Self) -> PResult<Expr>,
+    ) -> PResult<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (p, op) in ops {
+                if matches!(self.peek(), Some(Tok::Punct(q)) if q == p) {
+                    self.i += 1;
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn logic_or(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("||", BinaryOp::LogicOr)], Self::logic_and)
+    }
+
+    fn logic_and(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("&&", BinaryOp::LogicAnd)], Self::bit_or)
+    }
+
+    fn bit_or(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("|", BinaryOp::Or)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("^", BinaryOp::Xor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("&", BinaryOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> PResult<Expr> {
+        self.binary_level(
+            &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> PResult<Expr> {
+        self.binary_level(
+            &[
+                ("<=", BinaryOp::Le),
+                (">=", BinaryOp::Ge),
+                ("<", BinaryOp::Lt),
+                (">", BinaryOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)], Self::additive)
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        self.binary_level(&[("+", BinaryOp::Add), ("-", BinaryOp::Sub)], Self::unary)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        for (p, op) in [
+            ("~", UnaryOp::Not),
+            ("!", UnaryOp::LogicNot),
+            ("&", UnaryOp::RedAnd),
+            ("|", UnaryOp::RedOr),
+            ("^", UnaryOp::RedXor),
+            ("-", UnaryOp::Neg),
+        ] {
+            if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+                self.i += 1;
+                let expr = self.unary()?;
+                return Ok(Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                });
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let first = self.expr()?;
+                if self.eat_punct(":") {
+                    let lo = self.expect_lit()?;
+                    self.expect_punct("]")?;
+                    let hi = match first {
+                        Expr::Lit { value, .. } => value,
+                        _ => return self.err("slice bounds must be literals"),
+                    };
+                    if hi < lo || hi > 63 {
+                        return self.err(format!("bad slice [{hi}:{lo}]"));
+                    }
+                    e = Expr::Slice {
+                        base: Box::new(e),
+                        hi: hi as u32,
+                        lo: lo as u32,
+                    };
+                } else {
+                    self.expect_punct("]")?;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(first),
+                    };
+                }
+                continue;
+            }
+            if self.eat_punct(".") {
+                let field = self.expect_ident()?;
+                let base_name = match &e {
+                    Expr::Ident(n) => n.clone(),
+                    _ => return self.err("`.` only applies to names (cam or instance)"),
+                };
+                let method = match field.as_str() {
+                    "hit" => Some(CamMethod::Hit),
+                    "index" => Some(CamMethod::Index),
+                    "read" => Some(CamMethod::Read),
+                    _ => None,
+                };
+                if let Some(method) = method {
+                    if self.eat_punct("(") {
+                        let arg = self.expr()?;
+                        self.expect_punct(")")?;
+                        e = Expr::CamOp {
+                            cam: base_name,
+                            method,
+                            arg: Box::new(arg),
+                        };
+                        continue;
+                    }
+                }
+                e = Expr::Field {
+                    inst: base_name,
+                    port: field,
+                };
+                continue;
+            }
+            break;
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Some(&Tok::Lit { value, width }) => {
+                self.i += 1;
+                Ok(Expr::Lit { value, width })
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.expect_ident()?;
+                Ok(Expr::Ident(name))
+            }
+            Some(Tok::Punct("(")) => {
+                self.i += 1;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Punct("{")) => {
+                self.i += 1;
+                let mut parts = vec![self.expr()?];
+                while self.eat_punct(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect_punct("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+
+    /// Unused helper retained for symmetry with `peek`.
+    #[allow(dead_code)]
+    fn lookahead_is(&self, p: &str) -> bool {
+        matches!(self.peek2(), Some(Tok::Punct(q)) if *q == p)
+    }
+
+    /// Unused helper retained for future diagnostics.
+    #[allow(dead_code)]
+    fn consume(&mut self) {
+        let _ = self.bump();
+    }
+}
+
+/// Parses a token stream into a source file.
+///
+/// # Errors
+///
+/// Returns [`RtlError::Syntax`] with the failing position.
+pub fn parse_tokens(tokens: &[Token]) -> Result<SourceFile, RtlError> {
+    let mut p = Parser { toks: tokens, i: 0 };
+    p.file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> SourceFile {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn minimal_module() {
+        let f = parse("module m() { }");
+        assert_eq!(f.modules.len(), 1);
+        assert_eq!(f.modules[0].name, "m");
+        assert!(f.modules[0].ports.is_empty());
+    }
+
+    #[test]
+    fn ports_with_widths() {
+        let f = parse("module m(clock ck, in a[8], out y) { }");
+        let m = &f.modules[0];
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].dir, Dir::Clock);
+        assert_eq!(m.ports[1].width, 8);
+        assert_eq!(m.ports[2].width, 1);
+    }
+
+    #[test]
+    fn reg_wire_assign() {
+        let f = parse(
+            "module m(in a[4]) { reg r[4] = 3; wire w[4] = a + r; assign z = w == 0; }",
+        );
+        let m = &f.modules[0];
+        assert!(matches!(m.items[0], Item::Reg { width: 4, init: 3, .. }));
+        assert!(matches!(m.items[1], Item::Wire { .. }));
+        assert!(matches!(m.items[2], Item::Wire { width: None, .. }));
+    }
+
+    #[test]
+    fn seq_block_with_if_else() {
+        let f = parse(
+            "module m(clock ck, in r) { reg c[3]; at posedge(ck) { if (r) { c <= 0; } else if (c == 4) { c <= 0; } else { c <= c + 1; } } }",
+        );
+        let m = &f.modules[0];
+        match &m.items[1] {
+            Item::Seq { clock, edge, body } => {
+                assert_eq!(clock, "ck");
+                assert_eq!(*edge, Edge::Pos);
+                assert_eq!(body.len(), 1);
+                match &body[0] {
+                    Stmt::If { els, .. } => assert_eq!(els.len(), 1),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negedge_block_parses() {
+        let f = parse("module m(clock ck) { reg r; at negedge(ck) { r <= ~r; } }");
+        match &f.modules[0].items[1] {
+            Item::Seq { edge, .. } => assert_eq!(*edge, Edge::Neg),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cam_declaration_and_ops() {
+        let f = parse(
+            "module m(in k[32]) { cam tags[64][32]; wire h = tags.hit(k); wire i[6] = tags.index(k); wire d[32] = tags.read(i); }",
+        );
+        let m = &f.modules[0];
+        assert!(matches!(
+            m.items[0],
+            Item::Cam { entries: 64, width: 32, .. }
+        ));
+        match &m.items[1] {
+            Item::Wire { expr: Expr::CamOp { method, .. }, .. } => {
+                assert_eq!(*method, CamMethod::Hit)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cam_write_target() {
+        let f = parse(
+            "module m(clock ck, in i[6], in v[32]) { cam t[64][32]; at posedge(ck) { t[i] <= v; } }",
+        );
+        match &f.modules[0].items[1] {
+            Item::Seq { body, .. } => match &body[0] {
+                Stmt::NonBlocking {
+                    target: Target::CamEntry { cam, .. },
+                    ..
+                } => assert_eq!(cam, "t"),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_and_field() {
+        let f = parse(
+            "module add(in a, in b, out s) { assign s = a ^ b; } module top(in x, in y, out z) { inst u0 = add(a: x, b: y); assign z = u0.s; }",
+        );
+        let top = f.module("top").unwrap();
+        assert!(matches!(&top.items[0], Item::Inst { conns, .. } if conns.len() == 2));
+        assert!(
+            matches!(&top.items[1], Item::Wire { expr: Expr::Field { inst, port }, .. } if inst == "u0" && port == "s")
+        );
+    }
+
+    #[test]
+    fn precedence_shapes() {
+        // a + b << 2 == c & d  parses as (((a+b) << 2) == c) & d
+        let f = parse("module m(in a, in b, in c, in d) { assign z = a + b << 2 == c & d; }");
+        match &f.modules[0].items[0] {
+            Item::Wire { expr, .. } => match expr {
+                Expr::Binary { op: BinaryOp::And, lhs, .. } => match lhs.as_ref() {
+                    Expr::Binary { op: BinaryOp::Eq, .. } => {}
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn le_in_expression_context() {
+        // `<=` must parse as less-equal inside a wire expression.
+        let f = parse("module m(in a[4], in b[4]) { assign z = a <= b; }");
+        match &f.modules[0].items[0] {
+            Item::Wire { expr: Expr::Binary { op, .. }, .. } => assert_eq!(*op, BinaryOp::Le),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slices_and_indexing() {
+        let f = parse("module m(in a[8], in i[3]) { assign hi = a[7:4]; assign b = a[i]; }");
+        assert!(matches!(
+            &f.modules[0].items[0],
+            Item::Wire { expr: Expr::Slice { hi: 7, lo: 4, .. }, .. }
+        ));
+        assert!(matches!(
+            &f.modules[0].items[1],
+            Item::Wire { expr: Expr::Index { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn concat() {
+        let f = parse("module m(in a[4], in b[4]) { assign y = {a, b, 2'b01}; }");
+        assert!(matches!(
+            &f.modules[0].items[0],
+            Item::Wire { expr: Expr::Concat(parts), .. } if parts.len() == 3
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_positioned() {
+        let e = parse_tokens(&lex("module m( { }").unwrap()).unwrap_err();
+        assert!(matches!(e, RtlError::Syntax { .. }));
+        let e = parse_tokens(&lex("module m() { bogus x; }").unwrap()).unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn bad_slice_rejected() {
+        let e = parse_tokens(&lex("module m(in a[8]) { assign y = a[2:5]; }").unwrap());
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! `cbv-tech` — process technology and device models for the cbv toolkit.
+//!
+//! This crate is the substitute for the proprietary Digital Semiconductor
+//! CMOS process files that the DAC '97 paper's tools consumed. It provides:
+//!
+//! * [`Process`] — a self-consistent analytical CMOS process description
+//!   (supply, thresholds, oxide, mobility, wire stack), with predefined
+//!   generations matching the chips the paper discusses: the 0.75 µm
+//!   process of the ALPHA 21064, the 0.5 µm process of the 21164, the
+//!   0.35 µm process of the 21264, and the low-voltage / low-threshold
+//!   0.35 µm StrongARM SA-110 process.
+//! * [`MosModel`] — an alpha-power-law MOSFET model giving saturation
+//!   current, effective switching resistance, gate/diffusion capacitance
+//!   and subthreshold leakage (with DIBL and channel-length dependence of
+//!   the threshold, which is what makes the paper's "lengthen devices by
+//!   0.045 µm or 0.09 µm" leakage fix work).
+//! * [`Corner`] — process/voltage/temperature corners used by every
+//!   min/max electrical and timing analysis in the toolkit.
+//! * [`WireStack`] — per-layer interconnect resistance and capacitance
+//!   coefficients used by the extractor.
+//!
+//! All quantities use SI units wrapped in explicit newtypes ([`units`]) so
+//! that a capacitance can never be fed where a resistance is expected.
+//!
+//! # Example
+//!
+//! ```
+//! use cbv_tech::{Process, Corner, MosKind};
+//!
+//! let p = Process::strongarm_035();
+//! let nmos = p.mos(MosKind::Nmos);
+//! // A 4 µm / 0.35 µm NMOS at the typical corner:
+//! let id = nmos.saturation_current(4.0e-6, p.l_min().meters(), &Corner::typical(&p));
+//! assert!(id.amps() > 0.0);
+//! ```
+
+pub mod corner;
+pub mod mos;
+pub mod process;
+pub mod scaling;
+pub mod units;
+pub mod wire;
+
+pub use corner::{Corner, CornerKind, Tolerance};
+pub use mos::{MosKind, MosModel};
+pub use process::{Generation, Process};
+pub use scaling::{scale_power, PowerScaling};
+pub use units::{Amps, Celsius, Farads, Hertz, Joules, Meters, Ohms, Seconds, Volts, Watts};
+pub use wire::{Layer, WireParams, WireStack};

@@ -1,0 +1,315 @@
+//! Named process generations.
+//!
+//! Four predefined [`Process`] instances mirror the design points the paper
+//! discusses: the three ALPHA generations (§3: "In 1992, the first ALPHA
+//! chip delivered the raw performance of a Cray-1 ... about 25W", "the next
+//! generation ... four times that performance at about the same power",
+//! "the latest ALPHA CPU delivers more than 8X") and the low-power
+//! StrongARM SA-110 process ("a low-supply voltage and low-threshold
+//! device ... 160MHz while burning only 500mW").
+//!
+//! The absolute parameter values are calibrated analytically, not copied
+//! from any proprietary deck; what matters for every experiment in this
+//! repo is that the *relationships* between generations (supply, threshold,
+//! feature size, capacitance per device) track the published first-order
+//! facts, because those relationships are what Table 1's waterfall and the
+//! §3 leakage story exercise.
+
+use crate::mos::{MosKind, MosModel};
+use crate::units::{Hertz, Meters, Volts};
+use crate::wire::WireStack;
+
+/// The process generations used by the chips in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generation {
+    /// 0.75 µm CMOS — ALPHA 21064 (200 MHz, 3.45 V, ~26 W).
+    Cmos4,
+    /// 0.5 µm CMOS — ALPHA 21164 (433 MHz, 3.3 V).
+    Cmos5,
+    /// 0.35 µm CMOS — ALPHA 21264 (600 MHz, 2.2 V).
+    Cmos6,
+    /// 0.35 µm low-voltage, low-threshold — StrongARM SA-110
+    /// (160 MHz, 1.65 V, 0.45 W).
+    Cmos6LowPower,
+}
+
+/// A complete CMOS process description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    name: String,
+    generation: Generation,
+    l_min: Meters,
+    vdd_nominal: Volts,
+    f_target: Hertz,
+    nmos: MosModel,
+    pmos: MosModel,
+    wires: WireStack,
+}
+
+impl Process {
+    /// Builds a process from explicit parts. Prefer the named constructors
+    /// ([`Process::alpha_21064`] etc.) unless you are modelling a custom
+    /// technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device models' polarities are swapped or the supply
+    /// is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        generation: Generation,
+        l_min: Meters,
+        vdd_nominal: Volts,
+        f_target: Hertz,
+        nmos: MosModel,
+        pmos: MosModel,
+        wires: WireStack,
+    ) -> Process {
+        assert_eq!(nmos.kind, MosKind::Nmos, "nmos model has wrong polarity");
+        assert_eq!(pmos.kind, MosKind::Pmos, "pmos model has wrong polarity");
+        assert!(vdd_nominal.volts() > 0.0, "supply must be positive");
+        Process {
+            name: name.into(),
+            generation,
+            l_min,
+            vdd_nominal,
+            f_target,
+            nmos,
+            pmos,
+            wires,
+        }
+    }
+
+    fn make(
+        name: &str,
+        generation: Generation,
+        l_min_um: f64,
+        vdd: f64,
+        f_mhz: f64,
+        vt_n: f64,
+        vt_p: f64,
+        alpha: f64,
+    ) -> Process {
+        let l_min = l_min_um * 1e-6;
+        // Oxide thins with scaling: Cox ≈ 1.9 mF/m² at 0.75 µm rising to
+        // ≈ 3.5 mF/m² at 0.35 µm.
+        let cox = 1.9e-3 * (0.75e-6 / l_min).powf(0.8);
+        let nmos = MosModel {
+            kind: MosKind::Nmos,
+            vt0: Volts::new(vt_n),
+            k_prime: 0.6e-4 * (cox / 1.9e-3),
+            alpha,
+            cox,
+            c_overlap: 0.25e-9,
+            c_junction_area: 0.5e-3,
+            c_junction_perim: 0.3e-9,
+            i_leak0: 2.0e-6,
+            subthreshold_n: 1.45,
+            dibl: 0.04,
+            vt_rolloff: 1.8e6, // 1.8 V per µm of ΔL near L_min
+            l_nominal: l_min,
+        };
+        let pmos = MosModel {
+            kind: MosKind::Pmos,
+            vt0: Volts::new(vt_p),
+            // Hole mobility is roughly 40 % of electron mobility.
+            k_prime: 0.25e-4 * (cox / 1.9e-3),
+            alpha,
+            cox,
+            c_overlap: 0.25e-9,
+            c_junction_area: 0.55e-3,
+            c_junction_perim: 0.32e-9,
+            i_leak0: 0.8e-6,
+            subthreshold_n: 1.5,
+            dibl: 0.05,
+            vt_rolloff: 1.6e6,
+            l_nominal: l_min,
+        };
+        Process::new(
+            name,
+            generation,
+            Meters::new(l_min),
+            Volts::new(vdd),
+            Hertz::new(f_mhz * 1e6),
+            nmos,
+            pmos,
+            WireStack::for_feature_size(l_min),
+        )
+    }
+
+    /// The 0.75 µm, 3.45 V process of the ALPHA 21064 (200 MHz).
+    pub fn alpha_21064() -> Process {
+        Process::make("CMOS4 0.75um (21064)", Generation::Cmos4, 0.75, 3.45, 200.0, 0.65, 0.75, 1.6)
+    }
+
+    /// The 0.5 µm, 3.3 V process of the ALPHA 21164 (433 MHz).
+    pub fn alpha_21164() -> Process {
+        Process::make("CMOS5 0.5um (21164)", Generation::Cmos5, 0.5, 3.3, 433.0, 0.58, 0.68, 1.45)
+    }
+
+    /// The 0.35 µm, 2.2 V process of the ALPHA 21264 (600 MHz).
+    pub fn alpha_21264() -> Process {
+        Process::make("CMOS6 0.35um (21264)", Generation::Cmos6, 0.35, 2.2, 600.0, 0.5, 0.55, 1.35)
+    }
+
+    /// The 0.35 µm low-voltage (1.5 V), low-threshold StrongARM SA-110
+    /// process (160 MHz target). Low thresholds give speed at low supply
+    /// at the cost of the §3 leakage problem.
+    pub fn strongarm_035() -> Process {
+        Process::make(
+            "CMOS6-LP 0.35um (SA-110)",
+            Generation::Cmos6LowPower,
+            0.35,
+            1.5,
+            160.0,
+            0.35,
+            0.38,
+            1.35,
+        )
+    }
+
+    /// Human-readable process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which generation this process belongs to.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Minimum drawn channel length.
+    pub fn l_min(&self) -> Meters {
+        self.l_min
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd_nominal(&self) -> Volts {
+        self.vdd_nominal
+    }
+
+    /// The clock frequency this process generation was designed to hit.
+    pub fn f_target(&self) -> Hertz {
+        self.f_target
+    }
+
+    /// Device model for the given polarity.
+    pub fn mos(&self, kind: MosKind) -> &MosModel {
+        match kind {
+            MosKind::Nmos => &self.nmos,
+            MosKind::Pmos => &self.pmos,
+        }
+    }
+
+    /// The interconnect layer stack.
+    pub fn wires(&self) -> &WireStack {
+        &self.wires
+    }
+
+    /// The beta ratio (PMOS width ÷ NMOS width) that balances rise and
+    /// fall drive for an inverter in this process, from the k' ratio.
+    pub fn balanced_beta(&self) -> f64 {
+        self.nmos.k_prime / self.pmos.k_prime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::Corner;
+
+    #[test]
+    fn generations_scale_down() {
+        let g4 = Process::alpha_21064();
+        let g5 = Process::alpha_21164();
+        let g6 = Process::alpha_21264();
+        assert!(g4.l_min().meters() > g5.l_min().meters());
+        assert!(g5.l_min().meters() > g6.l_min().meters());
+        assert!(g4.vdd_nominal().volts() > g6.vdd_nominal().volts());
+        assert!(g4.f_target().hertz() < g6.f_target().hertz());
+    }
+
+    #[test]
+    fn strongarm_has_low_vt_and_low_vdd() {
+        let sa = Process::strongarm_035();
+        let a = Process::alpha_21264();
+        assert!(sa.vdd_nominal().volts() < a.vdd_nominal().volts());
+        assert!(sa.mos(MosKind::Nmos).vt0.volts() < a.mos(MosKind::Nmos).vt0.volts());
+    }
+
+    #[test]
+    fn balanced_beta_is_about_two_and_a_half() {
+        let p = Process::alpha_21064();
+        let beta = p.balanced_beta();
+        assert!(beta > 1.5 && beta < 3.5, "beta {beta} out of realistic range");
+    }
+
+    #[test]
+    fn strongarm_leaks_more_than_alpha_at_same_geometry() {
+        // Low thresholds are the whole point — and the whole problem (§3).
+        let sa = Process::strongarm_035();
+        let al = Process::alpha_21264();
+        let w = 10e-6;
+        let l = sa.l_min().meters();
+        let leak_sa = sa
+            .mos(MosKind::Nmos)
+            .subthreshold_leakage(w, l, &Corner::typical(&sa));
+        let leak_al = al
+            .mos(MosKind::Nmos)
+            .subthreshold_leakage(w, l, &Corner::typical(&al));
+        assert!(leak_sa.amps() > 3.0 * leak_al.amps());
+    }
+
+    #[test]
+    fn devices_drive_at_all_corners() {
+        for p in [
+            Process::alpha_21064(),
+            Process::alpha_21164(),
+            Process::alpha_21264(),
+            Process::strongarm_035(),
+        ] {
+            for kind in [MosKind::Nmos, MosKind::Pmos] {
+                for c in [Corner::slow(&p), Corner::typical(&p), Corner::fast(&p)] {
+                    let i = p.mos(kind).saturation_current(2e-6, p.l_min().meters(), &c);
+                    assert!(
+                        i.amps() > 0.0,
+                        "{} {:?} has no drive at {:?}",
+                        p.name(),
+                        kind,
+                        c.kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_process_has_less_gate_cap_per_device() {
+        let g4 = Process::alpha_21064();
+        let g6 = Process::alpha_21264();
+        // Same electrical strength shape: W = 10 L in each process.
+        let c4 = g4
+            .mos(MosKind::Nmos)
+            .gate_capacitance(10.0 * g4.l_min().meters(), g4.l_min().meters());
+        let c6 = g6
+            .mos(MosKind::Nmos)
+            .gate_capacitance(10.0 * g6.l_min().meters(), g6.l_min().meters());
+        assert!(c6.farads() < c4.farads());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong polarity")]
+    fn swapped_models_panic() {
+        let p = Process::alpha_21064();
+        let _ = Process::new(
+            "bad",
+            Generation::Cmos4,
+            p.l_min(),
+            p.vdd_nominal(),
+            p.f_target(),
+            p.mos(MosKind::Pmos).clone(),
+            p.mos(MosKind::Nmos).clone(),
+            p.wires().clone(),
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! An ALPHA-style mixed-family datapath under the full verification
+//! battery: a two-phase-clocked accumulator slice (static CMOS + latches)
+//! next to a domino Manchester carry chain and a DCVSL comparator — the
+//! §2 logic-family mix the methodology exists to verify.
+//!
+//! ```sh
+//! cargo run --example alpha_datapath
+//! ```
+
+use cbv_core::flow::{run_flow, FlowConfig};
+use cbv_core::gen::adders::manchester_domino_adder;
+use cbv_core::gen::datapath::alu_slice;
+use cbv_core::gen::dcvsl::dcvsl_and2;
+use cbv_core::recognize::LogicFamily;
+use cbv_core::tech::Process;
+
+fn main() {
+    let process = Process::alpha_21264();
+    println!("process: {} ({} MHz target)\n", process.name(), process.f_target().hertz() / 1e6);
+
+    for (title, design) in [
+        ("two-phase ALU slice (static + latches)", alu_slice(8, &process)),
+        ("domino Manchester carry chain", manchester_domino_adder(8, &process)),
+        ("DCVSL comparator stage", dcvsl_and2(&process)),
+    ] {
+        println!("=== {title} ===");
+        println!(
+            "  {} transistors, {} nets",
+            design.netlist.devices().len(),
+            design.netlist.net_count()
+        );
+        let report = run_flow(design.netlist, &process, &FlowConfig::default());
+
+        // Logic-family census — what recognition deduced with no library.
+        let mut census = std::collections::HashMap::new();
+        for class in &report.recognition.classes {
+            let name = match class.family {
+                LogicFamily::StaticComplementary => "static",
+                LogicFamily::Ratioed => "ratioed",
+                LogicFamily::Dynamic { .. } => "dynamic",
+                LogicFamily::Dcvsl => "dcvsl",
+                LogicFamily::PassTransistor => "pass",
+                LogicFamily::Unknown => "unknown",
+            };
+            *census.entry(name).or_insert(0usize) += 1;
+        }
+        let mut rows: Vec<_> = census.into_iter().collect();
+        rows.sort();
+        print!("  families:");
+        for (name, n) in rows {
+            print!(" {name}={n}");
+        }
+        println!(
+            "\n  clocks inferred: {}, state elements: {}, dynamic nodes: {}",
+            report.recognition.clock_nets.len(),
+            report.recognition.state_elements.len(),
+            report.recognition.dynamic_nets().len()
+        );
+        println!("{}", report.signoff);
+        if !report.signoff.clean() {
+            println!(
+                "  (the battery is doing its job: a ripple-carry accumulator\n                    cannot close timing at the 21264's 600 MHz target, and its\n                    switched capacitance at that frequency trips the EM budget —\n                    the designer reads these reports and restructures, which is\n                    precisely the §4 feedback loop)\n"
+            );
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Cross-engine consistency: the same function evaluated by the RTL
+//! interpreter, the bit-blasted gate simulator, the switch-level
+//! transistor simulator and the BDD equivalence checker must agree —
+//! §4.1's "thoroughly providing coverage of logic intent" as a test.
+
+use cbv_core::bdd::Bdd;
+use cbv_core::equiv::comb::{boolnet_to_bdds, VarTable};
+use cbv_core::equiv::{check_circuit_outputs, CombResult, OutputSpec};
+use cbv_core::gen::adders::static_ripple_adder;
+use cbv_core::recognize::recognize;
+use cbv_core::rtl::blast::blast;
+use cbv_core::rtl::{compile, interp::Interp};
+use cbv_core::sim::{GateSim, Logic, SwitchSim};
+use cbv_core::tech::Process;
+
+const ADDER_RTL: &str = "module add4(in a[4], in b[4], in cin, out s[4], out cout) {\n\
+    wire sum[6] = {2'b0, a} + b + cin;\n\
+    assign s = sum[3:0];\n\
+    assign cout = sum[4];\n\
+}";
+
+#[test]
+fn four_engines_agree_on_addition() {
+    let p = Process::strongarm_035();
+    // Engine 1: RTL interpreter.
+    let design = compile(ADDER_RTL, "add4").expect("rtl compiles");
+    let mut interp = Interp::new(&design);
+    // Engine 2: gate-level event sim on the blasted network.
+    let net = blast(&design).expect("blasts");
+    let mut gates = GateSim::new(&net);
+    // Engine 3: switch-level transistor sim on the generated adder.
+    let g = static_ripple_adder(4, &p);
+    let mut switch = SwitchSim::new(&g.netlist);
+
+    for a in 0u64..16 {
+        for b in [0u64, 1, 5, 9, 15] {
+            for cin in 0u64..2 {
+                interp.set_input("a", a);
+                interp.set_input("b", b);
+                interp.set_input("cin", cin);
+                let want_s = interp.output("s");
+                let want_c = interp.output("cout");
+                assert_eq!(want_s, (a + b + cin) & 0xF, "oracle check");
+
+                for i in 0..4 {
+                    gates.set_input_by_name(&format!("a[{i}]"), (a >> i) & 1 == 1);
+                    gates.set_input_by_name(&format!("b[{i}]"), (b >> i) & 1 == 1);
+                }
+                gates.set_input_by_name("cin[0]", cin == 1);
+                assert_eq!(gates.output("s"), want_s, "gate sim s");
+                assert_eq!(gates.output("cout"), want_c, "gate sim cout");
+
+                for i in 0..4 {
+                    switch.set_by_name(&format!("a[{i}]"), Logic::from_bool((a >> i) & 1 == 1));
+                    switch.set_by_name(&format!("b[{i}]"), Logic::from_bool((b >> i) & 1 == 1));
+                }
+                switch.set_by_name("cin", Logic::from_bool(cin == 1));
+                switch.settle().expect("stable");
+                let got_s = switch.read_bus("s", 4).expect("no X");
+                assert_eq!(got_s, want_s, "switch sim s (a={a} b={b} cin={cin})");
+                assert_eq!(
+                    switch.value_by_name("cout"),
+                    Logic::from_bool(want_c == 1),
+                    "switch sim cout"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transistor_adder_sum_bit_equals_rtl_by_bdd() {
+    // Engine 4: BDD equivalence between the transistor s[0] cone and the
+    // RTL function a[0]^b[0]^cin.
+    let p = Process::strongarm_035();
+    let g = static_ripple_adder(2, &p);
+    let mut netlist = g.netlist;
+    let rec = recognize(&mut netlist);
+
+    let golden_rtl = compile(
+        "module s0(in a0, in b0, in cin, out y) { assign y = a0 ^ b0 ^ cin; }",
+        "s0",
+    )
+    .expect("compiles");
+    let gnet = blast(&golden_rtl).expect("blasts");
+    let mut mgr = Bdd::new();
+    let mut vars = VarTable::default();
+    let mut gout = boolnet_to_bdds(&gnet, &mut mgr, &mut vars).expect("combinational");
+    let golden = gout.remove(0).1[0];
+
+    // The circuit's s[0] is driven by the xor network whose inputs are
+    // p0 (=a0^b0 via another cone) and cin; check the *p0* cone against
+    // a0^b0 instead — it is a pure two-level function of primary inputs.
+    // Rename circuit nets to the golden variable names first.
+    // Circuit input nets are "a[0]"/"b[0]"/"cin"; golden vars a0/b0/cin.
+    // Build a small golden with matching names instead:
+    let golden2_rtl = compile(
+        "module p0(in a, in b, out y) { assign y = a ^ b; }",
+        "p0",
+    )
+    .expect("compiles");
+    let g2net = blast(&golden2_rtl).expect("blasts");
+    let mut g2out = boolnet_to_bdds(&g2net, &mut mgr, &mut vars).expect("combinational");
+    let golden_p0 = g2out.remove(0).1[0];
+    let _ = golden;
+
+    // The circuit "p0" net: its recognized function is over nets named
+    // "a[0]", "b[0]", and internal complement rails an/bn. Those internal
+    // rails are themselves recognized cones; full cone composition is the
+    // equivalence engine's job only for rail-level functions, so verify
+    // the complement rails then p0 via substitution: xp0_an = !a[0].
+    let spec_an = {
+        let v = vars.var("a[0]");
+        let a_ref = mgr.var(v);
+        mgr.not(a_ref)
+    };
+    let spec_bn = {
+        let v = vars.var("b[0]");
+        let b_ref = mgr.var(v);
+        mgr.not(b_ref)
+    };
+    let results = check_circuit_outputs(
+        &netlist,
+        &rec,
+        &[
+            OutputSpec {
+                net: "xp0_an".into(),
+                golden: spec_an,
+                complemented: false,
+            },
+            OutputSpec {
+                net: "xp0_bn".into(),
+                golden: spec_bn,
+                complemented: false,
+            },
+        ],
+        &mut mgr,
+        &mut vars,
+    )
+    .expect("check runs");
+    for (net, r) in &results {
+        assert_eq!(*r, CombResult::Equivalent, "complement rail {net}");
+    }
+    // p0's own function over (a[0], b[0], xp0_an, xp0_bn): substitute the
+    // verified rails and compare to a^b.
+    let class = rec
+        .driver_class(netlist.find_net("p0").expect("p0 exists"))
+        .expect("driven");
+    let out_fn = class
+        .outputs
+        .iter()
+        .find(|o| netlist.net_name(o.net) == "p0")
+        .expect("p0 output");
+    let expr = out_fn.function.clone().or_else(|| {
+        // Pass-style xor: output = pull-up condition when driven high.
+        Some(out_fn.pull_down.clone().negate())
+    })
+    .expect("some function");
+    let mut circuit =
+        cbv_core::equiv::expr_to_bdd(&expr, &netlist, &mut mgr, &mut vars);
+    for (rail, spec) in [("xp0_an", spec_an), ("xp0_bn", spec_bn)] {
+        let v = vars.var(rail);
+        circuit = mgr.compose(circuit, v, spec);
+    }
+    let diff = mgr.xor(circuit, golden_p0);
+    assert_eq!(mgr.any_sat(diff), None, "p0 cone equals a^b after substitution");
+}
+
+#[test]
+fn sequential_rtl_vs_gatesim_long_run() {
+    let design = compile(
+        "module lfsr(clock ck, in en, out v[8]) {\n\
+           reg r[8] = 1;\n\
+           at posedge(ck) { if (en) { r <= {r[6:0], r[7] ^ r[5] ^ r[4] ^ r[3]} ; } }\n\
+           assign v = r;\n\
+         }",
+        "lfsr",
+    )
+    .expect("compiles");
+    let net = blast(&design).expect("blasts");
+    let mut interp = Interp::new(&design);
+    let mut gates = GateSim::new(&net);
+    interp.set_input("en", 1);
+    gates.set_input_by_name("en[0]", true);
+    for cycle in 0..500 {
+        assert_eq!(interp.output("v"), gates.output("v"), "cycle {cycle}");
+        interp.step("ck");
+        gates.step(0);
+    }
+    // The LFSR actually cycles (not stuck).
+    assert_ne!(interp.output("v"), 1);
+}
+
+#[test]
+fn transistor_adder_shadows_rtl_adder() {
+    // Shadow mode at block scale: the generated 4-bit transistor adder
+    // shadows the RTL `+` under random stimulus — "a part of the circuit
+    // logic shadowing (not replacing) the corresponding RTL description".
+    use cbv_core::sim::{BitBinding, ShadowSim};
+
+    let p = Process::strongarm_035();
+    let circuit = static_ripple_adder(4, &p);
+    let golden = compile(
+        "module add4(clock ck, in a[4], in b[4], in cin, out s[4], out cout) {\n\
+           reg ra[4]; reg rb[4]; reg rc;\n\
+           at posedge(ck) { ra <= a; rb <= b; rc <= cin; }\n\
+           wire sum[6] = {2'b0, ra} + rb + rc;\n\
+           assign s = sum[3:0];\n\
+           assign cout = sum[4];\n\
+         }",
+        "add4",
+    )
+    .expect("compiles");
+
+    let mut inputs = Vec::new();
+    for i in 0..4 {
+        inputs.push(BitBinding::new("ra", i, format!("a[{i}]")));
+        inputs.push(BitBinding::new("rb", i, format!("b[{i}]")));
+    }
+    inputs.push(BitBinding::new("rc", 0, "cin"));
+    let mut outputs = Vec::new();
+    for i in 0..4 {
+        outputs.push(BitBinding::new("s", i, format!("s[{i}]")));
+    }
+    outputs.push(BitBinding::new("cout", 0, "cout"));
+
+    let mut shadow = ShadowSim::new(&golden, &circuit.netlist, inputs, outputs, vec![]);
+    let mut rng = 0xBEEFu64;
+    for _ in 0..64 {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        shadow.set_input("a", (rng >> 20) & 0xF);
+        shadow.set_input("b", (rng >> 30) & 0xF);
+        shadow.set_input("cin", (rng >> 40) & 1);
+        shadow.step("ck");
+    }
+    assert_eq!(
+        shadow.mismatches().len(),
+        0,
+        "{:?}",
+        &shadow.mismatches()[..shadow.mismatches().len().min(3)]
+    );
+}
+
+#[test]
+fn shadow_catches_injected_functional_bug() {
+    use cbv_core::gen::{inject, FaultKind};
+    use cbv_core::sim::{BitBinding, ShadowSim};
+
+    let p = Process::strongarm_035();
+    let mut circuit = static_ripple_adder(4, &p);
+    inject(&mut circuit.netlist, FaultKind::WrongPolarity).expect("injects");
+    let golden = compile(
+        "module add4(clock ck, in a[4], in b[4], in cin, out s[4], out cout) {\n\
+           reg ra[4]; reg rb[4]; reg rc;\n\
+           at posedge(ck) { ra <= a; rb <= b; rc <= cin; }\n\
+           wire sum[6] = {2'b0, ra} + rb + rc;\n\
+           assign s = sum[3:0];\n\
+           assign cout = sum[4];\n\
+         }",
+        "add4",
+    )
+    .expect("compiles");
+    let mut inputs = Vec::new();
+    for i in 0..4 {
+        inputs.push(BitBinding::new("ra", i, format!("a[{i}]")));
+        inputs.push(BitBinding::new("rb", i, format!("b[{i}]")));
+    }
+    inputs.push(BitBinding::new("rc", 0, "cin"));
+    let mut outputs = Vec::new();
+    for i in 0..4 {
+        outputs.push(BitBinding::new("s", i, format!("s[{i}]")));
+    }
+    outputs.push(BitBinding::new("cout", 0, "cout"));
+    let mut shadow = ShadowSim::new(&golden, &circuit.netlist, inputs, outputs, vec![]);
+    for v in 0..32u64 {
+        shadow.set_input("a", v & 0xF);
+        shadow.set_input("b", (v * 5) & 0xF);
+        shadow.set_input("cin", v & 1);
+        shadow.step("ck");
+    }
+    assert!(
+        !shadow.mismatches().is_empty(),
+        "the polarity bug must surface under shadow simulation"
+    );
+}

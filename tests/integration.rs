@@ -1,0 +1,134 @@
+//! End-to-end integration: generators → full CBV flow → signoff, plus
+//! SPICE round-tripping of generated designs.
+
+use cbv_core::flow::{run_flow, FlowConfig};
+use cbv_core::gen::adders::{manchester_domino_adder, static_ripple_adder};
+use cbv_core::gen::cam::cam_match_line;
+use cbv_core::gen::datapath::alu_slice;
+use cbv_core::gen::latches::{jam_latch, keeper_domino};
+use cbv_core::netlist::spice;
+use cbv_core::recognize::StateKind;
+use cbv_core::tech::Process;
+
+#[test]
+fn every_generator_survives_the_full_flow() {
+    let p = Process::strongarm_035();
+    // The ALU slice is a two-phase design; give it the schedule it was
+    // built for (a relaxed cycle — the bounded-pessimism delay model is
+    // deliberately conservative).
+    let alu_cfg = FlowConfig {
+        schedule: Some(cbv_core::timing::ClockSchedule::two_phase(
+            "phi1",
+            "phi2",
+            cbv_core::tech::units::nanoseconds(50.0),
+            cbv_core::tech::units::nanoseconds(2.0),
+        )),
+        ..FlowConfig::default()
+    };
+    let designs = vec![
+        ("ripple4", static_ripple_adder(4, &p).netlist, FlowConfig::default()),
+        ("manchester4", manchester_domino_adder(4, &p).netlist, FlowConfig::default()),
+        ("alu4", alu_slice(4, &p).netlist, alu_cfg),
+        ("cam_ml8", cam_match_line(8, &p).netlist, FlowConfig::default()),
+        ("jam", jam_latch(&p, 8e-6, 1e-6).netlist, FlowConfig::default()),
+        ("keeper", keeper_domino(&p, 1e-6).netlist, FlowConfig::default()),
+    ];
+    for (name, netlist, cfg) in designs {
+        let report = run_flow(netlist, &p, &cfg);
+        assert!(
+            report.signoff.clean(),
+            "{name} must sign off clean:\n{}",
+            report.signoff
+        );
+        assert!(report.stages.len() == 6, "{name} ran all stages");
+    }
+}
+
+#[test]
+fn flow_works_on_every_process_generation() {
+    for p in [
+        Process::alpha_21064(),
+        Process::alpha_21164(),
+        Process::alpha_21264(),
+        Process::strongarm_035(),
+    ] {
+        let g = static_ripple_adder(2, &p);
+        let report = run_flow(g.netlist, &p, &FlowConfig::default());
+        assert!(report.signoff.clean(), "{}:\n{}", p.name(), report.signoff);
+    }
+}
+
+#[test]
+fn datapath_recognition_inventory() {
+    let p = Process::alpha_21264();
+    let g = alu_slice(8, &p);
+    let report = run_flow(g.netlist, &p, &FlowConfig::default());
+    let rec = &report.recognition;
+    // 8 master + 8 slave latches; the accumulator feedback loop can
+    // merge a bit's pair into one storage SCC, so count storage nets.
+    let latch_elements = rec
+        .state_elements
+        .iter()
+        .filter(|se| se.kind == StateKind::LevelLatch)
+        .count();
+    let storage_nets: usize = rec
+        .state_elements
+        .iter()
+        .map(|se| se.storage_nets.len())
+        .sum();
+    assert!(latch_elements >= 8, "expected >=8 latch elements, found {latch_elements}");
+    assert!(storage_nets >= 16, "expected >=16 storage nets, found {storage_nets}");
+    // All four declared clock phases.
+    assert!(rec.clock_nets.len() >= 4, "clock phases: {:?}", rec.clock_nets.len());
+}
+
+#[test]
+fn spice_round_trip_preserves_flow_results() {
+    let p = Process::strongarm_035();
+    let g = static_ripple_adder(3, &p);
+    // Flat netlist -> SPICE text -> parse -> flatten -> flow.
+    let mut lib = cbv_core::netlist::Library::new();
+    let mut cell = cbv_core::netlist::Cell::new("ripple3");
+    // Rebuild a hierarchical cell from the flat netlist.
+    let flat = &g.netlist;
+    let mut ids = Vec::new();
+    for i in 0..flat.net_count() as u32 {
+        let id = cbv_core::netlist::NetId(i);
+        ids.push(cell.add_net(flat.net_name(id), flat.net_kind(id)));
+    }
+    for d in flat.devices() {
+        let mut d2 = d.clone();
+        d2.gate = ids[d.gate.index()];
+        d2.source = ids[d.source.index()];
+        d2.drain = ids[d.drain.index()];
+        d2.bulk = ids[d.bulk.index()];
+        cell.add_device(d2);
+    }
+    let _top = lib.add_cell(cell).expect("cell adds");
+    let text = spice::write(&lib);
+    let lib2 = spice::parse(&text).expect("round trip parses");
+    let flat2 = lib2
+        .flatten(lib2.find_cell("ripple3").expect("cell present"))
+        .expect("flattens");
+    assert_eq!(flat.devices().len(), flat2.devices().len());
+    let report = run_flow(flat2, &p, &FlowConfig::default());
+    assert!(report.signoff.clean(), "{}", report.signoff);
+}
+
+#[test]
+fn signoff_serializes_for_report_consumers() {
+    let p = Process::strongarm_035();
+    let g = static_ripple_adder(2, &p);
+    let report = run_flow(g.netlist, &p, &FlowConfig::default());
+    let json = serde_json::to_string_pretty(&report.signoff).expect("serializable");
+    assert!(json.contains("electrical"));
+    assert!(json.contains("timing"));
+}
+
+#[test]
+fn bigger_designs_cost_more_power() {
+    let p = Process::strongarm_035();
+    let small = run_flow(static_ripple_adder(2, &p).netlist, &p, &FlowConfig::default());
+    let big = run_flow(static_ripple_adder(8, &p).netlist, &p, &FlowConfig::default());
+    assert!(big.signoff.power.unwrap() > 2.0 * small.signoff.power.unwrap());
+}

@@ -1,0 +1,299 @@
+//! Property-based tests on the toolkit's core invariants.
+
+use cbv_core::bdd::Bdd;
+use cbv_core::netlist::{partition_cccs, Device, FlatNetlist, NetKind};
+use cbv_core::rtl::{blast::blast, compile, interp::Interp};
+use cbv_core::tech::{MosKind, Process};
+use cbv_core::views::partition_overlap;
+use cbv_core::netlist::spice;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The word-level interpreter and the bit-blasted network are two
+    /// independent implementations of the HDL semantics; they must agree
+    /// on arbitrary arithmetic expressions under random inputs.
+    #[test]
+    fn interp_matches_blast_on_random_exprs(
+        ops in proptest::collection::vec(0u8..6, 1..6),
+        inputs in proptest::collection::vec(any::<u64>(), 8),
+        widths in proptest::collection::vec(2u32..12, 3),
+    ) {
+        // Build an expression chain over three inputs.
+        let (wa, wb, wc) = (widths[0], widths[1], widths[2]);
+        let mut expr = String::from("a");
+        for (i, op) in ops.iter().enumerate() {
+            let operand = match i % 3 { 0 => "b", 1 => "c", _ => "a" };
+            let o = match op { 0 => "+", 1 => "-", 2 => "&", 3 => "|", 4 => "^", _ => "+" };
+            expr = format!("({expr} {o} {operand})");
+        }
+        let src = format!(
+            "module m(in a[{wa}], in b[{wb}], in c[{wc}], out y[16]) {{ assign y = {expr}; }}"
+        );
+        let design = compile(&src, "m").expect("generated module compiles");
+        let net = blast(&design).expect("blasts");
+        let mut sim = Interp::new(&design);
+        let mut states = net.initial_states();
+        for chunk in inputs.chunks(3) {
+            let a = chunk[0] & ((1 << wa) - 1);
+            let b = chunk.get(1).copied().unwrap_or(0) & ((1 << wb) - 1);
+            let c = chunk.get(2).copied().unwrap_or(0) & ((1 << wc) - 1);
+            sim.set_input("a", a);
+            sim.set_input("b", b);
+            sim.set_input("c", c);
+            let mut bits = Vec::new();
+            for (v, w) in [(a, wa), (b, wb), (c, wc)] {
+                for i in 0..w {
+                    bits.push((v >> i) & 1 == 1);
+                }
+            }
+            let values = net.eval(&bits, &states);
+            let blasted: u64 = net
+                .output("y")
+                .expect("y exists")
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (values[b.index()] as u64) << i)
+                .sum();
+            prop_assert_eq!(sim.output("y"), blasted);
+            states = net.next_states(&values, &states, 0);
+        }
+    }
+
+    /// BDD operations are canonical: any random expression built two
+    /// different ways (directly vs via De Morgan'd form) yields the same
+    /// node, and eval agrees with direct computation.
+    #[test]
+    fn bdd_canonicity_and_eval(terms in proptest::collection::vec((0u32..6, 0u32..6, any::<bool>()), 1..12), assignment in proptest::collection::vec(any::<bool>(), 6)) {
+        let mut m = Bdd::new();
+        let mut f = m.constant(false);
+        for &(x, y, conj) in &terms {
+            let vx = m.var(x);
+            let vy = m.var(y);
+            let t = if conj { m.and(vx, vy) } else { m.or(vx, vy) };
+            f = m.xor(f, t);
+        }
+        // De Morgan rebuild: a&b = !(!a|!b), a|b = !(!a&!b).
+        let mut g = m.constant(false);
+        for &(x, y, conj) in &terms {
+            let vx = m.var(x);
+            let vy = m.var(y);
+            let nx = m.not(vx);
+            let ny = m.not(vy);
+            let inner = if conj { m.or(nx, ny) } else { m.and(nx, ny) };
+            let t = m.not(inner);
+            g = m.xor(g, t);
+        }
+        prop_assert_eq!(f, g, "canonical forms must coincide");
+        // Eval agrees with direct semantics.
+        let asn: HashMap<u32, bool> = assignment.iter().copied().enumerate().map(|(i, b)| (i as u32, b)).collect();
+        let direct = terms.iter().fold(false, |acc, &(x, y, conj)| {
+            let (vx, vy) = (assignment[x as usize], assignment[y as usize]);
+            acc ^ if conj { vx && vy } else { vx || vy }
+        });
+        prop_assert_eq!(m.eval(f, &asn), direct);
+    }
+
+    /// CCC partitioning is a partition: every device appears in exactly
+    /// one component, regardless of netlist shape.
+    #[test]
+    fn ccc_partition_covers_devices(edges in proptest::collection::vec((0u32..12, 0u32..12, 0u32..12, any::<bool>()), 1..40)) {
+        let mut f = FlatNetlist::new("rand");
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let nets: Vec<_> = (0..12).map(|i| f.add_net(&format!("n{i}"), NetKind::Signal)).collect();
+        for (i, &(g, s, d, is_n)) in edges.iter().enumerate() {
+            let kind = if is_n { MosKind::Nmos } else { MosKind::Pmos };
+            let bulk = if is_n { gnd } else { vdd };
+            f.add_device(Device::mos(
+                kind,
+                format!("m{i}"),
+                nets[g as usize],
+                nets[s as usize],
+                nets[d as usize],
+                bulk,
+                1e-6,
+                0.35e-6,
+            ));
+        }
+        let n_devices = f.devices().len();
+        let (cccs, map) = partition_cccs(&mut f);
+        prop_assert_eq!(map.len(), n_devices);
+        let total: usize = cccs.iter().map(|c| c.devices.len()).sum();
+        prop_assert_eq!(total, n_devices, "every device in exactly one ccc");
+        for (i, &cid) in map.iter().enumerate() {
+            prop_assert!(cccs[cid.index()].devices.contains(&cbv_core::netlist::DeviceId(i as u32)));
+        }
+    }
+
+    /// Hierarchy overlap metrics are bounded and exact for identical
+    /// partitions.
+    #[test]
+    fn overlap_metric_bounds(labels_a in proptest::collection::vec(0u32..5, 1..60), shuffle in any::<bool>()) {
+        let labels_b: Vec<u32> = if shuffle {
+            labels_a.iter().map(|&x| (x + 1) % 5).collect()
+        } else {
+            labels_a.clone()
+        };
+        let s = partition_overlap(&labels_a, &labels_b);
+        prop_assert!(s.mean_best_jaccard > 0.0 && s.mean_best_jaccard <= 1.0);
+        prop_assert!(s.crossing_elements <= s.total_elements);
+        if !shuffle {
+            prop_assert_eq!(s.mean_best_jaccard, 1.0);
+            prop_assert_eq!(s.crossing_elements, 0);
+        } else {
+            // A pure relabeling is still a perfect correspondence.
+            prop_assert_eq!(s.mean_best_jaccard, 1.0);
+        }
+    }
+
+    /// The switch-level simulator computes correct sums on the generated
+    /// ripple adder for arbitrary inputs.
+    #[test]
+    fn switch_level_adder_random(a in 0u64..16, b in 0u64..16, cin in 0u64..2) {
+        use cbv_core::sim::{Logic, SwitchSim};
+        let p = Process::strongarm_035();
+        let g = cbv_core::gen::adders::static_ripple_adder(4, &p);
+        let mut sim = SwitchSim::new(&g.netlist);
+        for i in 0..4 {
+            sim.set(g.inputs[i], Logic::from_bool((a >> i) & 1 == 1));
+            sim.set(g.inputs[4 + i], Logic::from_bool((b >> i) & 1 == 1));
+        }
+        sim.set(g.inputs[8], Logic::from_bool(cin == 1));
+        sim.settle().expect("stable");
+        let mut got = 0u64;
+        for (i, &n) in g.outputs.iter().enumerate() {
+            match sim.value(n) {
+                Logic::One => got |= 1 << i,
+                Logic::Zero => {}
+                Logic::X => prop_assert!(false, "X on output {i}"),
+            }
+        }
+        prop_assert_eq!(got, a + b + cin);
+    }
+}
+
+
+proptest! {
+    /// SPICE write → parse round-trips arbitrary random netlists with
+    /// identical device population and connectivity degree profile.
+    #[test]
+    fn spice_round_trip_random_netlists(devices in proptest::collection::vec((0u32..10, 0u32..10, 0u32..10, any::<bool>(), 1u64..60, 1u64..4), 1..30)) {
+        let mut lib = cbv_core::netlist::Library::new();
+        let mut cell = cbv_core::netlist::Cell::new("rand");
+        let vdd = cell.add_net("vdd", NetKind::Power);
+        let gnd = cell.add_net("gnd", NetKind::Ground);
+        let nets: Vec<_> = (0..10)
+            .map(|i| cell.add_net(&format!("n{i}"), NetKind::Signal))
+            .collect();
+        for (i, &(g, s, d, is_n, w, l)) in devices.iter().enumerate() {
+            let kind = if is_n { MosKind::Nmos } else { MosKind::Pmos };
+            let bulk = if is_n { gnd } else { vdd };
+            cell.add_device(Device::mos(
+                kind,
+                format!("m{i}"),
+                nets[g as usize],
+                nets[s as usize],
+                nets[d as usize],
+                bulk,
+                w as f64 * 1e-7,
+                l as f64 * 0.35e-6,
+            ));
+        }
+        let top = lib.add_cell(cell).expect("adds");
+        let text = spice::write(&lib);
+        let lib2 = spice::parse(&text).expect("parses back");
+        let f1 = lib.flatten(top).expect("flattens");
+        let f2 = lib2
+            .flatten(lib2.find_cell("rand").expect("cell"))
+            .expect("flattens");
+        prop_assert_eq!(f1.devices().len(), f2.devices().len());
+        for (a, b) in f1.devices().iter().zip(f2.devices()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert!((a.w - b.w).abs() < 1e-12);
+            prop_assert!((a.l - b.l).abs() < 1e-12);
+        }
+    }
+
+    /// Elmore delay on a uniform line is monotone in position and total
+    /// RC, and the far-end delay approaches RC/2 with refinement.
+    #[test]
+    fn elmore_line_properties(segments in 2usize..40, r in 10.0f64..10_000.0, c in 1e-15f64..1e-11) {
+        use cbv_core::extract::{RcNet, RcNodeId};
+        use cbv_core::netlist::NetId;
+        use cbv_core::tech::{Farads, Ohms};
+        let rc = RcNet::line(NetId(0), segments, Ohms::new(r), Farads::new(c));
+        let mut prev = -1.0f64;
+        for i in 1..=segments {
+            let t = rc
+                .elmore(rc.first_node(), RcNodeId(i as u32), Ohms::new(50.0))
+                .expect("connected");
+            prop_assert!(t.seconds() > prev, "monotone along the line");
+            prev = t.seconds();
+        }
+        // Far-end delay bounded by the lumped product plus source term.
+        let lumped = 50.0 * c + r * c;
+        prop_assert!(prev <= lumped * 1.001);
+        prop_assert!(prev >= 50.0 * c + 0.4 * r * c);
+    }
+
+    /// Two-phase clocking: a shift pipeline whose stages commit on a
+    /// random mix of rising and falling edges of one clock must behave
+    /// identically in the word-level interpreter and the event-driven
+    /// gate-level simulator, and must match an independently written
+    /// reference model of the two-phase non-blocking semantics.
+    #[test]
+    fn two_phase_pipeline_cross_engine(
+        edges in proptest::collection::vec(any::<bool>(), 1..6),
+        stimulus in proptest::collection::vec(0u64..16, 12),
+    ) {
+        use cbv_core::sim::GateSim;
+        // Build the HDL: one pos block and one neg block, stages chained.
+        let k = edges.len();
+        let mut decls = String::new();
+        let mut pos = String::new();
+        let mut neg = String::new();
+        for (i, is_pos) in edges.iter().enumerate() {
+            decls.push_str(&format!("reg r{i}[4]; "));
+            let src = if i == 0 { "d".to_owned() } else { format!("r{}", i - 1) };
+            let stmt = format!("r{i} <= {src}; ");
+            if *is_pos { pos.push_str(&stmt) } else { neg.push_str(&stmt) }
+        }
+        let mut blocks = String::new();
+        if !pos.is_empty() { blocks.push_str(&format!("at posedge(ck) {{ {pos}}} ")); }
+        if !neg.is_empty() { blocks.push_str(&format!("at negedge(ck) {{ {neg}}} ")); }
+        let src = format!(
+            "module m(clock ck, in d[4], out q[4]) {{ {decls}{blocks}assign q = r{}; }}",
+            k - 1
+        );
+        let design = compile(&src, "m").unwrap();
+        let net = blast(&design).unwrap();
+        let mut isim = Interp::new(&design);
+        let mut gsim = GateSim::new(&net);
+        // Independent reference: all pos stages sample pre-edge values
+        // simultaneously, then all neg stages sample post-pos values.
+        let mut model = vec![0u64; k];
+        for (cycle, &d) in stimulus.iter().enumerate() {
+            isim.set_input("d", d);
+            for b in 0..4 {
+                gsim.set_input_by_name(&format!("d[{b}]"), (d >> b) & 1 == 1);
+            }
+            let pre = model.clone();
+            for i in 0..k {
+                if edges[i] {
+                    model[i] = if i == 0 { d } else { pre[i - 1] };
+                }
+            }
+            let mid = model.clone();
+            for i in 0..k {
+                if !edges[i] {
+                    model[i] = if i == 0 { d } else { mid[i - 1] };
+                }
+            }
+            isim.step("ck");
+            gsim.step(0);
+            prop_assert_eq!(isim.output("q"), model[k - 1], "interp vs model, cycle {}", cycle);
+            prop_assert_eq!(gsim.output("q"), model[k - 1], "gatesim vs model, cycle {}", cycle);
+        }
+    }
+}
