@@ -711,8 +711,7 @@ mod tests {
         let (m2, roots) = m.rebuild(&[f], &[2, 0, 1]);
         let g = roots[0];
         for mask in 0u32..8 {
-            let asn: HashMap<u32, bool> =
-                (0..3).map(|i| (i, (mask >> i) & 1 == 1)).collect();
+            let asn: HashMap<u32, bool> = (0..3).map(|i| (i, (mask >> i) & 1 == 1)).collect();
             assert_eq!(m.eval(f, &asn), m2.eval(g, &asn), "mask {mask}");
         }
     }

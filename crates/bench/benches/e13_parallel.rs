@@ -1,0 +1,27 @@
+//! Criterion bench for E13: the flow's parallel stages at 1/2/4/8
+//! workers over a 32-bit manchester domino adder.
+use cbv_core::flow::{run_flow, FlowConfig};
+use cbv_core::gen::adders::manchester_domino_adder;
+use cbv_core::tech::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let process = Process::strongarm_035();
+    let mut g = c.benchmark_group("e13_parallel_flow");
+    g.sample_size(10);
+    for threads in cbv_bench::e13_parallel::SWEEP {
+        let config = FlowConfig {
+            parallelism: threads,
+            ..FlowConfig::default()
+        };
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter_with_setup(
+                || manchester_domino_adder(32, &process).netlist,
+                |netlist| std::hint::black_box(run_flow(netlist, &process, &config)),
+            )
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

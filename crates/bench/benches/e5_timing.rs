@@ -5,7 +5,9 @@ use cbv_core::layout::synthesize;
 use cbv_core::recognize::recognize;
 use cbv_core::tech::units::nanoseconds;
 use cbv_core::tech::{Process, Tolerance};
-use cbv_core::timing::{analyze, graph::build_graph, infer_constraints, ClockSchedule, DelayCalc, Pessimism};
+use cbv_core::timing::{
+    analyze, graph::build_graph, infer_constraints, ClockSchedule, DelayCalc, Pessimism,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -14,15 +16,22 @@ fn bench(c: &mut Criterion) {
     let mut netlist = g.netlist;
     let rec = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, &p);
-    let ex = extract(&layout, &mut netlist, &p);
+    let ex = extract(&layout, &netlist, &p);
     let pess = Pessimism::signoff();
     let calc = DelayCalc::new(&p, Tolerance::conservative(), pess);
     let graph = build_graph(&netlist, &rec, &ex, &calc);
-    let constraints = infer_constraints(&mut netlist, &rec, &p, &pess);
+    let constraints = infer_constraints(&netlist, &rec, &p, &pess);
     let schedule = ClockSchedule::two_phase("phi1", "phi2", nanoseconds(120.0), nanoseconds(5.0));
     c.bench_function("e5_fig4_sta_alu8", |b| {
         b.iter(|| {
-            std::hint::black_box(analyze(&netlist, &graph, &constraints, &schedule, &pess, &[]))
+            std::hint::black_box(analyze(
+                &netlist,
+                &graph,
+                &constraints,
+                &schedule,
+                &pess,
+                &[],
+            ))
         })
     });
 }

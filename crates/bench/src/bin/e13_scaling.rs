@@ -1,0 +1,4 @@
+//! Regenerates experiment e13's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e13_parallel::print();
+}

@@ -25,7 +25,10 @@ pub fn print() {
         "{:<18}{:>12}{:>12}{:>14}{:>12}",
         "step", "paper x", "ours x", "paper W", "ours W"
     );
-    println!("{:<18}{:>12}{:>12}{:>14}{:>12}", "start (21064)", "-", "-", "26.0", "26.0");
+    println!(
+        "{:<18}{:>12}{:>12}{:>14}{:>12}",
+        "start (21064)", "-", "-", "26.0", "26.0"
+    );
     for (row, (name, pf, pw)) in rows.iter().zip(PAPER) {
         println!(
             "{:<18}{:>12.2}{:>12.2}{:>14.2}{:>12.2}",

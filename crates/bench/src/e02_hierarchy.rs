@@ -65,7 +65,10 @@ pub fn print() {
         "{:<28}{:>10}{:>10}{:>16}{:>12}",
         "comparison", "blocks A", "blocks B", "mean jaccard", "crossers"
     );
-    for (name, s) in [("rtl vs rtl (control)", &r.aligned), ("rtl vs schematic", &r.electrical)] {
+    for (name, s) in [
+        ("rtl vs rtl (control)", &r.aligned),
+        ("rtl vs schematic", &r.electrical),
+    ] {
         println!(
             "{:<28}{:>10}{:>10}{:>16.3}{:>11.1}%",
             name,

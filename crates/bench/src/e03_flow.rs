@@ -59,7 +59,11 @@ pub fn print() {
             p.width,
             p.devices,
             p.report.total_runtime().seconds() * 1e3,
-            if p.report.signoff.clean() { "CLEAN" } else { "VIOLATIONS" }
+            if p.report.signoff.clean() {
+                "CLEAN"
+            } else {
+                "VIOLATIONS"
+            }
         );
     }
 }
@@ -73,7 +77,12 @@ mod tests {
         let points = run();
         assert_eq!(points.len(), 3);
         for p in &points {
-            assert!(p.report.signoff.clean(), "{}b: {}", p.width, p.report.signoff);
+            assert!(
+                p.report.signoff.clean(),
+                "{}b: {}",
+                p.width,
+                p.report.signoff
+            );
         }
         assert!(points[2].devices > 3 * points[0].devices);
     }

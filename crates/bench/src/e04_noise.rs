@@ -36,17 +36,62 @@ fn domino_stack(depth: usize, w: f64, process: &Process) -> FlatNetlist {
     let out = f.add_net("out", NetKind::Output);
     let vdd = f.add_net("vdd", NetKind::Power);
     let gnd = f.add_net("gnd", NetKind::Ground);
-    f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3.4e-6, l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "pre",
+        clk,
+        d,
+        vdd,
+        vdd,
+        3.4e-6,
+        l,
+    ));
     let mut prev = d;
     for i in 0..depth {
         let a = f.add_net(&format!("a{i}"), NetKind::Input);
         let nxt = f.add_net(&format!("x{i}"), NetKind::Signal);
-        f.add_device(Device::mos(MosKind::Nmos, format!("m{i}"), a, prev, nxt, gnd, w, l));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("m{i}"),
+            a,
+            prev,
+            nxt,
+            gnd,
+            w,
+            l,
+        ));
         prev = nxt;
     }
-    f.add_device(Device::mos(MosKind::Nmos, "foot", clk, prev, gnd, gnd, w, l));
-    f.add_device(Device::mos(MosKind::Pmos, "op", d, out, vdd, vdd, 3.4e-6, l));
-    f.add_device(Device::mos(MosKind::Nmos, "on", d, out, gnd, gnd, 1.4e-6, l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "foot",
+        clk,
+        prev,
+        gnd,
+        gnd,
+        w,
+        l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "op",
+        d,
+        out,
+        vdd,
+        vdd,
+        3.4e-6,
+        l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "on",
+        d,
+        out,
+        gnd,
+        gnd,
+        1.4e-6,
+        l,
+    ));
     f
 }
 
@@ -54,16 +99,19 @@ fn battery(netlist: FlatNetlist, process: &Process, check: CheckKind, hold: Seco
     let mut netlist = netlist;
     let rec = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, process);
-    let ex = extract(&layout, &mut netlist, process);
+    let ex = extract(&layout, &netlist, process);
     let mut cfg = EverifyConfig::for_process(process);
     cfg.dynamic_hold = hold;
     // Keep every record so the sweep shows the filter boundary moving.
     cfg.filter_threshold = 1e-6;
-    let report = run_all(&mut netlist, &rec, &ex, Some(&layout), process, &cfg);
+    let report = run_all(&netlist, &rec, &ex, Some(&layout), process, &cfg);
     let findings: Vec<_> = report.of_check(check).collect();
     let worst = findings.iter().map(|f| f.stress).fold(0.0, f64::max);
     // Re-bucket against the signoff threshold 0.6.
-    let violations = findings.iter().filter(|f| f.severity == Severity::Violation).count();
+    let violations = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Violation)
+        .count();
     let reviews = findings
         .iter()
         .filter(|f| f.severity == Severity::Review && f.stress >= 0.6)
@@ -149,10 +197,10 @@ pub fn keeper_coupling() -> Vec<(String, f64)> {
         };
         let rec = recognize(&mut netlist);
         let layout = synthesize(&mut netlist, &p);
-        let ex = extract(&layout, &mut netlist, &p);
+        let ex = extract(&layout, &netlist, &p);
         let mut cfg = EverifyConfig::for_process(&p);
         cfg.filter_threshold = 1e-6;
-        let report = run_all(&mut netlist, &rec, &ex, Some(&layout), &p, &cfg);
+        let report = run_all(&netlist, &rec, &ex, Some(&layout), &p, &cfg);
         let dyn_net = netlist.find_net("dyn").expect("dyn exists");
         let stress = report
             .of_check(CheckKind::Coupling)
@@ -168,7 +216,10 @@ pub fn keeper_coupling() -> Vec<(String, f64)> {
 pub fn print() {
     crate::banner("E4", "Fig 3 — noise sources in dynamic structures");
     println!("charge sharing vs evaluate-stack depth:");
-    println!("{:>8}{:>14}{:>12}{:>10}{:>10}", "depth", "worst stress", "violations", "reviews", "filtered");
+    println!(
+        "{:>8}{:>14}{:>12}{:>10}{:>10}",
+        "depth", "worst stress", "violations", "reviews", "filtered"
+    );
     for pt in charge_share_sweep() {
         println!(
             "{:>8.0}{:>14.2}{:>12}{:>10}{:>10}",
@@ -178,7 +229,10 @@ pub fn print() {
     println!("\nsubthreshold leakage vs channel lengthening (5 us hold):");
     println!("{:>8}{:>14}{:>12}", "dL nm", "worst stress", "violations");
     for pt in leakage_sweep() {
-        println!("{:>8.1}{:>14.2}{:>12}", pt.param, pt.worst_stress, pt.violations);
+        println!(
+            "{:>8.1}{:>14.2}{:>12}",
+            pt.param, pt.worst_stress, pt.violations
+        );
     }
     println!("\ncoupling stress on the dynamic node, keeper ablation:");
     for (name, stress) in keeper_coupling() {

@@ -16,8 +16,8 @@ use cbv_core::recognize::recognize;
 use cbv_core::tech::units::nanoseconds;
 use cbv_core::tech::{MosKind, Process, Seconds, Tolerance};
 use cbv_core::timing::{
-    analyze, graph::build_graph, infer_constraints, ClockSchedule, ClockSkew, DelayCalc,
-    Pessimism, ViolationKind,
+    analyze, graph::build_graph, infer_constraints, ClockSchedule, ClockSkew, DelayCalc, Pessimism,
+    ViolationKind,
 };
 
 /// One row of the setup sweep.
@@ -37,11 +37,11 @@ pub fn setup_sweep() -> Vec<SetupPoint> {
     let mut netlist = g.netlist;
     let rec = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, &p);
-    let ex = extract(&layout, &mut netlist, &p);
+    let ex = extract(&layout, &netlist, &p);
     let pess = Pessimism::signoff();
     let calc = DelayCalc::new(&p, Tolerance::conservative(), pess);
     let graph = build_graph(&netlist, &rec, &ex, &calc);
-    let constraints = infer_constraints(&mut netlist, &rec, &p, &pess);
+    let constraints = infer_constraints(&netlist, &rec, &p, &pess);
 
     [250.0, 120.0, 60.0, 25.0]
         .into_iter()
@@ -88,7 +88,16 @@ fn race_chain(k: usize) -> (FlatNetlist, Vec<cbv_core::netlist::NetId>) {
     let add_latch = |f: &mut FlatNetlist, name: &str, din, qout| {
         let x = f.add_net(&format!("{name}_x"), NetKind::Signal);
         let qb = f.add_net(&format!("{name}_qb"), NetKind::Signal);
-        f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pass"), ck, din, x, gnd, 4.0 * s.wn, s.l));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("{name}_pass"),
+            ck,
+            din,
+            x,
+            gnd,
+            4.0 * s.wn,
+            s.l,
+        ));
         add_inverter(f, &format!("{name}_fwd"), x, qb, vdd, gnd, s);
         add_inverter(f, &format!("{name}_out"), qb, qout, vdd, gnd, s);
         f.add_device(Device::mos(
@@ -126,7 +135,7 @@ pub fn race_study() -> Vec<RacePoint> {
             let (mut netlist, clocks) = race_chain(k);
             let rec = recognize(&mut netlist);
             let layout = synthesize(&mut netlist, &p);
-            let ex = extract(&layout, &mut netlist, &p);
+            let ex = extract(&layout, &netlist, &p);
             let skews: Vec<ClockSkew> = clocks
                 .iter()
                 .map(|&c| ClockSkew {
@@ -142,7 +151,7 @@ pub fn race_study() -> Vec<RacePoint> {
                 pess.correlated = correlated;
                 let calc = DelayCalc::new(&p, Tolerance::conservative(), pess);
                 let graph = build_graph(&netlist, &rec, &ex, &calc);
-                let constraints = infer_constraints(&mut netlist, &rec, &p, &pess);
+                let constraints = infer_constraints(&netlist, &rec, &p, &pess);
                 let report = analyze(&netlist, &graph, &constraints, &schedule, &pess, &skews);
                 races[slot] = report.of_kind(ViolationKind::Race).count();
             }
@@ -159,7 +168,10 @@ pub fn race_study() -> Vec<RacePoint> {
 pub fn print() {
     crate::banner("E5", "Fig 4 — critical paths and races");
     println!("critical paths: cycle-time sweep on the two-phase accumulator");
-    println!("{:>12}{:>10}{:>18}", "period ns", "setups", "worst slack ps");
+    println!(
+        "{:>12}{:>10}{:>18}",
+        "period ns", "setups", "worst slack ps"
+    );
     for pt in setup_sweep() {
         println!(
             "{:>12.0}{:>10}{:>18.0}",
@@ -169,7 +181,10 @@ pub fn print() {
         );
     }
     println!("\nraces: same-phase latch-to-latch min paths, 250 ps clock spread");
-    println!("{:>10}{:>16}{:>18}", "buffers", "races (corr)", "races (uncorr)");
+    println!(
+        "{:>10}{:>16}{:>18}",
+        "buffers", "races (corr)", "races (uncorr)"
+    );
     for pt in race_study() {
         println!(
             "{:>10}{:>16}{:>18}",
@@ -188,7 +203,11 @@ mod tests {
     #[test]
     fn shorter_cycles_create_setup_violations() {
         let pts = setup_sweep();
-        assert_eq!(pts[0].setups, 0, "250 ns must close: {:?}", pts[0].worst_slack);
+        assert_eq!(
+            pts[0].setups, 0,
+            "250 ns must close: {:?}",
+            pts[0].worst_slack
+        );
         assert!(pts.last().unwrap().setups > 0, "25 ns must fail");
     }
 
@@ -197,7 +216,10 @@ mod tests {
         let pts = race_study();
         let corr: usize = pts.iter().map(|p| p.races_correlated).sum();
         let uncorr: usize = pts.iter().map(|p| p.races_uncorrelated).sum();
-        assert!(uncorr > corr, "uncorrelated must flag more: {uncorr} vs {corr}");
+        assert!(
+            uncorr > corr,
+            "uncorrelated must flag more: {uncorr} vs {corr}"
+        );
         assert_eq!(corr, 0, "these paths are safe on a real (correlated) die");
         // Deep buffering protects even the pessimistic analysis.
         assert_eq!(pts.last().unwrap().races_uncorrelated, 0);

@@ -102,7 +102,10 @@ pub fn gate_context_window() -> Vec<(f64, f64, f64)> {
 
 /// Prints the Fig 5 tables.
 pub fn print() {
-    crate::banner("E6", "Fig 5 — distributed drivers vs the lumped single-port model");
+    crate::banner(
+        "E6",
+        "Fig 5 — distributed drivers vs the lumped single-port model",
+    );
     println!(
         "{:>12}{:>14}{:>16}{:>12}",
         "length um", "lumped ps", "distributed ps", "error %"
@@ -138,7 +141,10 @@ mod tests {
             pts[0].error,
             pts.last().unwrap().error
         );
-        assert!(pts.last().unwrap().error > 0.10, "long-wire error is material");
+        assert!(
+            pts.last().unwrap().error > 0.10,
+            "long-wire error is material"
+        );
     }
 
     #[test]

@@ -71,14 +71,41 @@ pub fn run() -> EquivResult {
     let d = f.add_net("dynn", NetKind::Output);
     let vdd = f.add_net("vdd", NetKind::Power);
     let gnd = f.add_net("gnd", NetKind::Ground);
-    f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "pre",
+        clk,
+        d,
+        vdd,
+        vdd,
+        3e-6,
+        0.35e-6,
+    ));
     let mut prev = d;
     for (i, &a) in ins.iter().enumerate() {
         let nxt = f.add_net(&format!("s{i}"), NetKind::Signal);
-        f.add_device(Device::mos(MosKind::Nmos, format!("m{i}"), a, prev, nxt, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("m{i}"),
+            a,
+            prev,
+            nxt,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         prev = nxt;
     }
-    f.add_device(Device::mos(MosKind::Nmos, "foot", clk, prev, gnd, gnd, 6e-6, 0.35e-6));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "foot",
+        clk,
+        prev,
+        gnd,
+        gnd,
+        6e-6,
+        0.35e-6,
+    ));
     let rec = recognize(&mut f);
     let golden_rtl = compile(
         "module g(in i0, in i1, in i2, out y) { assign y = i0 & i1 & i2; }",
@@ -147,11 +174,19 @@ pub fn print() {
     );
     println!(
         "domino AND3 vs RTL a&b&c:    {}",
-        if r.domino_equivalent { "EQUIVALENT (complement-rail mapping)" } else { "MISMATCH" }
+        if r.domino_equivalent {
+            "EQUIVALENT (complement-rail mapping)"
+        } else {
+            "MISMATCH"
+        }
     );
     println!(
         "ripple vs carry-select +:    {}  ({} BDD nodes total)",
-        if r.adders_equivalent { "EQUIVALENT (canonical BDDs coincide)" } else { "MISMATCH" },
+        if r.adders_equivalent {
+            "EQUIVALENT (canonical BDDs coincide)"
+        } else {
+            "MISMATCH"
+        },
         r.bdd_nodes
     );
 }

@@ -99,8 +99,14 @@ pub fn run() -> Vec<LeakagePoint> {
 
 /// Prints the matrix.
 pub fn print() {
-    crate::banner("E9", "§3 — standby leakage vs channel lengthening (20 mW spec)");
-    println!("{:>10}{:>14}{:>14}{:>12}", "dL um", "corner", "standby mW", "spec");
+    crate::banner(
+        "E9",
+        "§3 — standby leakage vs channel lengthening (20 mW spec)",
+    );
+    println!(
+        "{:>10}{:>14}{:>14}{:>12}",
+        "dL um", "corner", "standby mW", "spec"
+    );
     for pt in run() {
         println!(
             "{:>10.3}{:>14}{:>14.2}{:>12}",

@@ -7,6 +7,7 @@
 //! signoff-calibrated bounds). Under-deratred analyses miss real
 //! violations; over-derated analyses flood the designer with false ones.
 
+use cbv_core::exec::Executor;
 use cbv_core::netlist::{CccId, FlatNetlist, NetKind};
 use cbv_core::tech::units::{nanoseconds, picoseconds};
 use cbv_core::tech::Seconds;
@@ -74,13 +75,26 @@ fn flagged_paths(scale: f64) -> Vec<bool> {
     flagged
 }
 
-/// Runs the sweep; truth = scale 1.0.
+/// The swept pessimism scales; `1.0` is the calibrated reference
+/// ("silicon truth").
+const SCALES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
+
+/// Runs the sweep; truth = scale 1.0. Workers come from `CBV_THREADS` /
+/// machine parallelism; see [`run_with`].
 pub fn run() -> Vec<RocPoint> {
-    let truth = flagged_paths(1.0);
-    [0.0, 0.5, 1.0, 2.0, 4.0]
+    run_with(&Executor::new())
+}
+
+/// Runs the sweep with each pessimism setting's 24-path campaign on its
+/// own worker. The executor preserves sweep order, so the ROC table is
+/// identical at any thread count.
+pub fn run_with(exec: &Executor) -> Vec<RocPoint> {
+    let flagged_by_scale = exec.map(SCALES.to_vec(), flagged_paths);
+    let truth = flagged_by_scale[SCALES.iter().position(|&s| s == 1.0).expect("reference")].clone();
+    SCALES
         .into_iter()
-        .map(|scale| {
-            let flagged = flagged_paths(scale);
+        .zip(flagged_by_scale)
+        .map(|(scale, flagged)| {
             let mut missed = 0;
             let mut false_alarms = 0;
             let mut caught = 0;
@@ -141,7 +155,23 @@ mod tests {
         let paranoid = pts.last().expect("points");
         assert!(optimistic.missed > 0, "under-derated analysis must miss");
         assert_eq!(optimistic.false_alarms, 0);
-        assert!(paranoid.false_alarms > 0, "over-derated analysis must over-report");
+        assert!(
+            paranoid.false_alarms > 0,
+            "over-derated analysis must over-report"
+        );
         assert_eq!(paranoid.missed, 0, "pessimism never misses");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_workers() {
+        let fingerprint = |pts: Vec<RocPoint>| -> Vec<(f64, usize, usize, usize)> {
+            pts.into_iter()
+                .map(|p| (p.scale, p.caught, p.missed, p.false_alarms))
+                .collect()
+        };
+        assert_eq!(
+            fingerprint(run_with(&Executor::serial())),
+            fingerprint(run_with(&Executor::threads(8)))
+        );
     }
 }

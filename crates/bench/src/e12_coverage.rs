@@ -5,6 +5,7 @@
 //! what silicon would expose" experiment.
 
 use cbv_core::everify::{run_all, CheckKind, EverifyConfig};
+use cbv_core::exec::Executor;
 use cbv_core::extract::extract;
 use cbv_core::gen::adders::{manchester_domino_adder, static_ripple_adder};
 use cbv_core::gen::clocktree::clock_trunk;
@@ -27,12 +28,11 @@ pub struct CoverageRow {
     pub detected: bool,
 }
 
-fn violations_of(mut netlist: FlatNetlist, p: &Process) -> Vec<CheckKind> {
+fn violations_of(mut netlist: FlatNetlist, p: &Process, cfg: &EverifyConfig) -> Vec<CheckKind> {
     let rec = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, p);
-    let ex = extract(&layout, &mut netlist, p);
-    let cfg = EverifyConfig::for_process(p);
-    let report = run_all(&mut netlist, &rec, &ex, Some(&layout), p, &cfg);
+    let ex = extract(&layout, &netlist, p);
+    let report = run_all(&netlist, &rec, &ex, Some(&layout), p, cfg);
     let mut fired: Vec<CheckKind> = report.violations().map(|f| f.check).collect();
     fired.sort_by_key(|k| format!("{k}"));
     fired.dedup();
@@ -40,45 +40,43 @@ fn violations_of(mut netlist: FlatNetlist, p: &Process) -> Vec<CheckKind> {
 }
 
 /// The fault → target-design pairing (each fault needs a design where its
-/// victim structure exists).
+/// victim structure exists). Workers come from `CBV_THREADS` / machine
+/// parallelism; see [`run_with`].
 pub fn run() -> Vec<CoverageRow> {
+    run_with(&Executor::new())
+}
+
+/// Runs the campaign with each fault-injection case (inject → recognize
+/// → layout → extract → battery) on its own worker. The executor
+/// preserves case order, so the matrix is identical at any thread count.
+pub fn run_with(exec: &Executor) -> Vec<CoverageRow> {
     let p = Process::strongarm_035();
     let cases: Vec<(FaultKind, FlatNetlist)> = vec![
         (FaultKind::BetaSkew, static_ripple_adder(2, &p).netlist),
         (FaultKind::SubMinLength, keeper_domino(&p, 1e-6).netlist),
         (FaultKind::MonsterKeeper, keeper_domino(&p, 1e-6).netlist),
-        (FaultKind::ChargeShare, manchester_domino_adder(2, &p).netlist),
+        (
+            FaultKind::ChargeShare,
+            manchester_domino_adder(2, &p).netlist,
+        ),
         (FaultKind::WeakDriver, clock_trunk(3, 3.0, 256, &p).netlist),
         (FaultKind::LeakyDynamic, keeper_domino(&p, 1e-6).netlist),
     ];
-    cases
-        .into_iter()
-        .map(|(fault, mut netlist)| {
-            let description = inject(&mut netlist, fault).expect("fault injects");
-            // LeakyDynamic only shows under a long gated-clock hold.
-            let fired = if fault == FaultKind::LeakyDynamic {
-                let mut nl = netlist;
-                let rec = recognize(&mut nl);
-                let layout = synthesize(&mut nl, &p);
-                let ex = extract(&layout, &mut nl, &p);
-                let mut cfg = EverifyConfig::for_process(&p);
-                cfg.dynamic_hold = cbv_core::tech::Seconds::new(3e-6);
-                let report = run_all(&mut nl, &rec, &ex, Some(&layout), &p, &cfg);
-                let mut fired: Vec<CheckKind> = report.violations().map(|f| f.check).collect();
-                fired.sort_by_key(|k| format!("{k}"));
-                fired.dedup();
-                fired
-            } else {
-                violations_of(netlist, &p)
-            };
-            CoverageRow {
-                fault,
-                description,
-                detected: !fired.is_empty(),
-                fired,
-            }
-        })
-        .collect()
+    exec.map(cases, |(fault, mut netlist)| {
+        let description = inject(&mut netlist, fault).expect("fault injects");
+        let mut cfg = EverifyConfig::for_process(&p);
+        // LeakyDynamic only shows under a long gated-clock hold.
+        if fault == FaultKind::LeakyDynamic {
+            cfg.dynamic_hold = cbv_core::tech::Seconds::new(3e-6);
+        }
+        let fired = violations_of(netlist, &p, &cfg);
+        CoverageRow {
+            fault,
+            description,
+            detected: !fired.is_empty(),
+            fired,
+        }
+    })
 }
 
 /// Prints the matrix.
@@ -133,5 +131,23 @@ mod tests {
                 row.fired
             );
         }
+    }
+
+    #[test]
+    fn matrix_is_deterministic_across_workers() {
+        let fingerprint = |rows: Vec<CoverageRow>| -> Vec<String> {
+            rows.into_iter()
+                .map(|r| {
+                    format!(
+                        "{:?} {} {:?} {}",
+                        r.fault, r.detected, r.fired, r.description
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            fingerprint(run_with(&Executor::serial())),
+            fingerprint(run_with(&Executor::threads(8)))
+        );
     }
 }

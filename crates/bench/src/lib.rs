@@ -1,6 +1,6 @@
 //! `cbv-bench` — the experiment harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E12), each covering
+//! One module per experiment in DESIGN.md's index (E1–E13), each covering
 //! one table, figure or quantitative claim of the paper. Every module
 //! exposes a pure `run()`-style function returning the experiment's data;
 //! the `src/bin/` binaries print the paper-style tables and the Criterion
@@ -18,6 +18,7 @@ pub mod e09_leakage;
 pub mod e10_pessimism;
 pub mod e11_sizing;
 pub mod e12_coverage;
+pub mod e13_parallel;
 
 /// Prints a uniform experiment header.
 pub fn banner(id: &str, what: &str) {

@@ -13,9 +13,10 @@
 //! timing with inferred constraints, and §3 power — producing per-stage
 //! timings and the aggregated [`Signoff`].
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cbv_everify::EverifyConfig;
+use cbv_exec::Executor;
 use cbv_netlist::FlatNetlist;
 use cbv_power::ActivityModel;
 use cbv_recognize::Recognition;
@@ -42,6 +43,10 @@ pub struct FlowConfig {
     /// multi-stub channels (the designer finishes the layout, as in the
     /// paper's methodology); enable for hand layouts and small cells.
     pub check_drc: bool,
+    /// Worker threads for the parallel stages (everify battery, timing
+    /// graph build). `0` = auto: honour `CBV_THREADS`, else machine
+    /// parallelism. Results are identical at every thread count.
+    pub parallelism: usize,
 }
 
 impl Default for FlowConfig {
@@ -52,6 +57,7 @@ impl Default for FlowConfig {
             tolerance: Tolerance::conservative(),
             activity: 0.15,
             check_drc: false,
+            parallelism: 0,
         }
     }
 }
@@ -61,8 +67,13 @@ impl Default for FlowConfig {
 pub struct StageReport {
     /// Stage name (matches Fig 2's boxes).
     pub stage: &'static str,
-    /// Wall-clock runtime.
+    /// Wall-clock runtime: what the designer waits for.
     pub runtime: Seconds,
+    /// Aggregate compute time: worker busy time summed over threads plus
+    /// the stage's serial remainder. Equals `runtime` for serial stages;
+    /// the `cpu_time / runtime` ratio is the stage's effective
+    /// parallelism.
+    pub cpu_time: Seconds,
     /// Number of artifacts produced/processed (devices, shapes, arcs...).
     pub artifacts: usize,
 }
@@ -81,18 +92,37 @@ pub struct FlowReport {
 }
 
 impl FlowReport {
-    /// Total runtime across stages.
+    /// Total wall-clock runtime across stages (the stages run back to
+    /// back, so this is also the flow's elapsed time).
     pub fn total_runtime(&self) -> Seconds {
         self.stages.iter().map(|s| s.runtime).sum()
     }
+
+    /// Total compute across stages, counting every worker's busy time.
+    /// With parallel stages this exceeds [`total_runtime`]; the gap is
+    /// the work the extra threads absorbed.
+    ///
+    /// [`total_runtime`]: FlowReport::total_runtime
+    pub fn total_cpu_time(&self) -> Seconds {
+        self.stages.iter().map(|s| s.cpu_time).sum()
+    }
 }
 
-fn timed<T>(stages: &mut Vec<StageReport>, stage: &'static str, f: impl FnOnce() -> (T, usize)) -> T {
+/// Times one stage. The closure reports `(value, artifacts, cpu)`; `cpu`
+/// is the aggregate worker busy time for parallel stages, or `None` for
+/// serial stages (cpu time == wall time).
+fn timed<T>(
+    stages: &mut Vec<StageReport>,
+    stage: &'static str,
+    f: impl FnOnce() -> (T, usize, Option<Duration>),
+) -> T {
     let start = Instant::now();
-    let (value, artifacts) = f();
+    let (value, artifacts, cpu) = f();
+    let runtime = Seconds::new(start.elapsed().as_secs_f64());
     stages.push(StageReport {
         stage,
-        runtime: Seconds::new(start.elapsed().as_secs_f64()),
+        runtime,
+        cpu_time: cpu.map_or(runtime, |d| Seconds::new(d.as_secs_f64())),
         artifacts,
     });
     value
@@ -102,19 +132,20 @@ fn timed<T>(stages: &mut Vec<StageReport>, stage: &'static str, f: impl FnOnce()
 pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig) -> FlowReport {
     let mut stages = Vec::new();
     let mut drc_violations = 0usize;
+    let exec = Executor::threads(config.parallelism);
 
     // 1. Circuit recognition (§2.3).
     let recognition = timed(&mut stages, "recognize", || {
         let r = cbv_recognize::recognize(&mut netlist);
         let n = r.cccs.len();
-        (r, n)
+        (r, n, None)
     });
 
     // 2. Layout assistance (§2.2).
     let layout = timed(&mut stages, "layout", || {
         let l = cbv_layout::synthesize(&mut netlist, process);
         let n = l.shapes.len();
-        (l, n)
+        (l, n, None)
     });
 
     // 2b. Optional geometric DRC over the assisted layout.
@@ -123,32 +154,34 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
         let violations = timed(&mut stages, "drc", || {
             let v = cbv_layout::check_drc(&layout, &netlist, &rules, 10_000);
             let n = v.len();
-            (v, n)
+            (v, n, None)
         });
         drc_violations = violations.len();
     }
 
     // 3. Extraction (§4.3 inputs).
     let extracted = timed(&mut stages, "extract", || {
-        let e = cbv_extract::extract(&layout, &mut netlist, process);
+        let e = cbv_extract::extract(&layout, &netlist, process);
         let n = e.iter().count();
-        (e, n)
+        (e, n, None)
     });
 
-    // 4. Electrical verification battery (§4.2).
+    // 4. Electrical verification battery (§4.2), checks fanned out
+    // across the executor's workers.
     let mut everify_cfg = EverifyConfig::for_process(process);
     everify_cfg.tolerance = config.tolerance;
     let ereport = timed(&mut stages, "everify", || {
-        let r = cbv_everify::run_all(
-            &mut netlist,
+        let (r, busy) = cbv_everify::run_all_parallel(
+            &netlist,
             &recognition,
             &extracted,
             Some(&layout),
             process,
             &everify_cfg,
+            &exec,
         );
         let n = r.checked_count();
-        (r, n)
+        (r, n, Some(busy))
     });
 
     // 5. Timing verification (§4.3).
@@ -162,9 +195,16 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     });
     let calc = DelayCalc::new(process, config.tolerance, config.pessimism);
     let (sta, n_constraints) = timed(&mut stages, "timing", || {
-        let graph = cbv_timing::graph::build_graph(&netlist, &recognition, &extracted, &calc);
+        let (graph, graph_busy) = cbv_timing::graph::build_graph_parallel(
+            &netlist,
+            &recognition,
+            &extracted,
+            &calc,
+            &exec,
+        );
+        let serial_start = Instant::now();
         let constraints =
-            cbv_timing::infer_constraints(&mut netlist, &recognition, process, &config.pessimism);
+            cbv_timing::infer_constraints(&netlist, &recognition, process, &config.pessimism);
         let skews: Vec<_> = recognition
             .clock_nets
             .iter()
@@ -186,7 +226,10 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
             &skews,
         );
         let n = constraints.len();
-        ((r, n), graph.arcs.len())
+        // Stage compute = parallel graph build (all workers) + the
+        // serial constraint/skew/propagation remainder.
+        let cpu = graph_busy + serial_start.elapsed();
+        ((r, n), graph.arcs.len(), Some(cpu))
     });
 
     // 6. Power estimation (§3).
@@ -199,7 +242,7 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
             process.f_target(),
             &ActivityModel::uniform(config.activity),
         );
-        (p, 1)
+        (p, 1, None)
     });
 
     let mut signoff = Signoff::default();
@@ -232,6 +275,10 @@ mod tests {
         assert!(r.signoff.clean(), "{}", r.signoff);
         assert_eq!(r.stages.len(), 6);
         assert!(r.total_runtime().seconds() > 0.0);
+        assert!(
+            r.total_cpu_time().seconds() >= r.total_runtime().seconds() * 0.5,
+            "cpu time tracks wall time within measurement noise"
+        );
         assert!(r.signoff.power.unwrap() > 0.0);
     }
 

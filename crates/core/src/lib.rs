@@ -69,5 +69,8 @@ pub use cbv_power as power;
 /// Equivalence checking.
 pub use cbv_equiv as equiv;
 
+/// The scoped-thread parallel execution layer.
+pub use cbv_exec as exec;
+
 /// Synthetic design generators and fault injectors.
 pub use cbv_gen as gen;

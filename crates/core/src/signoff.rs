@@ -5,12 +5,12 @@ use std::fmt;
 use cbv_everify::{Report, Severity};
 use cbv_tech::{Seconds, Watts};
 use cbv_timing::{StaReport, ViolationKind};
-use serde::Serialize;
+use serde::{JsonWriter, Serialize};
 
 /// One line of the signoff summary (serializable for report files — the
 /// CBV methodology treats reports as first-class artifacts designers
 /// consume).
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckSummary {
     /// Check category name.
     pub category: String,
@@ -24,8 +24,20 @@ pub struct CheckSummary {
     pub violations: usize,
 }
 
+impl Serialize for CheckSummary {
+    fn serialize_json(&self, out: &mut String) {
+        let mut w = JsonWriter::object(out);
+        w.field("category", &self.category);
+        w.field("checked", &self.checked);
+        w.field("filtered", &self.filtered);
+        w.field("reviews", &self.reviews);
+        w.field("violations", &self.violations);
+        w.end();
+    }
+}
+
 /// The complete signoff.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Signoff {
     /// Per-category summaries.
     pub categories: Vec<CheckSummary>,
@@ -35,6 +47,17 @@ pub struct Signoff {
     pub races: usize,
     /// Estimated total power in watts, if power ran.
     pub power: Option<f64>,
+}
+
+impl Serialize for Signoff {
+    fn serialize_json(&self, out: &mut String) {
+        let mut w = JsonWriter::object(out);
+        w.field("categories", &self.categories);
+        w.field("worst_setup_slack", &self.worst_setup_slack);
+        w.field("races", &self.races);
+        w.field("power", &self.power);
+        w.end();
+    }
 }
 
 impl Signoff {
@@ -123,7 +146,11 @@ impl fmt::Display for Signoff {
         writeln!(
             f,
             "verdict: {}",
-            if self.clean() { "CLEAN" } else { "VIOLATIONS PRESENT" }
+            if self.clean() {
+                "CLEAN"
+            } else {
+                "VIOLATIONS PRESENT"
+            }
         )
     }
 }
@@ -137,9 +164,15 @@ mod tests {
     #[test]
     fn summary_math() {
         let mut report = Report::new(0.6);
-        report.record(CheckKind::Coupling, Subject::Net(NetId(0)), 0.1, || "a".into());
-        report.record(CheckKind::Coupling, Subject::Net(NetId(1)), 0.8, || "b".into());
-        report.record(CheckKind::Coupling, Subject::Net(NetId(2)), 1.5, || "c".into());
+        report.record(CheckKind::Coupling, Subject::Net(NetId(0)), 0.1, || {
+            "a".into()
+        });
+        report.record(CheckKind::Coupling, Subject::Net(NetId(1)), 0.8, || {
+            "b".into()
+        });
+        report.record(CheckKind::Coupling, Subject::Net(NetId(2)), 1.5, || {
+            "c".into()
+        });
         let mut s = Signoff::default();
         s.add_everify(&report);
         assert_eq!(s.categories[0].checked, 3);

@@ -114,7 +114,11 @@ pub fn partition_overlap(a: &[u32], b: &[u32]) -> OverlapStats {
         for (&gb, members_b) in &groups_b {
             let inter = members_a.iter().filter(|i| b[**i] == gb).count();
             let union = members_a.len() + members_b.len() - inter;
-            let j = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            let j = if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            };
             if j > best {
                 best = j;
                 best_gb = gb;

@@ -78,12 +78,7 @@ pub fn boolnet_to_bdds(
     Ok(net
         .outputs
         .iter()
-        .map(|(name, bits)| {
-            (
-                name.clone(),
-                bits.iter().map(|b| map[b.index()]).collect(),
-            )
-        })
+        .map(|(name, bits)| (name.clone(), bits.iter().map(|b| map[b.index()]).collect()))
         .collect())
 }
 
@@ -174,15 +169,12 @@ pub fn check_circuit_outputs(
                 // pull-down condition (with clocks treated as asserted).
                 out_fn.pull_down.clone().negate()
             }
-            _ => out_fn
-                .function
-                .clone()
-                .ok_or_else(|| {
-                    format!(
-                        "`{}` has non-complementary pull networks; no settled function",
-                        spec.net
-                    )
-                })?,
+            _ => out_fn.function.clone().ok_or_else(|| {
+                format!(
+                    "`{}` has non-complementary pull networks; no settled function",
+                    spec.net
+                )
+            })?,
         };
         let mut circuit = expr_to_bdd(&circuit_expr, netlist, mgr, vars);
         // Clock variables are asserted during evaluation.
@@ -276,17 +268,50 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let rec = recognize(&mut f);
 
-        let golden_rtl = compile(
-            "module g(in a, in b, out y) { assign y = ~(a & b); }",
-            "g",
-        )
-        .unwrap();
+        let golden_rtl =
+            compile("module g(in a, in b, out y) { assign y = ~(a & b); }", "g").unwrap();
         let gnet = blast(&golden_rtl).unwrap();
         let mut mgr = Bdd::new();
         let mut vars = VarTable::default();
@@ -318,16 +343,49 @@ mod tests {
         let p = f.add_net("p", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, p, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, p, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, gnd, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            p,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            p,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let rec = recognize(&mut f);
-        let golden_rtl = compile(
-            "module g(in a, in b, out y) { assign y = ~(a & b); }",
-            "g",
-        )
-        .unwrap();
+        let golden_rtl =
+            compile("module g(in a, in b, out y) { assign y = ~(a & b); }", "g").unwrap();
         let gnet = blast(&golden_rtl).unwrap();
         let mut mgr = Bdd::new();
         let mut vars = VarTable::default();
@@ -366,16 +424,48 @@ mod tests {
         let ft = f.add_net("ft", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, m, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, m, ft, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, ft, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            m,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            m,
+            ft,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            ft,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         let rec = recognize(&mut f);
-        let golden_rtl = compile(
-            "module g(in a, in b, out y) { assign y = a & b; }",
-            "g",
-        )
-        .unwrap();
+        let golden_rtl = compile("module g(in a, in b, out y) { assign y = a & b; }", "g").unwrap();
         let gnet = blast(&golden_rtl).unwrap();
         let mut mgr = Bdd::new();
         let mut vars = VarTable::default();

@@ -65,7 +65,10 @@ pub fn check_sequential(
         ));
     }
     if a.clocks != b.clocks {
-        return Err(format!("clock lists differ: {:?} vs {:?}", a.clocks, b.clocks));
+        return Err(format!(
+            "clock lists differ: {:?} vs {:?}",
+            a.clocks, b.clocks
+        ));
     }
     for o in outputs {
         if a.output(o).is_none() || b.output(o).is_none() {

@@ -11,12 +11,7 @@ use crate::report::{CheckKind, Report, Subject};
 use crate::EverifyConfig;
 
 /// Runs the antenna check for every net with gate connections.
-pub fn check(
-    netlist: &mut FlatNetlist,
-    layout: &Layout,
-    config: &EverifyConfig,
-    report: &mut Report,
-) {
+pub fn check(netlist: &FlatNetlist, layout: &Layout, config: &EverifyConfig, report: &mut Report) {
     let uses = netlist.uses_table();
     for id in 0..netlist.net_count() as u32 {
         let net = NetId(id);
@@ -69,13 +64,31 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
         let cfg = EverifyConfig::for_process(&process);
         let mut report = Report::new(cfg.filter_threshold);
-        check(&mut f, &layout, &cfg, &mut report);
+        check(&f, &layout, &cfg, &mut report);
         assert_eq!(report.violations().count(), 0, "{:?}", report.findings());
     }
 
@@ -86,7 +99,16 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // Minimum gate.
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 0.7e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            0.7e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let mut layout = synthesize(&mut f, &process);
         // Weld a 1 mm x 1 mm metal plate onto the gate net.
@@ -97,7 +119,7 @@ mod tests {
         });
         let cfg = EverifyConfig::for_process(&process);
         let mut report = Report::new(cfg.filter_threshold);
-        check(&mut f, &layout, &cfg, &mut report);
+        check(&f, &layout, &cfg, &mut report);
         assert!(
             report.violations().any(|v| v.check == CheckKind::Antenna),
             "{:?}",

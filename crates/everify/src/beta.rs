@@ -27,11 +27,7 @@ fn path_conductance(netlist: &FlatNetlist, process: &Process, path: &[DeviceId])
 }
 
 /// Strongest path conductance on one side of an output.
-fn best_conductance(
-    netlist: &FlatNetlist,
-    process: &Process,
-    paths: &[Vec<DeviceId>],
-) -> f64 {
+fn best_conductance(netlist: &FlatNetlist, process: &Process, paths: &[Vec<DeviceId>]) -> f64 {
     paths
         .iter()
         .map(|p| path_conductance(netlist, process, p))
@@ -94,7 +90,11 @@ pub fn check(
                     let (lo, hi) = config.beta_window;
                     // Stress: how far outside the acceptance window,
                     // normalized so sitting exactly at the edge is 1.0.
-                    let stress = if ratio < 1.0 { lo / ratio * 0.999 } else { ratio / hi * 0.999 };
+                    let stress = if ratio < 1.0 {
+                        lo / ratio * 0.999
+                    } else {
+                        ratio / hi * 0.999
+                    };
                     report.record(CheckKind::BetaRatio, Subject::Net(*out), stress, || {
                         format!(
                             "complementary output `{}` beta ratio {ratio:.2} outside window {lo:.2}..{hi:.2}",
@@ -137,8 +137,8 @@ pub fn check(
 mod tests {
     use super::*;
     use cbv_netlist::{Device, NetKind};
-    use cbv_tech::MosKind;
     use cbv_recognize::recognize;
+    use cbv_tech::MosKind;
 
     fn run(f: &mut FlatNetlist) -> Report {
         let process = Process::strongarm_035();
@@ -185,8 +185,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.2e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.2e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let r = run(&mut f);
         assert!(r.violations().any(|v| v.message.contains("length")));
     }
@@ -199,8 +217,26 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // Strong always-on load vs puny pull-down.
-        f.add_device(Device::mos(MosKind::Pmos, "load", gnd, y, vdd, vdd, 10e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 1e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "load",
+            gnd,
+            y,
+            vdd,
+            vdd,
+            10e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            1e-6,
+            0.35e-6,
+        ));
         let r = run(&mut f);
         assert!(
             r.violations().any(|v| v.check == CheckKind::BetaRatio),
@@ -216,8 +252,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "load", gnd, y, vdd, vdd, 1.2e-6, 0.7e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 8e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "load",
+            gnd,
+            y,
+            vdd,
+            vdd,
+            1.2e-6,
+            0.7e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            8e-6,
+            0.35e-6,
+        ));
         let r = run(&mut f);
         assert_eq!(r.violations().count(), 0, "{:?}", r.findings());
     }

@@ -26,11 +26,7 @@ pub fn check(
             // Internal stack nodes: channel nets of this CCC reachable in
             // the pull-down network, excluding the output itself.
             let mut internal: Vec<NetId> = Vec::new();
-            if let Some((_, paths)) = class
-                .pulldown_paths
-                .iter()
-                .find(|(n, _)| *n == dyn_net)
-            {
+            if let Some((_, paths)) = class.pulldown_paths.iter().find(|(n, _)| *n == dyn_net) {
                 // Walk each path outward from the dynamic node. Nodes
                 // that are themselves precharged (e.g. the neighbors in a
                 // Manchester chain) sit at the same potential and cannot
@@ -95,8 +91,7 @@ pub fn check(
             // A keeper on the node replenishes shared charge; its margin
             // doubles (a standard keeper'd-domino budget).
             let has_keeper = recognition.state_elements.iter().any(|se| {
-                se.kind == cbv_recognize::StateKind::Keeper
-                    && se.storage_nets.contains(&dyn_net)
+                se.kind == cbv_recognize::StateKind::Keeper && se.storage_nets.contains(&dyn_net)
             });
             // A keeper'd node recovers as long as the droop stays below
             // the follower's switching threshold, so its budget is
@@ -136,15 +131,20 @@ mod tests {
         let out = f.add_net("out", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
         let mut prev = d;
         for i in 0..stack {
             let a = f.add_net(&format!("in{i}"), NetKind::Input);
-            let nxt = if i + 1 == stack {
-                f.add_net(&format!("s{i}"), NetKind::Signal)
-            } else {
-                f.add_net(&format!("s{i}"), NetKind::Signal)
-            };
+            let nxt = f.add_net(&format!("s{i}"), NetKind::Signal);
             f.add_device(Device::mos(
                 MosKind::Nmos,
                 format!("m{i}"),
@@ -157,9 +157,36 @@ mod tests {
             ));
             prev = nxt;
         }
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, prev, gnd, gnd, w_stack, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "op", d, out, vdd, vdd, w_inv, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "on", d, out, gnd, gnd, w_inv / 2.0, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            prev,
+            gnd,
+            gnd,
+            w_stack,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "op",
+            d,
+            out,
+            vdd,
+            vdd,
+            w_inv,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "on",
+            d,
+            out,
+            gnd,
+            gnd,
+            w_inv / 2.0,
+            0.35e-6,
+        ));
         f
     }
 
@@ -202,11 +229,7 @@ mod tests {
                 let cfg = EverifyConfig::for_process(&process);
                 let mut report = Report::new(1e-6);
                 check(&f, &rec, &process, &cfg, &mut report);
-                report
-                    .findings()
-                    .first()
-                    .map(|fi| fi.stress)
-                    .unwrap_or(0.0)
+                report.findings().first().map(|fi| fi.stress).unwrap_or(0.0)
             })
             .collect();
         assert!(

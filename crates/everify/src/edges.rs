@@ -119,14 +119,32 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         if c_load_f > 0.0 {
             f.add_passive(Passive::capacitor("cl", y, gnd, c_load_f));
         }
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let mut ex = cbv_extract::extract(&layout, &mut f, &process);
+        let mut ex = cbv_extract::extract(&layout, &f, &process);
         // Fold the explicit load into the extraction by adding it as
         // coupling-free ground cap; the extractor does not read passives,
         // so emulate a heavy fanout instead when c_load_f is big:
@@ -157,8 +175,26 @@ mod tests {
         let z = f.add_net("z", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 1.0e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 0.8e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            1.0e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            0.8e-6,
+            0.35e-6,
+        ));
         for i in 0..600 {
             f.add_device(Device::mos(
                 MosKind::Nmos,
@@ -173,7 +209,7 @@ mod tests {
         }
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         let cfg = EverifyConfig::for_process(&process);
         let mut report = Report::new(cfg.filter_threshold);

@@ -41,17 +41,21 @@ pub fn check(
             config.activity
         };
         let c = en.total_cap().farads();
-        let i_avg =
-            c * process.vdd_nominal().volts() * config.frequency.hertz() * activity;
+        let i_avg = c * process.vdd_nominal().volts() * config.frequency.hertz() * activity;
         let stress = i_avg / i_limit;
-        report.record(CheckKind::Electromigration, Subject::Net(en.net), stress, || {
-            format!(
-                "net `{}` average current {:.2} mA exceeds min-width M1 EM limit {:.2} mA",
-                netlist.net_name(en.net),
-                i_avg * 1e3,
-                i_limit * 1e3
-            )
-        });
+        report.record(
+            CheckKind::Electromigration,
+            Subject::Net(en.net),
+            stress,
+            || {
+                format!(
+                    "net `{}` average current {:.2} mA exceeds min-width M1 EM limit {:.2} mA",
+                    netlist.net_name(en.net),
+                    i_avg * 1e3,
+                    i_limit * 1e3
+                )
+            },
+        );
         // Absolute: strongest driver peak current vs 10x the limit.
         // Peak current leaves through the device's contact strap, which
         // the layout draws as wide as the device (capped at 4 squares of
@@ -106,11 +110,29 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 5.6e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2.4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            5.6e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2.4e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         let cfg = EverifyConfig::for_process(&process);
         let mut report = Report::new(cfg.filter_threshold);
@@ -126,11 +148,29 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // A 2 mm wide output driver on a min-width wire.
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 2000e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 1000e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            2000e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            1000e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         let cfg = EverifyConfig::for_process(&process);
         let mut report = Report::new(cfg.filter_threshold);
@@ -150,7 +190,11 @@ mod tests {
         // harder than on data; verify via the recorded stress values.
         let build = |as_clock: bool| -> f64 {
             let mut f = FlatNetlist::new("net");
-            let kind = if as_clock { NetKind::Clock } else { NetKind::Input };
+            let kind = if as_clock {
+                NetKind::Clock
+            } else {
+                NetKind::Input
+            };
             let drv = f.add_net("drv", kind);
             let y = f.add_net("y", NetKind::Output);
             let vdd = f.add_net("vdd", NetKind::Power);
@@ -179,7 +223,7 @@ mod tests {
             }
             let process = Process::strongarm_035();
             let layout = synthesize(&mut f, &process);
-            let ex = cbv_extract::extract(&layout, &mut f, &process);
+            let ex = cbv_extract::extract(&layout, &f, &process);
             let rec = recognize(&mut f);
             let cfg = EverifyConfig::for_process(&process);
             let mut report = Report::new(1e-6);

@@ -45,8 +45,7 @@ pub fn check(
                     }
                     recognition.cccs.iter().enumerate().any(|(i, ccc)| {
                         let in_loop = se.cccs.iter().any(|c| c.index() == i);
-                        !in_loop
-                            && (ccc.outputs.contains(&net) || ccc.channel_nets.contains(&net))
+                        !in_loop && (ccc.outputs.contains(&net) || ccc.channel_nets.contains(&net))
                     })
                 };
                 let mut g_write = 0.0;
@@ -54,10 +53,8 @@ pub fn check(
                 for &ci in &se.cccs {
                     for &did in &recognition.cccs[ci.index()].devices {
                         let d = netlist.device(did);
-                        let Some(&storage) = se
-                            .storage_nets
-                            .iter()
-                            .find(|&&n| d.channel_touches(n))
+                        let Some(&storage) =
+                            se.storage_nets.iter().find(|&&n| d.channel_touches(n))
                         else {
                             continue;
                         };
@@ -120,7 +117,7 @@ pub fn check(
                                         1.0 / inv
                                     })
                                     .fold(f64::INFINITY, f64::min)
-                                })
+                            })
                             .unwrap_or(f64::INFINITY);
                         if !g_eval.is_finite() {
                             continue;
@@ -165,12 +162,48 @@ mod tests {
         let fb = f.add_net("fb", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "pass", ck, d, x, gnd, w_pass, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "pass",
+            ck,
+            d,
+            x,
+            gnd,
+            w_pass,
+            0.35e-6,
+        ));
         for (n, i, o, w) in [("fwd", x, y, 2e-6), ("bck", y, fb, w_feedback)] {
-            f.add_device(Device::mos(MosKind::Pmos, format!("{n}p"), i, o, vdd, vdd, 2.0 * w, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Nmos, format!("{n}n"), i, o, gnd, gnd, w, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("{n}p"),
+                i,
+                o,
+                vdd,
+                vdd,
+                2.0 * w,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("{n}n"),
+                i,
+                o,
+                gnd,
+                gnd,
+                w,
+                0.35e-6,
+            ));
         }
-        f.add_device(Device::mos(MosKind::Nmos, "fbk", ck, fb, x, gnd, w_feedback, 0.7e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "fbk",
+            ck,
+            fb,
+            x,
+            gnd,
+            w_feedback,
+            0.7e-6,
+        ));
         f
     }
 
@@ -210,12 +243,66 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, w_eval, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "ft", clk, x, gnd, gnd, w_eval, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "op", d, out, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "on", d, out, gnd, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "keep", out, d, vdd, vdd, w_keeper, 0.7e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            x,
+            gnd,
+            w_eval,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "ft",
+            clk,
+            x,
+            gnd,
+            gnd,
+            w_eval,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "op",
+            d,
+            out,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "on",
+            d,
+            out,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "keep",
+            out,
+            d,
+            vdd,
+            vdd,
+            w_keeper,
+            0.7e-6,
+        ));
         f
     }
 

@@ -76,14 +76,50 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
         f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, 8e-6, l_eval));
-        f.add_device(Device::mos(MosKind::Nmos, "ft", clk, x, gnd, gnd, 8e-6, l_eval));
-        f.add_device(Device::mos(MosKind::Pmos, "op", d, out, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "on", d, out, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "ft",
+            clk,
+            x,
+            gnd,
+            gnd,
+            8e-6,
+            l_eval,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "op",
+            d,
+            out,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "on",
+            d,
+            out,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         let mut cfg = EverifyConfig::for_process(&process);
         cfg.dynamic_hold = Seconds::new(hold_ns * 1e-9);

@@ -42,6 +42,9 @@ pub mod stress;
 
 pub use report::{CheckKind, Finding, Report, Severity, Subject};
 
+use std::time::Duration;
+
+use cbv_exec::Executor;
 use cbv_extract::Extracted;
 use cbv_layout::Layout;
 use cbv_netlist::FlatNetlist;
@@ -115,28 +118,71 @@ impl EverifyConfig {
     }
 }
 
-/// Runs every check and aggregates the findings into one report.
+/// Runs every check serially and aggregates the findings into one
+/// report. Equivalent to [`run_all_parallel`] on a single worker.
 pub fn run_all(
-    netlist: &mut FlatNetlist,
+    netlist: &FlatNetlist,
     recognition: &Recognition,
     extracted: &Extracted,
     layout: Option<&Layout>,
     process: &Process,
     config: &EverifyConfig,
 ) -> Report {
-    let mut report = Report::new(config.filter_threshold);
-    beta::check(netlist, recognition, process, config, &mut report);
-    edges::check(netlist, recognition, extracted, process, config, &mut report);
-    coupling::check(netlist, recognition, extracted, process, config, &mut report);
-    charge::check(netlist, recognition, process, config, &mut report);
-    leakage::check(netlist, recognition, extracted, process, config, &mut report);
-    latch::check(netlist, recognition, process, config, &mut report);
-    em::check(netlist, recognition, extracted, process, config, &mut report);
+    run_all_parallel(
+        netlist,
+        recognition,
+        extracted,
+        layout,
+        process,
+        config,
+        &Executor::serial(),
+    )
+    .0
+}
+
+/// Runs the battery with the nine checks fanned out across `exec`'s
+/// workers, each writing into its own [`Report`]; the per-check reports
+/// are merged in the fixed check order of the paper's list, so the
+/// result is identical to a serial run regardless of worker count. Also
+/// returns the aggregate busy time summed over workers.
+///
+/// Every input is shared read-only — the netlist's connectivity index is
+/// maintained incrementally, so no check needs `&mut FlatNetlist`.
+pub fn run_all_parallel(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    layout: Option<&Layout>,
+    process: &Process,
+    config: &EverifyConfig,
+    exec: &Executor,
+) -> (Report, Duration) {
+    type Check<'a> = Box<dyn Fn(&mut Report) + Send + Sync + 'a>;
+    let mut checks: Vec<Check<'_>> = vec![
+        Box::new(|r| beta::check(netlist, recognition, process, config, r)),
+        Box::new(|r| edges::check(netlist, recognition, extracted, process, config, r)),
+        Box::new(|r| coupling::check(netlist, recognition, extracted, process, config, r)),
+        Box::new(|r| charge::check(netlist, recognition, process, config, r)),
+        Box::new(|r| leakage::check(netlist, recognition, extracted, process, config, r)),
+        Box::new(|r| latch::check(netlist, recognition, process, config, r)),
+        Box::new(|r| em::check(netlist, recognition, extracted, process, config, r)),
+    ];
     if let Some(layout) = layout {
-        antenna::check(netlist, layout, config, &mut report);
+        checks.push(Box::new(move |r| {
+            antenna::check(netlist, layout, config, r)
+        }));
     }
-    stress::check(netlist, process, config, &mut report);
-    report
+    checks.push(Box::new(|r| stress::check(netlist, process, config, r)));
+    let (reports, busy) = exec.map_timed(checks, |check| {
+        let mut report = Report::new(config.filter_threshold);
+        check(&mut report);
+        report
+    });
+    let mut merged = Report::new(config.filter_threshold);
+    for report in reports {
+        merged.merge(report);
+    }
+    (merged, busy)
 }
 
 #[cfg(test)]
@@ -157,15 +203,33 @@ mod tests {
         let mut prev = f.add_net("in", NetKind::Input);
         for i in 0..4 {
             let out = f.add_net(&format!("n{i}"), NetKind::Signal);
-            f.add_device(Device::mos(MosKind::Pmos, format!("p{i}"), prev, out, vdd, vdd, 5.6e-6, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Nmos, format!("n{i}"), prev, out, gnd, gnd, 2.4e-6, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("p{i}"),
+                prev,
+                out,
+                vdd,
+                vdd,
+                5.6e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("n{i}"),
+                prev,
+                out,
+                gnd,
+                gnd,
+                2.4e-6,
+                0.35e-6,
+            ));
             prev = out;
         }
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         let cfg = EverifyConfig::for_process(&process);
-        let report = run_all(&mut f, &rec, &ex, Some(&layout), &process, &cfg);
+        let report = run_all(&f, &rec, &ex, Some(&layout), &process, &cfg);
         assert_eq!(
             report.violations().count(),
             0,

@@ -203,9 +203,15 @@ mod tests {
     #[test]
     fn filtering_buckets() {
         let mut r = Report::new(0.6);
-        r.record(CheckKind::Coupling, Subject::Net(NetId(1)), 0.2, || "a".into());
-        r.record(CheckKind::Coupling, Subject::Net(NetId(2)), 0.8, || "b".into());
-        r.record(CheckKind::Coupling, Subject::Net(NetId(3)), 1.4, || "c".into());
+        r.record(CheckKind::Coupling, Subject::Net(NetId(1)), 0.2, || {
+            "a".into()
+        });
+        r.record(CheckKind::Coupling, Subject::Net(NetId(2)), 0.8, || {
+            "b".into()
+        });
+        r.record(CheckKind::Coupling, Subject::Net(NetId(3)), 1.4, || {
+            "c".into()
+        });
         assert_eq!(r.checked_count(), 3);
         assert_eq!(r.filtered_count(), 1);
         assert_eq!(r.reviews().count(), 1);
@@ -215,9 +221,15 @@ mod tests {
     #[test]
     fn findings_sorted_by_severity_then_stress() {
         let mut r = Report::new(0.5);
-        r.record(CheckKind::Leakage, Subject::Net(NetId(1)), 0.9, || "rev".into());
-        r.record(CheckKind::Leakage, Subject::Net(NetId(2)), 1.1, || "v1".into());
-        r.record(CheckKind::Leakage, Subject::Net(NetId(3)), 2.0, || "v2".into());
+        r.record(CheckKind::Leakage, Subject::Net(NetId(1)), 0.9, || {
+            "rev".into()
+        });
+        r.record(CheckKind::Leakage, Subject::Net(NetId(2)), 1.1, || {
+            "v1".into()
+        });
+        r.record(CheckKind::Leakage, Subject::Net(NetId(3)), 2.0, || {
+            "v2".into()
+        });
         let f = r.findings();
         assert_eq!(f[0].message, "v2");
         assert_eq!(f[1].message, "v1");
@@ -227,7 +239,12 @@ mod tests {
     #[test]
     fn nan_is_filtered_not_crashing() {
         let mut r = Report::new(0.6);
-        r.record(CheckKind::EdgeRate, Subject::Net(NetId(0)), f64::NAN, || "x".into());
+        r.record(
+            CheckKind::EdgeRate,
+            Subject::Net(NetId(0)),
+            f64::NAN,
+            || "x".into(),
+        );
         assert_eq!(r.filtered_count(), 1);
         assert!(r.findings().is_empty());
     }
@@ -235,9 +252,19 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = Report::new(0.6);
-        a.record(CheckKind::Antenna, Subject::Device(DeviceId(0)), 1.5, || "v".into());
+        a.record(
+            CheckKind::Antenna,
+            Subject::Device(DeviceId(0)),
+            1.5,
+            || "v".into(),
+        );
         let mut b = Report::new(0.6);
-        b.record(CheckKind::Antenna, Subject::Device(DeviceId(1)), 0.1, || "f".into());
+        b.record(
+            CheckKind::Antenna,
+            Subject::Device(DeviceId(1)),
+            0.1,
+            || "f".into(),
+        );
         a.merge(b);
         assert_eq!(a.checked_count(), 2);
         assert_eq!(a.violations().count(), 1);

@@ -87,7 +87,16 @@ mod tests {
         let a = f.add_net("a", NetKind::Input);
         let y = f.add_net("y", NetKind::Output);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let cfg = EverifyConfig::for_process(&p);
         let mut report = Report::new(cfg.filter_threshold);
         check(&f, &p, &cfg, &mut report);
@@ -117,7 +126,16 @@ mod tests {
         let a = f.add_net("a", NetKind::Input);
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
         let cfg = EverifyConfig::for_process(&p);
         let mut report = Report::new(1e-6);
         check(&f, &p, &cfg, &mut report);
@@ -131,7 +149,9 @@ mod tests {
         let new = Process::alpha_21264();
         let stress_of = |p: &Process| {
             let (_, r, _) = one_nmos(p.l_min().meters(), p);
-            r.of_check(CheckKind::Tddb).map(|f| f.stress).fold(0.0, f64::max)
+            r.of_check(CheckKind::Tddb)
+                .map(|f| f.stress)
+                .fold(0.0, f64::max)
         };
         // 3.45V on thick oxide vs 2.2V on thin: fields are comparable by
         // constant-field scaling, but the 21064's supply dominates its

@@ -63,10 +63,10 @@ impl ExtractedNet {
     pub fn cap_bounds(&self, tol: &Tolerance) -> (Farads, Farads) {
         let couple: Farads = self.couplings.iter().map(|&(_, c)| c).sum();
         let fixed = self.wire_cap + self.diff_cap;
-        let min = fixed * tol.cap_min + couple * (tol.miller_min * tol.cap_min)
-            + self.gate_cap_bounds.0;
-        let max = fixed * tol.cap_max + couple * (tol.miller_max * tol.cap_max)
-            + self.gate_cap_bounds.1;
+        let min =
+            fixed * tol.cap_min + couple * (tol.miller_min * tol.cap_min) + self.gate_cap_bounds.0;
+        let max =
+            fixed * tol.cap_max + couple * (tol.miller_max * tol.cap_max) + self.gate_cap_bounds.1;
         (min, max)
     }
 }
@@ -102,7 +102,7 @@ impl Extracted {
 }
 
 /// Runs geometric + device extraction over a layout and its netlist.
-pub fn extract(layout: &Layout, netlist: &mut FlatNetlist, process: &Process) -> Extracted {
+pub fn extract(layout: &Layout, netlist: &FlatNetlist, process: &Process) -> Extracted {
     let mut nets: Vec<Option<ExtractedNet>> = (0..netlist.net_count()).map(|_| None).collect();
     let uses = netlist.uses_table();
 
@@ -202,7 +202,10 @@ pub fn extract(layout: &Layout, netlist: &mut FlatNetlist, process: &Process) ->
                         };
                         mid.rect.x0 >= lo
                             && mid.rect.x1 <= hi
-                            && mid.rect.y_overlap(s.rect).min(mid.rect.y_overlap(other.rect))
+                            && mid
+                                .rect
+                                .y_overlap(s.rect)
+                                .min(mid.rect.y_overlap(other.rect))
                                 * 2
                                 >= run
                     } else {
@@ -213,7 +216,10 @@ pub fn extract(layout: &Layout, netlist: &mut FlatNetlist, process: &Process) ->
                         };
                         mid.rect.y0 >= lo
                             && mid.rect.y1 <= hi
-                            && mid.rect.x_overlap(s.rect).min(mid.rect.x_overlap(other.rect))
+                            && mid
+                                .rect
+                                .x_overlap(s.rect)
+                                .min(mid.rect.x_overlap(other.rect))
                                 * 2
                                 >= run
                     }
@@ -281,13 +287,49 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = extract(&layout, &mut f, &process);
+        let ex = extract(&layout, &f, &process);
         (f, ex)
     }
 
@@ -368,7 +410,7 @@ mod tests {
         let n = f.add_net("n", NetKind::Signal);
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = extract(&layout, &mut f, &process);
+        let ex = extract(&layout, &f, &process);
         assert!(ex.net(n).is_none());
         assert_eq!(ex.total_cap(n), Farads::ZERO);
     }

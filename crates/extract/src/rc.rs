@@ -13,6 +13,9 @@ use cbv_tech::{Farads, Ohms, Seconds};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RcNodeId(pub u32);
 
+/// Per-node `(parent, edge resistance)` rows of a BFS spanning tree.
+type ParentTable = Vec<Option<(RcNodeId, Ohms)>>;
+
 impl RcNodeId {
     /// The underlying index.
     #[inline]
@@ -180,10 +183,7 @@ impl RcNet {
 
     /// BFS spanning tree from a root: per-node `(parent, edge R)` plus
     /// visitation order. Returns `None` for an empty network.
-    fn spanning_tree(
-        &self,
-        root: RcNodeId,
-    ) -> Option<(Vec<Option<(RcNodeId, Ohms)>>, Vec<RcNodeId>)> {
+    fn spanning_tree(&self, root: RcNodeId) -> Option<(ParentTable, Vec<RcNodeId>)> {
         if root.index() >= self.positions.len() {
             return None;
         }
@@ -248,7 +248,9 @@ mod tests {
         let r = Ohms::new(1000.0);
         let c = Farads::new(1e-12);
         let fine = RcNet::line(NET, 64, r, c);
-        let t = fine.elmore(fine.first_node(), fine.last_node(), Ohms::ZERO).unwrap();
+        let t = fine
+            .elmore(fine.first_node(), fine.last_node(), Ohms::ZERO)
+            .unwrap();
         let rc_product = 1e-9;
         assert!(
             (t.seconds() / rc_product - 0.5).abs() < 0.02,
@@ -259,7 +261,10 @@ mod tests {
         let t1 = coarse
             .elmore(coarse.first_node(), coarse.last_node(), Ohms::ZERO)
             .unwrap();
-        assert!(t1.seconds() < t.seconds() * 1.2, "coarse model is not wildly off");
+        assert!(
+            t1.seconds() < t.seconds() * 1.2,
+            "coarse model is not wildly off"
+        );
     }
 
     #[test]
@@ -267,7 +272,9 @@ mod tests {
         let rc = RcNet::line(NET, 8, Ohms::new(500.0), Farads::new(2e-13));
         let mut prev = Seconds::ZERO;
         for i in 1..=8u32 {
-            let t = rc.elmore(rc.first_node(), RcNodeId(i), Ohms::new(100.0)).unwrap();
+            let t = rc
+                .elmore(rc.first_node(), RcNodeId(i), Ohms::new(100.0))
+                .unwrap();
             assert!(t.seconds() > prev.seconds());
             prev = t;
         }

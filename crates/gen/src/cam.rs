@@ -32,7 +32,16 @@ pub fn cam_match_line(width: u32, process: &Process) -> Generated {
     let clk = f.add_net("clk", NetKind::Clock);
     let ml = f.add_net("ml", NetKind::Signal);
     // Precharge the match line.
-    f.add_device(Device::mos(MosKind::Pmos, "pre", clk, ml, vdd, vdd, 2.0 * s.wp, s.l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "pre",
+        clk,
+        ml,
+        vdd,
+        vdd,
+        2.0 * s.wp,
+        s.l,
+    ));
     let mut inputs = Vec::new();
     for i in 0..width {
         let key = f.add_net(&format!("key[{i}]"), NetKind::Input);
@@ -148,9 +157,7 @@ pub fn cam_rtl_expanded(entries: u32, width: u32) -> String {
     }
     s.push_str("  at posedge(ck) {\n");
     for e in 0..entries {
-        s.push_str(&format!(
-            "    if (we && (wi == {e})) {{ e{e} <= wv; }}\n"
-        ));
+        s.push_str(&format!("    if (we && (wi == {e})) {{ e{e} <= wv; }}\n"));
     }
     s.push_str("  }\n");
     for e in 0..entries {
@@ -191,7 +198,10 @@ mod tests {
         let set_word = |sim: &mut SwitchSim<'_>, key: u64, stored: u64| {
             for i in 0..4 {
                 sim.set(g.inputs[2 * i], Logic::from_bool((key >> i) & 1 == 1));
-                sim.set(g.inputs[2 * i + 1], Logic::from_bool((stored >> i) & 1 == 1));
+                sim.set(
+                    g.inputs[2 * i + 1],
+                    Logic::from_bool((stored >> i) & 1 == 1),
+                );
             }
         };
         for (key, stored) in [(0b1010, 0b1010), (0b1010, 0b1011), (0xF, 0xF), (0x0, 0x1)] {
@@ -225,11 +235,12 @@ mod tests {
         );
         // ...held by the keeper at the net-role level.
         assert_eq!(rec.role(ml), cbv_recognize::NetRole::State);
-        assert!(rec
-            .state_elements
-            .iter()
-            .any(|se| se.kind == cbv_recognize::StateKind::Keeper
-                && se.storage_nets.contains(&ml)));
+        assert!(
+            rec.state_elements
+                .iter()
+                .any(|se| se.kind == cbv_recognize::StateKind::Keeper
+                    && se.storage_nets.contains(&ml))
+        );
     }
 
     #[test]

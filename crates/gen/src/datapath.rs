@@ -28,10 +28,23 @@ fn add_latch_bit(
 ) {
     let x = f.add_net(&format!("{name}_x"), NetKind::Signal);
     let qb = f.add_net(&format!("{name}_qb"), NetKind::Signal);
-    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pass"), ck, d, x, gnd, 4.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        format!("{name}_pass"),
+        ck,
+        d,
+        x,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
     // The forward inverter both regenerates the stored level and defends
     // qb against channel crosstalk; size it up.
-    let s_fwd = Sizing { wn: 1.5 * s.wn, wp: 1.5 * s.wp, l: s.l };
+    let s_fwd = Sizing {
+        wn: 1.5 * s.wn,
+        wp: 1.5 * s.wp,
+        l: s.l,
+    };
     add_inverter(f, &format!("{name}_fwd"), x, qb, vdd, gnd, s_fwd);
     add_inverter(f, &format!("{name}_out"), qb, q, vdd, gnd, s_fwd);
     f.add_device(Device::mos(
@@ -97,8 +110,28 @@ pub fn alu_slice(width: u32, process: &Process) -> Generated {
     // Master latches capture the sum on phi2; slave latches release it to
     // the accumulator on phi1.
     for i in 0..width as usize {
-        add_latch_bit(&mut f, &format!("ml{i}"), phi2, phi2b, sum[i], master[i], vdd, gnd, s);
-        add_latch_bit(&mut f, &format!("sl{i}"), phi1, phi1b, master[i], acc[i], vdd, gnd, s);
+        add_latch_bit(
+            &mut f,
+            &format!("ml{i}"),
+            phi2,
+            phi2b,
+            sum[i],
+            master[i],
+            vdd,
+            gnd,
+            s,
+        );
+        add_latch_bit(
+            &mut f,
+            &format!("sl{i}"),
+            phi1,
+            phi1b,
+            master[i],
+            acc[i],
+            vdd,
+            gnd,
+            s,
+        );
     }
 
     Generated {
@@ -174,7 +207,11 @@ mod tests {
         let v1 = read(&sim).expect("acc readable");
         cycle(&mut sim, &g.clocks);
         let v2 = read(&sim).expect("acc readable");
-        assert_eq!((v2 + 16 - v1) % 16, 3, "accumulator steps by 3: {v1} -> {v2}");
+        assert_eq!(
+            (v2 + 16 - v1) % 16,
+            3,
+            "accumulator steps by 3: {v1} -> {v2}"
+        );
     }
 
     #[test]

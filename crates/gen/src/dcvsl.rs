@@ -26,18 +26,81 @@ pub fn dcvsl_and2(process: &Process) -> Generated {
     // Cross-coupled loads.
     // Loads are deliberately weak: the NMOS trees must overpower them
     // to flip the stage (the DCVSL ratio rule).
-    f.add_device(Device::mos(MosKind::Pmos, "lq", qb, q, vdd, vdd, 0.5 * s.wp, s.l));
-    f.add_device(Device::mos(MosKind::Pmos, "lqb", q, qb, vdd, vdd, 0.5 * s.wp, s.l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "lq",
+        qb,
+        q,
+        vdd,
+        vdd,
+        0.5 * s.wp,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "lqb",
+        q,
+        qb,
+        vdd,
+        vdd,
+        0.5 * s.wp,
+        s.l,
+    ));
     // Shared tail keeps both trees in one channel-connected component.
     let tail = f.add_net("tail", NetKind::Signal);
-    f.add_device(Device::mos(MosKind::Nmos, "tail_on", vdd, tail, gnd, gnd, 8.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "tail_on",
+        vdd,
+        tail,
+        gnd,
+        gnd,
+        8.0 * s.wn,
+        s.l,
+    ));
     // True tree pulls qb low when a·b (so q rises): qb -a- x -b- tail.
     let x = f.add_net("x", NetKind::Signal);
-    f.add_device(Device::mos(MosKind::Nmos, "ta", a, qb, x, gnd, 4.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, "tb", b, x, tail, gnd, 4.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "ta",
+        a,
+        qb,
+        x,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "tb",
+        b,
+        x,
+        tail,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
     // Complement tree pulls q low when !(a·b) = an + bn.
-    f.add_device(Device::mos(MosKind::Nmos, "ca", an, q, tail, gnd, 4.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, "cb", bn, q, tail, gnd, 4.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "ca",
+        an,
+        q,
+        tail,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "cb",
+        bn,
+        q,
+        tail,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
     Generated {
         netlist: f,
         inputs: vec![a, b, an, bn],
@@ -63,8 +126,16 @@ mod tests {
             sim.set(g.inputs[2], Logic::from_bool(!va));
             sim.set(g.inputs[3], Logic::from_bool(!vb));
             sim.settle().unwrap();
-            assert_eq!(sim.value(g.outputs[0]), Logic::from_bool(va && vb), "q at {m:02b}");
-            assert_eq!(sim.value(g.outputs[1]), Logic::from_bool(!(va && vb)), "qb at {m:02b}");
+            assert_eq!(
+                sim.value(g.outputs[0]),
+                Logic::from_bool(va && vb),
+                "q at {m:02b}"
+            );
+            assert_eq!(
+                sim.value(g.outputs[1]),
+                Logic::from_bool(!(va && vb)),
+                "qb at {m:02b}"
+            );
         }
     }
 

@@ -44,8 +44,26 @@ pub fn add_inverter(
     gnd: NetId,
     s: Sizing,
 ) {
-    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_p"), a, y, vdd, vdd, s.wp, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_n"), a, y, gnd, gnd, s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        format!("{name}_p"),
+        a,
+        y,
+        vdd,
+        vdd,
+        s.wp,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        format!("{name}_n"),
+        a,
+        y,
+        gnd,
+        gnd,
+        s.wn,
+        s.l,
+    ));
 }
 
 /// Adds an N-input NAND (series NMOS sized up by the stack factor).
@@ -140,6 +158,7 @@ pub fn add_nor(
 
 /// Adds a 2-input static XOR built from pass logic + inverters (6T style
 /// with complement generation): `y = a ^ b`.
+#[allow(clippy::too_many_arguments)]
 pub fn add_xor2(
     f: &mut FlatNetlist,
     name: &str,
@@ -155,7 +174,11 @@ pub fn add_xor2(
     // The complement rails each drive four branch gates and often travel
     // through the routing channel; size their drivers up 2x so coupling
     // noise stays restorable.
-    let s2 = Sizing { wn: 2.0 * s.wn, wp: 2.0 * s.wp, l: s.l };
+    let s2 = Sizing {
+        wn: 2.0 * s.wn,
+        wp: 2.0 * s.wp,
+        l: s.l,
+    };
     add_inverter(f, &format!("{name}_ia"), a, an, vdd, gnd, s2);
     add_inverter(f, &format!("{name}_ib"), b, bn, vdd, gnd, s2);
     // y = a·bn + an·b as AOI + inverter would be fully static; use two
@@ -168,17 +191,89 @@ pub fn add_xor2(
     //   when a=1 & b=0. Series (gate a, gate bn) conducts when a=0 & b=1.
     let m1 = f.add_net(&format!("{name}_m1"), cbv_netlist::NetKind::Signal);
     let m2 = f.add_net(&format!("{name}_m2"), cbv_netlist::NetKind::Signal);
-    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu1a"), an, vdd, m1, vdd, 2.0 * s.wp, s.l));
-    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu1b"), b, m1, y, vdd, 2.0 * s.wp, s.l));
-    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu2a"), a, vdd, m2, vdd, 2.0 * s.wp, s.l));
-    f.add_device(Device::mos(MosKind::Pmos, format!("{name}_pu2b"), bn, m2, y, vdd, 2.0 * s.wp, s.l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        format!("{name}_pu1a"),
+        an,
+        vdd,
+        m1,
+        vdd,
+        2.0 * s.wp,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        format!("{name}_pu1b"),
+        b,
+        m1,
+        y,
+        vdd,
+        2.0 * s.wp,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        format!("{name}_pu2a"),
+        a,
+        vdd,
+        m2,
+        vdd,
+        2.0 * s.wp,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        format!("{name}_pu2b"),
+        bn,
+        m2,
+        y,
+        vdd,
+        2.0 * s.wp,
+        s.l,
+    ));
     // NMOS pull-downs: conduct when !(a^b): (a & b) or (an & bn).
     let m3 = f.add_net(&format!("{name}_m3"), cbv_netlist::NetKind::Signal);
     let m4 = f.add_net(&format!("{name}_m4"), cbv_netlist::NetKind::Signal);
-    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd1a"), a, y, m3, gnd, 2.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd1b"), b, m3, gnd, gnd, 2.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd2a"), an, y, m4, gnd, 2.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, format!("{name}_pd2b"), bn, m4, gnd, gnd, 2.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        format!("{name}_pd1a"),
+        a,
+        y,
+        m3,
+        gnd,
+        2.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        format!("{name}_pd1b"),
+        b,
+        m3,
+        gnd,
+        gnd,
+        2.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        format!("{name}_pd2a"),
+        an,
+        y,
+        m4,
+        gnd,
+        2.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        format!("{name}_pd2b"),
+        bn,
+        m4,
+        gnd,
+        gnd,
+        2.0 * s.wn,
+        s.l,
+    ));
 }
 
 #[cfg(test)]
@@ -210,7 +305,7 @@ mod tests {
                 sim.set(n, Logic::from_bool((m >> i) & 1 == 1));
             }
             sim.settle().unwrap();
-            let expect = !(m == 7);
+            let expect = m != 7;
             assert_eq!(sim.value(y), Logic::from_bool(expect), "m={m:03b}");
         }
     }

@@ -45,11 +45,9 @@ impl FaultKind {
 /// appropriate victim device. Returns a description of what was done, or
 /// `None` when no suitable victim exists.
 pub fn inject(netlist: &mut FlatNetlist, kind: FaultKind) -> Option<String> {
-    let find = |netlist: &FlatNetlist, pred: &dyn Fn(&cbv_netlist::Device) -> bool| -> Option<DeviceId> {
-        netlist
-            .device_ids()
-            .find(|&d| pred(netlist.device(d)))
-    };
+    let find = |netlist: &FlatNetlist,
+                pred: &dyn Fn(&cbv_netlist::Device) -> bool|
+     -> Option<DeviceId> { netlist.device_ids().find(|&d| pred(netlist.device(d))) };
     match kind {
         FaultKind::BetaSkew => {
             let id = find(netlist, &|d| d.kind == MosKind::Pmos)?;
@@ -67,7 +65,7 @@ pub fn inject(netlist: &mut FlatNetlist, kind: FaultKind) -> Option<String> {
             let id = find(netlist, &|d| d.name.contains("keep"))?;
             let dev = netlist.device_mut(id);
             dev.w *= 25.0;
-            dev.l = dev.l / 2.0;
+            dev.l /= 2.0;
             Some(format!("monster keeper: `{}` now 25x wide", dev.name))
         }
         FaultKind::LeakyDynamic => {
@@ -76,7 +74,10 @@ pub fn inject(netlist: &mut FlatNetlist, kind: FaultKind) -> Option<String> {
             })?;
             let dev = netlist.device_mut(id);
             dev.w *= 15.0;
-            Some(format!("leaky dynamic: widened eval device `{}` 15x", dev.name))
+            Some(format!(
+                "leaky dynamic: widened eval device `{}` 15x",
+                dev.name
+            ))
         }
         FaultKind::ChargeShare => {
             // Widen every internal stack device (heuristic: NMOS whose
@@ -161,7 +162,16 @@ mod tests {
         let a = f.add_net("a", cbv_netlist::NetKind::Input);
         let y = f.add_net("y", cbv_netlist::NetKind::Output);
         let gnd = f.add_net("gnd", cbv_netlist::NetKind::Ground);
-        f.add_device(cbv_netlist::Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 1e-6, 0.35e-6));
+        f.add_device(cbv_netlist::Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            1e-6,
+            0.35e-6,
+        ));
         assert!(inject(&mut f, FaultKind::BetaSkew).is_none());
         assert!(inject(&mut f, FaultKind::MonsterKeeper).is_none());
     }

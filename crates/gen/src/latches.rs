@@ -24,7 +24,16 @@ pub fn jam_latch(process: &Process, w_pass: f64, w_feedback: f64) -> Generated {
     let q = f.add_net("q", NetKind::Output);
     let qb = f.add_net("qb", NetKind::Signal);
     // Write pass gate.
-    f.add_device(Device::mos(MosKind::Nmos, "pass", ck, d, x, gnd, w_pass, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "pass",
+        ck,
+        d,
+        x,
+        gnd,
+        w_pass,
+        s.l,
+    ));
     // Forward inverter pair.
     add_inverter(&mut f, "fwd", x, qb, vdd, gnd, s);
     add_inverter(&mut f, "out", qb, q, vdd, gnd, s);
@@ -62,8 +71,26 @@ pub fn sr_latch(process: &Process) -> Generated {
     add_inverter(&mut f, "i1", q, qb, vdd, gnd, s);
     add_inverter(&mut f, "i2", qb, q, vdd, gnd, s);
     // Strong set/reset overpower the loop.
-    f.add_device(Device::mos(MosKind::Nmos, "mset", set, qb, gnd, gnd, 4.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, "mrst", rst, q, gnd, gnd, 4.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "mset",
+        set,
+        qb,
+        gnd,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "mrst",
+        rst,
+        q,
+        gnd,
+        gnd,
+        4.0 * s.wn,
+        s.l,
+    ));
     Generated {
         netlist: f,
         inputs: vec![set, rst],
@@ -86,11 +113,47 @@ pub fn keeper_domino(process: &Process, w_keeper: f64) -> Generated {
     let dyn_n = f.add_net("dyn", NetKind::Signal);
     let out = f.add_net("out", NetKind::Output);
     let x = f.add_net("x", NetKind::Signal);
-    f.add_device(Device::mos(MosKind::Pmos, "pre", clk, dyn_n, vdd, vdd, s.wp, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, "eval", a, dyn_n, x, gnd, 2.0 * s.wn, s.l));
-    f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 2.0 * s.wn, s.l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "pre",
+        clk,
+        dyn_n,
+        vdd,
+        vdd,
+        s.wp,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "eval",
+        a,
+        dyn_n,
+        x,
+        gnd,
+        2.0 * s.wn,
+        s.l,
+    ));
+    f.add_device(Device::mos(
+        MosKind::Nmos,
+        "foot",
+        clk,
+        x,
+        gnd,
+        gnd,
+        2.0 * s.wn,
+        s.l,
+    ));
     add_inverter(&mut f, "oinv", dyn_n, out, vdd, gnd, s);
-    f.add_device(Device::mos(MosKind::Pmos, "keep", out, dyn_n, vdd, vdd, w_keeper, 2.0 * s.l));
+    f.add_device(Device::mos(
+        MosKind::Pmos,
+        "keep",
+        out,
+        dyn_n,
+        vdd,
+        vdd,
+        w_keeper,
+        2.0 * s.l,
+    ));
     Generated {
         netlist: f,
         inputs: vec![a],

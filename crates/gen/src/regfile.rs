@@ -89,7 +89,15 @@ pub fn register_file(words: u32, width: u32, process: &Process) -> Generated {
     let word_lines: Vec<NetId> = (0..words as usize)
         .map(|w| {
             let nwl = f.add_net(&format!("nwl{w}"), NetKind::Signal);
-            add_nand(&mut f, &format!("wlnand{w}"), &[wsel[w], we, clk], nwl, vdd, gnd, s);
+            add_nand(
+                &mut f,
+                &format!("wlnand{w}"),
+                &[wsel[w], we, clk],
+                nwl,
+                vdd,
+                gnd,
+                s,
+            );
             let wl = f.add_net(&format!("wl{w}"), NetKind::Signal);
             add_inverter(&mut f, &format!("wlinv{w}"), nwl, wl, vdd, gnd, s2);
             wl
@@ -186,7 +194,14 @@ mod tests {
         sim.settle().expect("stable");
     }
 
-    fn write_word(sim: &mut SwitchSim<'_>, f: &FlatNetlist, addr: u64, value: u64, abits: u32, width: u32) {
+    fn write_word(
+        sim: &mut SwitchSim<'_>,
+        f: &FlatNetlist,
+        addr: u64,
+        value: u64,
+        abits: u32,
+        width: u32,
+    ) {
         // Address/data settle before the pulse — launching the clock
         // with a stale decode writes the previously selected word (the
         // same input-stability discipline the timing checks infer).
@@ -204,7 +219,13 @@ mod tests {
         sim.set_by_name("we", Logic::Zero);
     }
 
-    fn read_word(sim: &mut SwitchSim<'_>, f: &FlatNetlist, addr: u64, abits: u32, width: u32) -> Option<u64> {
+    fn read_word(
+        sim: &mut SwitchSim<'_>,
+        f: &FlatNetlist,
+        addr: u64,
+        abits: u32,
+        width: u32,
+    ) -> Option<u64> {
         set_bus(sim, f, "raddr", abits, addr);
         sim.settle().expect("stable");
         let mut v = 0u64;
@@ -267,7 +288,11 @@ mod tests {
         sim.set_by_name("clk", Logic::Zero);
         sim.set_by_name("clkb", Logic::One);
         sim.settle().expect("stable");
-        assert_eq!(read_word(&mut sim, &g.netlist, 0, 1, 2), Some(0x3), "value held");
+        assert_eq!(
+            read_word(&mut sim, &g.netlist, 0, 1, 2),
+            Some(0x3),
+            "value held"
+        );
     }
 
     #[test]
@@ -283,7 +308,10 @@ mod tests {
             .filter(|se| se.kind == cbv_recognize::StateKind::LevelLatch)
             .map(|se| se.storage_nets.len())
             .sum();
-        assert!(storage >= 8, "found {storage} storage nets (want 4 words x 2 bits)");
+        assert!(
+            storage >= 8,
+            "found {storage} storage nets (want 4 words x 2 bits)"
+        );
     }
 
     #[test]

@@ -134,8 +134,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let p = Process::strongarm_035();
         let rules = Rules::for_process(&p);
         let layout = synthesize(&mut f, &p);
@@ -180,7 +198,12 @@ mod tests {
         });
         layout.shapes.push(Shape {
             layer: cbv_tech::Layer::Metal2,
-            rect: Rect::new(0, y + rules.m2_width + rules.m2_space / 3, 10_000, y + 2 * rules.m2_width + rules.m2_space / 3),
+            rect: Rect::new(
+                0,
+                y + rules.m2_width + rules.m2_space / 3,
+                10_000,
+                y + 2 * rules.m2_width + rules.m2_space / 3,
+            ),
             net: Some(n2),
         });
         let v = check_drc(&layout, &f, &rules, 1000);

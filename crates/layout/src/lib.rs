@@ -141,10 +141,46 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         f
     }
 
@@ -162,10 +198,7 @@ mod tests {
         let l = synthesize(&mut f, &Process::strongarm_035());
         for name in ["a", "b", "y"] {
             let n = f.find_net(name).unwrap();
-            assert!(
-                l.shapes_on(n).count() > 0,
-                "net `{name}` has no geometry"
-            );
+            assert!(l.shapes_on(n).count() > 0, "net `{name}` has no geometry");
         }
     }
 
@@ -180,10 +213,46 @@ mod tests {
         let x = big.add_net("x", NetKind::Signal);
         let vdd = big.add_net("vdd", NetKind::Power);
         let gnd = big.add_net("gnd", NetKind::Ground);
-        big.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 20e-6, 0.35e-6));
-        big.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 20e-6, 0.35e-6));
-        big.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 20e-6, 0.35e-6));
-        big.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 20e-6, 0.35e-6));
+        big.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            20e-6,
+            0.35e-6,
+        ));
+        big.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            20e-6,
+            0.35e-6,
+        ));
+        big.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            20e-6,
+            0.35e-6,
+        ));
+        big.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            20e-6,
+            0.35e-6,
+        ));
         let l2 = synthesize(&mut big, &Process::strongarm_035());
         assert!(l2.area() > l1.area());
     }

@@ -159,13 +159,22 @@ pub fn place_rows(netlist: &mut FlatNetlist, rules: &Rules) -> Placement {
             }
             // Poly gate strip, extended toward the channel.
             let (poly_y0, poly_y1, term_y) = if is_pmos {
-                (channel_top, row_y + w_nm + rules.poly_extension, channel_top)
+                (
+                    channel_top,
+                    row_y + w_nm + rules.poly_extension,
+                    channel_top,
+                )
             } else {
                 (row_y - rules.poly_extension, channel_bottom, channel_bottom)
             };
             placement.shapes.push(Shape {
                 layer: Layer::Poly,
-                rect: Rect::new(gate_x, poly_y0.min(poly_y1), gate_x + rules.gate_length, poly_y0.max(poly_y1)),
+                rect: Rect::new(
+                    gate_x,
+                    poly_y0.min(poly_y1),
+                    gate_x + rules.gate_length,
+                    poly_y0.max(poly_y1),
+                ),
                 net: Some(dev.gate),
             });
             placement.terminals.push(Terminal {
@@ -206,8 +215,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let x = f.add_net("x", NetKind::Signal);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let p = place_rows(&mut f, &rules());
         assert_eq!(p.sites.len(), 2);
         // Shared: second gate is one finger pitch away, no diff_space gap.
@@ -219,8 +246,26 @@ mod tests {
         let y2 = f2.add_net("y", NetKind::Output);
         let z2 = f2.add_net("z", NetKind::Output);
         let gnd2 = f2.add_net("gnd", NetKind::Ground);
-        f2.add_device(Device::mos(MosKind::Nmos, "na", a2, y2, gnd2, gnd2, 4e-6, 0.35e-6));
-        f2.add_device(Device::mos(MosKind::Nmos, "nb", b2, z2, gnd2, gnd2, 4e-6, 0.35e-6));
+        f2.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a2,
+            y2,
+            gnd2,
+            gnd2,
+            4e-6,
+            0.35e-6,
+        ));
+        f2.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b2,
+            z2,
+            gnd2,
+            gnd2,
+            4e-6,
+            0.35e-6,
+        ));
         let p2 = place_rows(&mut f2, &rules());
         let dx2 = (p2.sites[1].gate_x - p2.sites[0].gate_x).abs();
         // Both share gnd so ordering may still chain them; ensure layout
@@ -235,8 +280,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let p = place_rows(&mut f, &rules());
         let (cb, ct) = p.channel;
         assert!(ct > cb);
@@ -253,8 +316,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let p = place_rows(&mut f, &rules());
         for net in [a, y, vdd, gnd] {
             assert!(

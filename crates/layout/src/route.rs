@@ -129,14 +129,24 @@ pub fn route_channel(
             net: Some(s.net),
         });
         for &(tx, ty) in &s.terminals {
-            let (y0, mut y1) = if ty <= y { (ty, y + rules.m2_width) } else { (y, ty) };
+            let (y0, mut y1) = if ty <= y {
+                (ty, y + rules.m2_width)
+            } else {
+                (y, ty)
+            };
             y1 = y1.max(y0 + rules.m1_width);
             // Claim the nearest free column for this stub's y extent.
             let home = (tx - rules.m1_width / 2).div_euclid(col_pitch);
             let col = (0..64)
-                .map(|k| if k % 2 == 0 { home + k / 2 } else { home - (k + 1) / 2 })
+                .map(|k| {
+                    if k % 2 == 0 {
+                        home + k / 2
+                    } else {
+                        home - (k + 1) / 2
+                    }
+                })
                 .find(|c| {
-                    columns.get(c).map_or(true, |occ| {
+                    columns.get(c).is_none_or(|occ| {
                         occ.iter().all(|&(n, oy0, oy1)| {
                             n == s.net || y1 + rules.m1_space <= oy0 || oy1 + rules.m1_space <= y0
                         })
@@ -185,7 +195,12 @@ pub fn route_channel(
             };
             shapes.push(Shape {
                 layer: Layer::Metal1,
-                rect: Rect::new(bbox.x0, y, bbox.x1.max(bbox.x0 + rules.m1_width), y + 4 * rules.lambda),
+                rect: Rect::new(
+                    bbox.x0,
+                    y,
+                    bbox.x1.max(bbox.x0 + rules.m1_width),
+                    y + 4 * rules.lambda,
+                ),
                 net: Some(net),
             });
         }
@@ -208,10 +223,46 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let rules = Rules::for_process(&Process::strongarm_035());
         let p = place_rows(&mut f, &rules);
         let shapes = route_channel(&mut f, &p, &rules);

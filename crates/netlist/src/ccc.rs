@@ -152,9 +152,7 @@ pub fn partition_cccs(netlist: &mut FlatNetlist) -> (Vec<Ccc>, Vec<CccId>) {
             .iter()
             .copied()
             .filter(|&n| {
-                gate_read[n.index()]
-                    || netlist.net_kind(n).is_port()
-                    || passive_touched[n.index()]
+                gate_read[n.index()] || netlist.net_kind(n).is_port() || passive_touched[n.index()]
             })
             .collect();
         cccs.push(Ccc {
@@ -183,10 +181,46 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p0", a, m, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n0", a, m, gnd, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "p1", m, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n1", m, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p0",
+            a,
+            m,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n0",
+            a,
+            m,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p1",
+            m,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n1",
+            m,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         f
     }
 
@@ -213,10 +247,46 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let (cccs, _) = partition_cccs(&mut f);
         assert_eq!(cccs.len(), 1);
         let y_id = f.find_net("y").unwrap();
@@ -235,7 +305,16 @@ mod tests {
         let b = f.add_net("b", NetKind::Output);
         let en = f.add_net("en", NetKind::Input);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "mp", en, a, b, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mp",
+            en,
+            a,
+            b,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let (cccs, _) = partition_cccs(&mut f);
         assert_eq!(cccs.len(), 1);
         assert!(cccs[0].channel_nets.contains(&a));
@@ -249,7 +328,16 @@ mod tests {
         let mut f = FlatNetlist::new("decap");
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "mc", vdd, gnd, gnd, gnd, 10e-6, 1e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mc",
+            vdd,
+            gnd,
+            gnd,
+            gnd,
+            10e-6,
+            1e-6,
+        ));
         let (cccs, _) = partition_cccs(&mut f);
         assert_eq!(cccs.len(), 1);
         assert!(cccs[0].channel_nets.is_empty());

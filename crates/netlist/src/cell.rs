@@ -304,11 +304,11 @@ impl Library {
                 child_map[port.index()] = net_map[conn.index()];
             }
             let child_prefix = qualify(&inst.name);
-            for i in 0..master.net_count() {
+            for (i, slot) in child_map.iter_mut().enumerate() {
                 let id = NetId(i as u32);
-                if child_map[i].0 == u32::MAX {
+                if slot.0 == u32::MAX {
                     let name = format!("{child_prefix}/{}", master.net_name(id));
-                    child_map[i] = flat.add_net(&name, master.net_kind(id));
+                    *slot = flat.add_net(&name, master.net_kind(id));
                 }
             }
             self.flatten_into(inst.master, &child_prefix, &child_map, flat, depth + 1)?;
@@ -328,8 +328,26 @@ mod tests {
         let y = inv.add_net("y", NetKind::Output);
         let vdd = inv.add_net("vdd", NetKind::Inout);
         let gnd = inv.add_net("gnd", NetKind::Inout);
-        inv.add_device(Device::mos(MosKind::Pmos, "mp", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        inv.add_device(Device::mos(MosKind::Nmos, "mn", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        inv.add_device(Device::mos(
+            MosKind::Pmos,
+            "mp",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        inv.add_device(Device::mos(
+            MosKind::Nmos,
+            "mn",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         inv
     }
 
@@ -379,7 +397,14 @@ mod tests {
         });
         let top_id = lib.add_cell(top).unwrap();
         let err = lib.flatten(top_id).unwrap_err();
-        assert!(matches!(err, NetlistError::PortCountMismatch { expected: 4, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            NetlistError::PortCountMismatch {
+                expected: 4,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -26,8 +26,10 @@ impl NetUse {
 }
 
 /// A flattened design: plain vectors of nets and devices plus connectivity
-/// indices. Construction is append-only; the connectivity index is built
-/// lazily and cached.
+/// indices. Construction is append-only; the connectivity index is
+/// maintained incrementally on every append, so all connectivity queries
+/// take `&self` — verifiers can share one netlist read-only across
+/// worker threads.
 #[derive(Debug, Clone)]
 pub struct FlatNetlist {
     name: String,
@@ -36,9 +38,8 @@ pub struct FlatNetlist {
     by_name: HashMap<String, NetId>,
     devices: Vec<Device>,
     passives: Vec<Passive>,
-    /// net -> uses; rebuilt on demand.
+    /// net -> uses; updated as devices are appended.
     uses: Vec<Vec<NetUse>>,
-    uses_valid: bool,
 }
 
 impl FlatNetlist {
@@ -52,7 +53,6 @@ impl FlatNetlist {
             devices: Vec::new(),
             passives: Vec::new(),
             uses: Vec::new(),
-            uses_valid: true,
         }
     }
 
@@ -85,8 +85,13 @@ impl FlatNetlist {
             device.name
         );
         let id = DeviceId(self.devices.len() as u32);
+        self.uses[device.gate.index()].push(NetUse::Gate(id));
+        self.uses[device.source.index()].push(NetUse::Channel(id));
+        if device.drain != device.source {
+            self.uses[device.drain.index()].push(NetUse::Channel(id));
+        }
+        self.uses[device.bulk.index()].push(NetUse::Bulk(id));
         self.devices.push(device);
-        self.uses_valid = false;
         id
     }
 
@@ -180,48 +185,24 @@ impl FlatNetlist {
         (0..self.devices.len() as u32).map(DeviceId)
     }
 
-    /// Ensures the net→use index is current.
-    fn build_uses(&mut self) {
-        for u in &mut self.uses {
-            u.clear();
-        }
-        self.uses.resize(self.net_names.len(), Vec::new());
-        for (i, d) in self.devices.iter().enumerate() {
-            let id = DeviceId(i as u32);
-            self.uses[d.gate.index()].push(NetUse::Gate(id));
-            self.uses[d.source.index()].push(NetUse::Channel(id));
-            if d.drain != d.source {
-                self.uses[d.drain.index()].push(NetUse::Channel(id));
-            }
-            self.uses[d.bulk.index()].push(NetUse::Bulk(id));
-        }
-        self.uses_valid = true;
-    }
-
-    /// The uses (terminal attachments) of a net. Builds the connectivity
-    /// index on first call after mutation.
+    /// The uses (terminal attachments) of a net. The index is maintained
+    /// incrementally, so this is always current and read-only.
     ///
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn net_uses(&mut self, id: NetId) -> &[NetUse] {
-        if !self.uses_valid {
-            self.build_uses();
-        }
+    pub fn net_uses(&self, id: NetId) -> &[NetUse] {
         &self.uses[id.index()]
     }
 
-    /// Snapshot of the full net→uses table (index = net id). Useful when a
-    /// read-only analysis wants connectivity without holding `&mut self`.
-    pub fn uses_table(&mut self) -> Vec<Vec<NetUse>> {
-        if !self.uses_valid {
-            self.build_uses();
-        }
-        self.uses.clone()
+    /// The full net→uses table (index = net id): connectivity for
+    /// analyses that sweep every net.
+    pub fn uses_table(&self) -> &[Vec<NetUse>] {
+        &self.uses
     }
 
     /// Devices whose gate is on `net`.
-    pub fn gate_loads(&mut self, net: NetId) -> Vec<DeviceId> {
+    pub fn gate_loads(&self, net: NetId) -> Vec<DeviceId> {
         self.net_uses(net)
             .iter()
             .filter_map(|u| match u {
@@ -232,7 +213,7 @@ impl FlatNetlist {
     }
 
     /// Devices with a channel terminal on `net`.
-    pub fn channel_devices(&mut self, net: NetId) -> Vec<DeviceId> {
+    pub fn channel_devices(&self, net: NetId) -> Vec<DeviceId> {
         self.net_uses(net)
             .iter()
             .filter_map(|u| match u {
@@ -258,7 +239,7 @@ impl FlatNetlist {
 
     /// Total transistor width attached by gate to the net — the gate load
     /// used everywhere in delay and power estimation.
-    pub fn gate_width_on(&mut self, net: NetId) -> f64 {
+    pub fn gate_width_on(&self, net: NetId) -> f64 {
         self.gate_loads(net)
             .into_iter()
             .map(|d| self.device(d).w)
@@ -279,16 +260,52 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "mpa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "mpb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "mna", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "mnb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "mpa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "mpb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mna",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mnb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         f
     }
 
     #[test]
     fn uses_index_tracks_terminals() {
-        let mut f = nand2();
+        let f = nand2();
         let a = f.find_net("a").unwrap();
         let gates = f.gate_loads(a);
         assert_eq!(gates.len(), 2);
@@ -299,7 +316,7 @@ mod tests {
 
     #[test]
     fn gate_width_accumulates() {
-        let mut f = nand2();
+        let f = nand2();
         let a = f.find_net("a").unwrap();
         assert!((f.gate_width_on(a) - 8e-6).abs() < 1e-12);
     }
@@ -318,7 +335,16 @@ mod tests {
         assert_eq!(f.gate_loads(a).len(), 2);
         let gnd = f.find_net("gnd").unwrap();
         let y = f.find_net("y").unwrap();
-        f.add_device(Device::mos(MosKind::Nmos, "extra", a, y, gnd, gnd, 1e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "extra",
+            a,
+            y,
+            gnd,
+            gnd,
+            1e-6,
+            0.35e-6,
+        ));
         assert_eq!(f.gate_loads(a).len(), 3);
     }
 
@@ -335,7 +361,16 @@ mod tests {
     fn device_with_bad_net_panics() {
         let mut f = FlatNetlist::new("bad");
         let a = f.add_net("a", NetKind::Input);
-        f.add_device(Device::mos(MosKind::Nmos, "m", a, NetId(9), a, a, 1e-6, 1e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "m",
+            a,
+            NetId(9),
+            a,
+            a,
+            1e-6,
+            1e-6,
+        ));
     }
 
     #[test]

@@ -141,8 +141,10 @@ pub fn parse(text: &str) -> Result<Library, NetlistError> {
     let mut top = CellBuilder::new("top", &[]);
     let mut top_used = false;
     let mut current: Option<CellBuilder> = None;
-    // Instances are resolved by name after all cells are defined.
-    let mut pending: Vec<(String, Vec<(String, String, Vec<String>)>)> = Vec::new();
+    // Instances are resolved by name after all cells are defined:
+    // (instance name, master name, connection nets).
+    type PendingInst = (String, String, Vec<String>);
+    let mut pending: Vec<(String, Vec<PendingInst>)> = Vec::new();
     let mut cur_pending: Vec<(String, String, Vec<String>)> = Vec::new();
     let mut top_pending: Vec<(String, String, Vec<String>)> = Vec::new();
 
@@ -165,7 +167,10 @@ pub fn parse(text: &str) -> Result<Library, NetlistError> {
             let Some(builder) = current.take() else {
                 return Err(err(lineno, ".ends without .subckt".into()));
             };
-            pending.push((builder.cell.name().to_owned(), std::mem::take(&mut cur_pending)));
+            pending.push((
+                builder.cell.name().to_owned(),
+                std::mem::take(&mut cur_pending),
+            ));
             lib.add_cell(builder.cell)?;
             continue;
         }
@@ -187,7 +192,10 @@ pub fn parse(text: &str) -> Result<Library, NetlistError> {
             Some('m') => {
                 // Mname drain gate source bulk model [w=..] [l=..] [m=..]
                 if toks.len() < 6 {
-                    return Err(err(lineno, format!("device `{first}` needs 4 nets and a model")));
+                    return Err(err(
+                        lineno,
+                        format!("device `{first}` needs 4 nets and a model"),
+                    ));
                 }
                 let d = builder.net(toks[1]);
                 let g = builder.net(toks[2]);
@@ -216,13 +224,16 @@ pub fn parse(text: &str) -> Result<Library, NetlistError> {
                 let (Some(w), Some(l)) = (w, l) else {
                     return Err(err(lineno, format!("device `{first}` is missing w= or l=")));
                 };
-                builder
-                    .cell
-                    .add_device(Device::mos(kind, first, g, d, s, b, w, l).with_fingers(fingers.max(1)));
+                builder.cell.add_device(
+                    Device::mos(kind, first, g, d, s, b, w, l).with_fingers(fingers.max(1)),
+                );
             }
             Some('c') | Some('r') => {
                 if toks.len() < 4 {
-                    return Err(err(lineno, format!("passive `{first}` needs 2 nets and a value")));
+                    return Err(err(
+                        lineno,
+                        format!("passive `{first}` needs 2 nets and a value"),
+                    ));
                 }
                 let a = builder.net(toks[1]);
                 let b = builder.net(toks[2]);
@@ -239,7 +250,10 @@ pub fn parse(text: &str) -> Result<Library, NetlistError> {
                     return Err(err(lineno, format!("instance `{first}` needs a master")));
                 }
                 let master = toks[toks.len() - 1].to_owned();
-                let conns: Vec<String> = toks[1..toks.len() - 1].iter().map(|s| (*s).to_owned()).collect();
+                let conns: Vec<String> = toks[1..toks.len() - 1]
+                    .iter()
+                    .map(|s| (*s).to_owned())
+                    .collect();
                 // Create the nets now; resolve the master later.
                 for c in &conns {
                     builder.net(c);
@@ -389,10 +403,7 @@ cload out 0 25f
         assert_eq!(flat.devices().len(), 4);
         assert_eq!(flat.passives().len(), 1);
         // Hierarchical names: xtop/xi0/mp etc.
-        assert!(flat
-            .devices()
-            .iter()
-            .any(|d| d.name == "xtop/xi0/mp"));
+        assert!(flat.devices().iter().any(|d| d.name == "xtop/xi0/mp"));
     }
 
     #[test]

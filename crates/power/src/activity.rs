@@ -112,7 +112,11 @@ pub fn measure_activity(design: &RtlDesign, cycles: usize, seed: u64) -> Vec<(St
     let mut toggles = vec![0u64; names.len()];
     for _ in 0..cycles {
         for (name, width) in design.inputs.clone() {
-            let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             sim.set_input(&name, next_rand() & mask);
         }
         for ck in design.clocks.clone() {
@@ -146,10 +150,7 @@ mod tests {
         let a1 = f.add_net("acc[1]", NetKind::Signal);
         let z = f.add_net("z", NetKind::Output);
         let other = f.add_net("unrelated", NetKind::Signal);
-        let m = ActivityModel::from_measurements(
-            &[("acc".into(), 0.8), ("z".into(), 0.1)],
-            &mut f,
-        );
+        let m = ActivityModel::from_measurements(&[("acc".into(), 0.8), ("z".into(), 0.1)], &mut f);
         assert_eq!(m.of(a0), 0.8);
         assert_eq!(m.of(a1), 0.8);
         assert_eq!(m.of(z), 0.1);

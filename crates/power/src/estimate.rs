@@ -98,12 +98,30 @@ mod tests {
         let mut prev = f.add_net("in", NetKind::Input);
         for i in 0..n {
             let out = f.add_net(&format!("n{i}"), NetKind::Signal);
-            f.add_device(Device::mos(MosKind::Pmos, format!("p{i}"), prev, out, vdd, vdd, 5.6e-6, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Nmos, format!("n{i}"), prev, out, gnd, gnd, 2.4e-6, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("p{i}"),
+                prev,
+                out,
+                vdd,
+                vdd,
+                5.6e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("n{i}"),
+                prev,
+                out,
+                gnd,
+                gnd,
+                2.4e-6,
+                0.35e-6,
+            ));
             prev = out;
         }
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         (f, ex, rec, process)
     }
@@ -123,8 +141,22 @@ mod tests {
     #[test]
     fn activity_scales_data_power() {
         let (f, ex, rec, p) = chain(4);
-        let lo = dynamic_power(&f, &rec, &ex, &p, megahertz(160.0), &ActivityModel::uniform(0.1));
-        let hi = dynamic_power(&f, &rec, &ex, &p, megahertz(160.0), &ActivityModel::uniform(0.4));
+        let lo = dynamic_power(
+            &f,
+            &rec,
+            &ex,
+            &p,
+            megahertz(160.0),
+            &ActivityModel::uniform(0.1),
+        );
+        let hi = dynamic_power(
+            &f,
+            &rec,
+            &ex,
+            &p,
+            megahertz(160.0),
+            &ActivityModel::uniform(0.4),
+        );
         assert!((hi.data.watts() / lo.data.watts() - 4.0).abs() < 0.01);
     }
 
@@ -138,11 +170,29 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         for i in 0..8 {
-            f.add_device(Device::mos(MosKind::Nmos, format!("l{i}"), ck, q, gnd, gnd, 6e-6, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Pmos, format!("pl{i}"), ck, q, vdd, vdd, 6e-6, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("l{i}"),
+                ck,
+                q,
+                gnd,
+                gnd,
+                6e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("pl{i}"),
+                ck,
+                q,
+                vdd,
+                vdd,
+                6e-6,
+                0.35e-6,
+            ));
         }
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         let mut act = ActivityModel::uniform(0.2);
         let free_running = dynamic_power(&f, &rec, &ex, &process, megahertz(160.0), &act);

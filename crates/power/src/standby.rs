@@ -41,7 +41,10 @@ impl LengtheningPolicy {
 
     fn applies_to(&self, name: &str) -> bool {
         self.name_selectors.is_empty()
-            || self.name_selectors.iter().any(|s| name.contains(s.as_str()))
+            || self
+                .name_selectors
+                .iter()
+                .any(|s| name.contains(s.as_str()))
     }
 }
 
@@ -149,8 +152,12 @@ mod tests {
             &LengtheningPolicy::all(0.09e-6),
             milliwatts(20.0),
         );
-        assert!(r.after.watts() < r.before.watts() / 5.0,
-            "0.09 um must cut leakage >5x: {} -> {}", r.before, r.after);
+        assert!(
+            r.after.watts() < r.before.watts() / 5.0,
+            "0.09 um must cut leakage >5x: {} -> {}",
+            r.before,
+            r.after
+        );
     }
 
     #[test]
@@ -167,12 +174,7 @@ mod tests {
         );
         assert_eq!(r.lengthened, 2000);
         // Logic devices untouched.
-        let logic_l = f
-            .devices()
-            .iter()
-            .find(|d| d.name == "logic0")
-            .unwrap()
-            .l;
+        let logic_l = f.devices().iter().find(|d| d.name == "logic0").unwrap().l;
         assert!((logic_l - 0.35e-6).abs() < 1e-12);
     }
 
@@ -182,7 +184,14 @@ mod tests {
         let fast = Corner::fast(&p);
         let after_of = |dl: f64| {
             let mut f = leaky_chip();
-            standby_analysis(&mut f, &p, &fast, &LengtheningPolicy::all(dl), milliwatts(20.0)).after
+            standby_analysis(
+                &mut f,
+                &p,
+                &fast,
+                &LengtheningPolicy::all(dl),
+                milliwatts(20.0),
+            )
+            .after
         };
         let a0 = after_of(0.0);
         let a45 = after_of(0.045e-6);

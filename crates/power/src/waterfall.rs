@@ -76,7 +76,11 @@ mod tests {
         let rows = strongarm_waterfall(Watts::new(26.0));
         assert_eq!(rows.len(), 5);
         // VDD factor ≈ 5.3.
-        assert!((rows[0].factor - 5.3).abs() < 0.05, "vdd factor {}", rows[0].factor);
+        assert!(
+            (rows[0].factor - 5.3).abs() < 0.05,
+            "vdd factor {}",
+            rows[0].factor
+        );
         // Intermediate powers ≈ 4.9, 1.6, 0.8, 0.6 W.
         let expect = [4.9, 1.6, 0.8, 0.63, 0.5];
         for (row, e) in rows.iter().zip(expect) {

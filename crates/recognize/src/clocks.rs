@@ -133,12 +133,42 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            x,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         let (cccs, _) = partition_cccs(&mut f);
         let clocks = infer_clocks(&f, &cccs);
-        assert!(clocks.contains(&clk), "precharge+foot net must be inferred as clock");
+        assert!(
+            clocks.contains(&clk),
+            "precharge+foot net must be inferred as clock"
+        );
     }
 
     #[test]
@@ -148,8 +178,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let (cccs, _) = partition_cccs(&mut f);
         assert!(infer_clocks(&f, &cccs).is_empty());
     }
@@ -166,12 +214,66 @@ mod tests {
         // to count as CCC outputs; add dummy loads.
         let dummy1 = f.add_net("d1", NetKind::Signal);
         let dummy2 = f.add_net("d2", NetKind::Output);
-        f.add_device(Device::mos(MosKind::Pmos, "p1", ck, ckb, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n1", ck, ckb, gnd, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "p2", ckb, ck2, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n2", ckb, ck2, gnd, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "p3", ck2, dummy1, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n3", ck2, dummy1, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p1",
+            ck,
+            ckb,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n1",
+            ck,
+            ckb,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p2",
+            ckb,
+            ck2,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n2",
+            ckb,
+            ck2,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p3",
+            ck2,
+            dummy1,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n3",
+            ck2,
+            dummy1,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let _ = dummy2;
         let (cccs, _) = partition_cccs(&mut f);
         let clocks = infer_clocks(&f, &cccs);

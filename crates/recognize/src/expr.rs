@@ -134,7 +134,15 @@ pub fn conduction_function(
     visited.insert(from);
     let mut stack: Vec<BoolExpr> = Vec::new();
     dfs(
-        netlist, devices, from, to, kind, skip_gates, &mut visited, &mut stack, &mut paths,
+        netlist,
+        devices,
+        from,
+        to,
+        kind,
+        skip_gates,
+        &mut visited,
+        &mut stack,
+        &mut paths,
     )?;
     if paths.is_empty() {
         return Some(BoolExpr::Const(false));
@@ -171,6 +179,7 @@ pub fn conduction_paths(
     to: NetId,
     kind: MosKind,
 ) -> Option<Vec<Vec<cbv_netlist::DeviceId>>> {
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         netlist: &FlatNetlist,
         devices: &[cbv_netlist::DeviceId],
@@ -218,7 +227,14 @@ pub fn conduction_paths(
     visited.insert(from);
     let mut stack = Vec::new();
     walk(
-        netlist, devices, from, to, kind, &mut visited, &mut stack, &mut paths,
+        netlist,
+        devices,
+        from,
+        to,
+        kind,
+        &mut visited,
+        &mut stack,
+        &mut paths,
     )?;
     Some(paths)
 }
@@ -309,10 +325,46 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         let ids = vec![
-            f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6)),
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                "pa",
+                a,
+                y,
+                vdd,
+                vdd,
+                4e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                "pb",
+                b,
+                y,
+                vdd,
+                vdd,
+                4e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "na",
+                a,
+                y,
+                x,
+                gnd,
+                4e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "nb",
+                b,
+                x,
+                gnd,
+                gnd,
+                4e-6,
+                0.35e-6,
+            )),
         ];
         (f, ids)
     }
@@ -327,7 +379,15 @@ mod tests {
         let pd = conduction_function(&f, &ids, y, gnd, MosKind::Nmos, &[]).unwrap();
         // PD conducts iff a & b.
         for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
-            let assign = |n: NetId| if n == a { va } else if n == b { vb } else { false };
+            let assign = |n: NetId| {
+                if n == a {
+                    va
+                } else if n == b {
+                    vb
+                } else {
+                    false
+                }
+            };
             assert_eq!(pd.eval(&assign), va && vb, "a={va} b={vb}");
         }
     }
@@ -341,14 +401,30 @@ mod tests {
         let b = f.find_net("b").unwrap();
         let pu = conduction_function(&f, &ids, y, vdd, MosKind::Pmos, &[]).unwrap();
         for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
-            let assign = |n: NetId| if n == a { va } else if n == b { vb } else { false };
+            let assign = |n: NetId| {
+                if n == a {
+                    va
+                } else if n == b {
+                    vb
+                } else {
+                    false
+                }
+            };
             assert_eq!(pu.eval(&assign), !(va && vb), "a={va} b={vb}");
         }
         // PU and PD must be complementary: checked by the family classifier.
         let pd = conduction_function(&f, &ids, y, f.find_net("gnd").unwrap(), MosKind::Nmos, &[])
             .unwrap();
         for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
-            let assign = |n: NetId| if n == a { va } else if n == b { vb } else { false };
+            let assign = |n: NetId| {
+                if n == a {
+                    va
+                } else if n == b {
+                    vb
+                } else {
+                    false
+                }
+            };
             assert_ne!(pu.eval(&assign), pd.eval(&assign));
         }
     }
@@ -360,7 +436,16 @@ mod tests {
         let clk = f.add_net("clk", NetKind::Clock);
         let y = f.add_net("y", NetKind::Signal);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        let id = f.add_device(Device::mos(MosKind::Nmos, "mf", clk, y, gnd, gnd, 4e-6, 0.35e-6));
+        let id = f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mf",
+            clk,
+            y,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let e = conduction_function(&f, &[id], y, gnd, MosKind::Nmos, &[clk]).unwrap();
         assert_eq!(e, BoolExpr::Const(true));
         let e2 = conduction_function(&f, &[id], y, gnd, MosKind::Nmos, &[]).unwrap();
@@ -392,11 +477,56 @@ mod tests {
         let n2 = f.add_net("n2", NetKind::Signal);
         let gnd = f.add_net("gnd", NetKind::Ground);
         let ids = vec![
-            f.add_device(Device::mos(MosKind::Nmos, "m1", g[0], y, n1, gnd, 1e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Nmos, "m2", g[1], n1, gnd, gnd, 1e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Nmos, "m3", g[2], y, n2, gnd, 1e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Nmos, "m4", g[3], n2, gnd, gnd, 1e-6, 0.35e-6)),
-            f.add_device(Device::mos(MosKind::Nmos, "m5", g[4], n1, n2, gnd, 1e-6, 0.35e-6)),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "m1",
+                g[0],
+                y,
+                n1,
+                gnd,
+                1e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "m2",
+                g[1],
+                n1,
+                gnd,
+                gnd,
+                1e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "m3",
+                g[2],
+                y,
+                n2,
+                gnd,
+                1e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "m4",
+                g[3],
+                n2,
+                gnd,
+                gnd,
+                1e-6,
+                0.35e-6,
+            )),
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                "m5",
+                g[4],
+                n1,
+                n2,
+                gnd,
+                1e-6,
+                0.35e-6,
+            )),
         ];
         let e = conduction_function(&f, &ids, y, gnd, MosKind::Nmos, &[]).unwrap();
         // Exhaustive compare against direct graph reachability.

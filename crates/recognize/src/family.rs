@@ -224,9 +224,9 @@ pub fn classify_ccc(netlist: &FlatNetlist, ccc: &Ccc, clock_nets: &[NetId]) -> C
             .iter()
             .find(|(n, _)| *n == out)
             .map(|(_, paths)| {
-                paths.iter().any(|p| {
-                    p.len() == 1 && clock_nets.contains(&netlist.device(p[0]).gate)
-                })
+                paths
+                    .iter()
+                    .any(|p| p.len() == 1 && clock_nets.contains(&netlist.device(p[0]).gate))
             })
             .unwrap_or(false)
     };
@@ -240,9 +240,7 @@ pub fn classify_ccc(netlist: &FlatNetlist, ccc: &Ccc, clock_nets: &[NetId]) -> C
     let dynamic_outputs: Vec<NetId> = outputs
         .iter()
         .filter(|o| {
-            has_precharge(o.net)
-                && o.function.is_none()
-                && o.pull_down != BoolExpr::Const(false)
+            has_precharge(o.net) && o.function.is_none() && o.pull_down != BoolExpr::Const(false)
         })
         .map(|o| o.net)
         .collect();
@@ -358,14 +356,35 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &[]);
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].family, LogicFamily::StaticComplementary);
         // Function is !a.
         let of = &classes[0].outputs[0];
-        assert_eq!(of.function.as_ref().unwrap(), &BoolExpr::Not(Box::new(BoolExpr::Var(a))));
+        assert_eq!(
+            of.function.as_ref().unwrap(),
+            &BoolExpr::Not(Box::new(BoolExpr::Var(a)))
+        );
     }
 
     #[test]
@@ -381,13 +400,67 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // NMOS: y -a- x -b- gnd ; y -c- gnd
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nc", c, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nc",
+            c,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         // PMOS: vdd -a- p1, vdd -b- p1, p1 -c- y
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, p1, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, p1, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pc", c, y, p1, vdd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            p1,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            p1,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pc",
+            c,
+            y,
+            p1,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &[]);
         assert_eq!(classes[0].family, LogicFamily::StaticComplementary);
     }
@@ -400,8 +473,26 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // PMOS load with gate tied to ground: always on.
-        f.add_device(Device::mos(MosKind::Pmos, "pl", gnd, y, vdd, vdd, 2e-6, 0.7e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pl",
+            gnd,
+            y,
+            vdd,
+            vdd,
+            2e-6,
+            0.7e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &[]);
         assert_eq!(classes[0].family, LogicFamily::Ratioed);
     }
@@ -415,9 +506,36 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            x,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &["clk"]);
         assert_eq!(
             classes[0].family,
@@ -437,8 +555,26 @@ mod tests {
         let d = f.add_net("d", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &["clk"]);
         assert_eq!(
             classes[0].family,
@@ -461,11 +597,56 @@ mod tests {
         let foot = f.add_net("footn", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre_t", clk, t, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pre_c", clk, c, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nt", a, t, foot, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nc", an, c, foot, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nf", clk, foot, gnd, gnd, 8e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre_t",
+            clk,
+            t,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre_c",
+            clk,
+            c,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nt",
+            a,
+            t,
+            foot,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nc",
+            an,
+            c,
+            foot,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nf",
+            clk,
+            foot,
+            gnd,
+            gnd,
+            8e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &["clk"]);
         match classes[0].family {
             LogicFamily::Dynamic { footed, dual_rail } => {
@@ -486,8 +667,26 @@ mod tests {
         let c = f2.add_net("c", NetKind::Output);
         let vdd = f2.add_net("vdd", NetKind::Power);
         let gnd = f2.add_net("gnd", NetKind::Ground);
-        f2.add_device(Device::mos(MosKind::Pmos, "pt", clk, t, vdd, vdd, 3e-6, 0.35e-6));
-        f2.add_device(Device::mos(MosKind::Pmos, "pc", clk, c, vdd, vdd, 3e-6, 0.35e-6));
+        f2.add_device(Device::mos(
+            MosKind::Pmos,
+            "pt",
+            clk,
+            t,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f2.add_device(Device::mos(
+            MosKind::Pmos,
+            "pc",
+            clk,
+            c,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
         // t falls when a, c falls when !a — gate c's eval with a PMOS? A
         // PMOS in an NMOS eval tree isn't idiomatic; instead use series
         // NMOS gated by a for t, and an NMOS gated by... there is no !a
@@ -513,12 +712,57 @@ mod tests {
         let tail = f.add_net("tail", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p1", qb, q, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "p2", q, qb, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n1", a, q, tail, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n2", ab, qb, tail, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p1",
+            qb,
+            q,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p2",
+            q,
+            qb,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n1",
+            a,
+            q,
+            tail,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n2",
+            ab,
+            qb,
+            tail,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         // Always-on tail device (gate tied to power).
-        f.add_device(Device::mos(MosKind::Nmos, "nt", vdd, tail, gnd, gnd, 8e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nt",
+            vdd,
+            tail,
+            gnd,
+            gnd,
+            8e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &[]);
         assert_eq!(classes.len(), 1, "shared tail joins both halves");
         assert_eq!(classes[0].family, LogicFamily::Dcvsl);
@@ -533,8 +777,26 @@ mod tests {
         let b = f.add_net("b", NetKind::Input);
         let y = f.add_net("y", NetKind::Output);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "m1", s, a, y, gnd, 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "m2", sn, b, y, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "m1",
+            s,
+            a,
+            y,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "m2",
+            sn,
+            b,
+            y,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &[]);
         assert_eq!(classes[0].family, LogicFamily::PassTransistor);
     }
@@ -546,8 +808,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let classes = classify_single(&mut f, &[]);
         let c = &classes[0];
         assert_eq!(c.pullup_paths[0].1.len(), 1);

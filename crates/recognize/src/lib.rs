@@ -193,15 +193,69 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // Precharge.
-        f.add_device(Device::mos(MosKind::Pmos, "mpre", clk, dyn_n, vdd, vdd, 3e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "mpre",
+            clk,
+            dyn_n,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
         // Eval stack: a, b in series then clocked foot.
-        f.add_device(Device::mos(MosKind::Nmos, "ma", a, dyn_n, x, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "ma",
+            a,
+            dyn_n,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let y = f.add_net("y", NetKind::Signal);
-        f.add_device(Device::mos(MosKind::Nmos, "mb", b, x, y, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "mfoot", clk, y, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mb",
+            b,
+            x,
+            y,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mfoot",
+            clk,
+            y,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         // Output inverter (static).
-        f.add_device(Device::mos(MosKind::Pmos, "mp1", dyn_n, out, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "mn1", dyn_n, out, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "mp1",
+            dyn_n,
+            out,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "mn1",
+            dyn_n,
+            out,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         f
     }
 

@@ -95,9 +95,7 @@ pub fn find_state_elements(
         for &i in &comp {
             for &o in &cccs[i].outputs {
                 // Storage nets: outputs read *within* the loop.
-                let read_in_loop = comp
-                    .iter()
-                    .any(|&j| cccs[j].inputs.contains(&o));
+                let read_in_loop = comp.iter().any(|&j| cccs[j].inputs.contains(&o));
                 if read_in_loop && !storage_nets.contains(&o) {
                     storage_nets.push(o);
                 }
@@ -130,9 +128,7 @@ pub fn find_state_elements(
             kind = StateKind::Keeper;
             // Only the dynamic node itself stores charge; the feedback
             // inverter's output is an ordinary driven net.
-            storage_nets.retain(|&n| {
-                classes.iter().any(|c| c.dynamic_outputs.contains(&n))
-            });
+            storage_nets.retain(|&n| classes.iter().any(|c| c.dynamic_outputs.contains(&n)));
         } else if saw_pass || !clocks.is_empty() {
             kind = StateKind::LevelLatch;
             // A latch's true storage nodes are the ones a clocked channel
@@ -308,7 +304,16 @@ mod tests {
         let fb = f.add_net("fb", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "pass", ck, d, x, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "pass",
+            ck,
+            d,
+            x,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         add_inverter(&mut f, "fwd", x, y, vdd, gnd);
         add_inverter(&mut f, "bck", y, fb, vdd, gnd);
         // Weak feedback through a second pass device gated by ckb... use
@@ -317,7 +322,16 @@ mod tests {
         // fb to x via always-on nmos gated by vdd? Rails as gates are
         // legal in full custom. Simpler: drive x directly (fb == x) is a
         // short; use a pass gated by ck (jam latch style).
-        f.add_device(Device::mos(MosKind::Nmos, "fbk", ck, fb, x, gnd, 1e-6, 0.7e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "fbk",
+            ck,
+            fb,
+            x,
+            gnd,
+            1e-6,
+            0.7e-6,
+        ));
         let ses = run(&mut f);
         assert_eq!(ses.len(), 1, "one storage loop");
         assert_eq!(ses[0].kind, StateKind::LevelLatch);
@@ -336,12 +350,48 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, dyn_n, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, dyn_n, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            dyn_n,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            dyn_n,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            x,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         add_inverter(&mut f, "oinv", dyn_n, out, vdd, gnd);
         // Keeper: weak pmos, gate = out, channel vdd->dyn.
-        f.add_device(Device::mos(MosKind::Pmos, "keep", out, dyn_n, vdd, vdd, 0.8e-6, 0.7e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "keep",
+            out,
+            dyn_n,
+            vdd,
+            vdd,
+            0.8e-6,
+            0.7e-6,
+        ));
         let ses = run(&mut f);
         assert_eq!(ses.len(), 1);
         assert_eq!(ses[0].kind, StateKind::Keeper);

@@ -181,9 +181,7 @@ impl<'d> Blaster<'d> {
                 // ~a + 1
                 let a = self.bits(a).to_vec();
                 let inv: Vec<BoolId> = a.iter().map(|&b| self.net.mk(Gate::Not(b))).collect();
-                let one_bits: Vec<BoolId> = (0..w)
-                    .map(|i| self.net.constant(i == 0))
-                    .collect();
+                let one_bits: Vec<BoolId> = (0..w).map(|i| self.net.constant(i == 0)).collect();
                 self.ripple_add(&inv, &one_bits).0
             }
             WordOp::Add(a, b) => {
@@ -309,7 +307,10 @@ impl<'d> Blaster<'d> {
         f: fn(&mut BoolNet, BoolId, BoolId) -> BoolId,
     ) -> Vec<BoolId> {
         let (a, b) = (self.bits(a).to_vec(), self.bits(b).to_vec());
-        a.iter().zip(&b).map(|(&x, &y)| f(&mut self.net, x, y)).collect()
+        a.iter()
+            .zip(&b)
+            .map(|(&x, &y)| f(&mut self.net, x, y))
+            .collect()
     }
 
     fn fold(
@@ -417,14 +418,21 @@ mod tests {
         let mut states = net.initial_states();
         let mut rng = seed;
         let mut next_rand = || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng >> 16
         };
         for cycle in 0..cycles {
             // Random inputs.
             let mut in_words = Vec::new();
             for (name, width) in d.inputs.clone() {
-                let v = next_rand() & if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+                let v = next_rand()
+                    & if width >= 64 {
+                        u64::MAX
+                    } else {
+                        (1 << width) - 1
+                    };
                 sim.set_input(&name, v);
                 in_words.push(v);
             }
@@ -454,12 +462,8 @@ mod tests {
                 states = net.next_states(&values, &states, ci as u32);
                 if net.has_negedge(ci as u32) {
                     let values = net.eval(&in_bits, &states);
-                    states = net.next_states_edge(
-                        &values,
-                        &states,
-                        ci as u32,
-                        crate::ast::Edge::Neg,
-                    );
+                    states =
+                        net.next_states_edge(&values, &states, ci as u32, crate::ast::Edge::Neg);
                 }
             }
         }

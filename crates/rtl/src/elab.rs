@@ -254,7 +254,9 @@ impl<'f> Elab<'f> {
 
     fn declare_unique(&self, scope: &Scope, name: &str) -> Result<(), RtlError> {
         if scope.names.contains_key(name) || scope.wires.contains_key(name) {
-            return Err(RtlError::elab(format!("`{name}` is declared more than once")));
+            return Err(RtlError::elab(format!(
+                "`{name}` is declared more than once"
+            )));
         }
         Ok(())
     }
@@ -325,9 +327,7 @@ impl<'f> Elab<'f> {
                 .ports
                 .iter()
                 .find(|p| &p.name == port)
-                .ok_or_else(|| {
-                    RtlError::elab(format!("`{master_name}` has no port `{port}`"))
-                })?;
+                .ok_or_else(|| RtlError::elab(format!("`{master_name}` has no port `{port}`")))?;
             match decl.dir {
                 Dir::In => {
                     let n = self.resolve_expr(scope, expr, depth)?;
@@ -388,8 +388,7 @@ impl<'f> Elab<'f> {
                                 )));
                             };
                             let spec = &self.d.regs[reg_idx as usize];
-                            if spec.clock != u32::MAX
-                                && (spec.clock != clock || spec.edge != edge)
+                            if spec.clock != u32::MAX && (spec.clock != clock || spec.edge != edge)
                             {
                                 return Err(RtlError::elab(format!(
                                     "register `{name}` is written from two different clocks or edges"
@@ -417,8 +416,7 @@ impl<'f> Elab<'f> {
                                 }
                             };
                             let spec = &self.d.cams[cam_idx as usize];
-                            if spec.clock != u32::MAX
-                                && (spec.clock != clock || spec.edge != edge)
+                            if spec.clock != u32::MAX && (spec.clock != clock || spec.edge != edge)
                             {
                                 return Err(RtlError::elab(format!(
                                     "cam `{cam}` is written from two different clocks or edges"
@@ -444,11 +442,7 @@ impl<'f> Elab<'f> {
                         }
                     }
                 }
-                Stmt::If {
-                    cond: c,
-                    then,
-                    els,
-                } => {
+                Stmt::If { cond: c, then, els } => {
                     let c_node = self.resolve_expr(scope, c, depth)?;
                     let c_node = self.d.to_bool(c_node);
                     let then_cond = match cond {
@@ -507,9 +501,7 @@ impl<'f> Elab<'f> {
                         self.d.width(b)
                     )));
                 }
-                Ok(self
-                    .d
-                    .intern(WordOp::Slice { a: b, lo: *lo }, hi - lo + 1))
+                Ok(self.d.intern(WordOp::Slice { a: b, lo: *lo }, hi - lo + 1))
             }
             Expr::Concat(parts) => {
                 let mut nodes = Vec::with_capacity(parts.len());
@@ -584,7 +576,13 @@ impl<'f> Elab<'f> {
                     CamMethod::Read => {
                         let iw = RtlDesign::cam_index_width(entries);
                         let index = self.d.resize(a, iw);
-                        self.d.intern(WordOp::CamRead { cam: cam_idx, index }, width)
+                        self.d.intern(
+                            WordOp::CamRead {
+                                cam: cam_idx,
+                                index,
+                            },
+                            width,
+                        )
                     }
                 })
             }
@@ -715,7 +713,10 @@ mod tests {
             "m",
         )
         .unwrap();
-        assert!(matches!(d.node(d.regs[0].next).op, WordOp::ZExt(_) | WordOp::Input(_)));
+        assert!(matches!(
+            d.node(d.regs[0].next).op,
+            WordOp::ZExt(_) | WordOp::Input(_)
+        ));
     }
 
     #[test]
@@ -840,7 +841,9 @@ mod tests {
     #[test]
     fn output_must_be_driven() {
         let e = compile("module m(in a, out y) { wire z = a; }", "m").unwrap_err();
-        assert!(e.to_string().contains("unknown signal `y`") || e.to_string().contains("never driven"));
+        assert!(
+            e.to_string().contains("unknown signal `y`") || e.to_string().contains("never driven")
+        );
     }
 
     #[test]

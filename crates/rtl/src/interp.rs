@@ -137,7 +137,7 @@ impl<'d> Interp<'d> {
                 WordOp::ZExt(a) => v(a),
                 WordOp::CamHit { cam, key } => {
                     let k = v(key);
-                    self.cams[cam as usize].iter().any(|&e| e == k) as u64
+                    self.cams[cam as usize].contains(&k) as u64
                 }
                 WordOp::CamIndex { cam, key } => {
                     let k = v(key);
@@ -550,7 +550,11 @@ mod tests {
         .unwrap();
         let mut sim = Interp::new(&d);
         sim.step_edge("ck", Edge::Pos);
-        assert_eq!(sim.output("q"), 0, "rising edge must not fire a negedge reg");
+        assert_eq!(
+            sim.output("q"),
+            0,
+            "rising edge must not fire a negedge reg"
+        );
         sim.step_edge("ck", Edge::Neg);
         assert_eq!(sim.output("q"), 1);
         sim.step("ck"); // full cycle = exactly one more increment
@@ -575,7 +579,11 @@ mod tests {
         sim.set_input("wv", 0xAB);
         sim.set_input("k", 0xAB);
         sim.step_edge("ck", Edge::Pos);
-        assert_eq!(sim.output("h"), 0, "posedge must not commit a negedge cam write");
+        assert_eq!(
+            sim.output("h"),
+            0,
+            "posedge must not commit a negedge cam write"
+        );
         sim.step_edge("ck", Edge::Neg);
         assert_eq!(sim.output("h"), 1);
     }

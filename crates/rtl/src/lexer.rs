@@ -29,9 +29,8 @@ pub struct Token {
 
 const PUNCTS: &[&str] = &[
     // Longest first so maximal munch works.
-    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
-    "(", ")", "{", "}", "[", "]", ",", ";", ":", "?", ".",
-    "~", "!", "&", "|", "^", "+", "-", "*", "<", ">", "=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "(", ")", "{", "}", "[", "]", ",", ";",
+    ":", "?", ".", "~", "!", "&", "|", "^", "+", "-", "*", "<", ">", "=",
 ];
 
 /// Tokenizes source text.
@@ -89,15 +88,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, RtlError> {
         if c.is_ascii_digit() {
             let start = i;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'\'')
             {
                 advance(&mut i, &mut line, &mut col, 1, bytes);
             }
             let text: String = source[start..i].chars().filter(|&ch| ch != '_').collect();
-            let (value, width) = parse_literal(&text).map_err(|message| RtlError::Lex {
-                pos,
-                message,
-            })?;
+            let (value, width) =
+                parse_literal(&text).map_err(|message| RtlError::Lex { pos, message })?;
             out.push(Token {
                 tok: Tok::Lit { value, width },
                 pos,
@@ -187,13 +186,55 @@ mod tests {
 
     #[test]
     fn literals() {
-        assert_eq!(toks("255")[0], Tok::Lit { value: 255, width: None });
-        assert_eq!(toks("0xff")[0], Tok::Lit { value: 255, width: None });
-        assert_eq!(toks("0b1010")[0], Tok::Lit { value: 10, width: None });
-        assert_eq!(toks("8'hff")[0], Tok::Lit { value: 255, width: Some(8) });
-        assert_eq!(toks("4'b1010")[0], Tok::Lit { value: 10, width: Some(4) });
-        assert_eq!(toks("10'd512")[0], Tok::Lit { value: 512, width: Some(10) });
-        assert_eq!(toks("1_000")[0], Tok::Lit { value: 1000, width: None });
+        assert_eq!(
+            toks("255")[0],
+            Tok::Lit {
+                value: 255,
+                width: None
+            }
+        );
+        assert_eq!(
+            toks("0xff")[0],
+            Tok::Lit {
+                value: 255,
+                width: None
+            }
+        );
+        assert_eq!(
+            toks("0b1010")[0],
+            Tok::Lit {
+                value: 10,
+                width: None
+            }
+        );
+        assert_eq!(
+            toks("8'hff")[0],
+            Tok::Lit {
+                value: 255,
+                width: Some(8)
+            }
+        );
+        assert_eq!(
+            toks("4'b1010")[0],
+            Tok::Lit {
+                value: 10,
+                width: Some(4)
+            }
+        );
+        assert_eq!(
+            toks("10'd512")[0],
+            Tok::Lit {
+                value: 512,
+                width: Some(10)
+            }
+        );
+        assert_eq!(
+            toks("1_000")[0],
+            Tok::Lit {
+                value: 1000,
+                width: None
+            }
+        );
     }
 
     #[test]

@@ -381,7 +381,10 @@ impl<'a> Parser<'a> {
     }
 
     fn shift(&mut self) -> PResult<Expr> {
-        self.binary_level(&[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)], Self::additive)
+        self.binary_level(
+            &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
+            Self::additive,
+        )
     }
 
     fn additive(&mut self) -> PResult<Expr> {
@@ -554,11 +557,16 @@ mod tests {
 
     #[test]
     fn reg_wire_assign() {
-        let f = parse(
-            "module m(in a[4]) { reg r[4] = 3; wire w[4] = a + r; assign z = w == 0; }",
-        );
+        let f = parse("module m(in a[4]) { reg r[4] = 3; wire w[4] = a + r; assign z = w == 0; }");
         let m = &f.modules[0];
-        assert!(matches!(m.items[0], Item::Reg { width: 4, init: 3, .. }));
+        assert!(matches!(
+            m.items[0],
+            Item::Reg {
+                width: 4,
+                init: 3,
+                ..
+            }
+        ));
         assert!(matches!(m.items[1], Item::Wire { .. }));
         assert!(matches!(m.items[2], Item::Wire { width: None, .. }));
     }
@@ -600,10 +608,17 @@ mod tests {
         let m = &f.modules[0];
         assert!(matches!(
             m.items[0],
-            Item::Cam { entries: 64, width: 32, .. }
+            Item::Cam {
+                entries: 64,
+                width: 32,
+                ..
+            }
         ));
         match &m.items[1] {
-            Item::Wire { expr: Expr::CamOp { method, .. }, .. } => {
+            Item::Wire {
+                expr: Expr::CamOp { method, .. },
+                ..
+            } => {
                 assert_eq!(*method, CamMethod::Hit)
             }
             other => panic!("unexpected {other:?}"),
@@ -645,8 +660,14 @@ mod tests {
         let f = parse("module m(in a, in b, in c, in d) { assign z = a + b << 2 == c & d; }");
         match &f.modules[0].items[0] {
             Item::Wire { expr, .. } => match expr {
-                Expr::Binary { op: BinaryOp::And, lhs, .. } => match lhs.as_ref() {
-                    Expr::Binary { op: BinaryOp::Eq, .. } => {}
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    lhs,
+                    ..
+                } => match lhs.as_ref() {
+                    Expr::Binary {
+                        op: BinaryOp::Eq, ..
+                    } => {}
                     other => panic!("unexpected {other:?}"),
                 },
                 other => panic!("unexpected {other:?}"),
@@ -660,7 +681,10 @@ mod tests {
         // `<=` must parse as less-equal inside a wire expression.
         let f = parse("module m(in a[4], in b[4]) { assign z = a <= b; }");
         match &f.modules[0].items[0] {
-            Item::Wire { expr: Expr::Binary { op, .. }, .. } => assert_eq!(*op, BinaryOp::Le),
+            Item::Wire {
+                expr: Expr::Binary { op, .. },
+                ..
+            } => assert_eq!(*op, BinaryOp::Le),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -670,11 +694,17 @@ mod tests {
         let f = parse("module m(in a[8], in i[3]) { assign hi = a[7:4]; assign b = a[i]; }");
         assert!(matches!(
             &f.modules[0].items[0],
-            Item::Wire { expr: Expr::Slice { hi: 7, lo: 4, .. }, .. }
+            Item::Wire {
+                expr: Expr::Slice { hi: 7, lo: 4, .. },
+                ..
+            }
         ));
         assert!(matches!(
             &f.modules[0].items[1],
-            Item::Wire { expr: Expr::Index { .. }, .. }
+            Item::Wire {
+                expr: Expr::Index { .. },
+                ..
+            }
         ));
     }
 

@@ -228,7 +228,11 @@ mod tests {
             assert_eq!(gsim.output("qa"), isim.output("qa"), "qa at cycle {cycle}");
             assert_eq!(gsim.output("qb"), isim.output("qb"), "qb at cycle {cycle}");
             // The negedge stage saw this cycle's posedge value.
-            assert_eq!(gsim.output("qb"), v ^ 5, "intra-cycle transfer at cycle {cycle}");
+            assert_eq!(
+                gsim.output("qb"),
+                v ^ 5,
+                "intra-cycle transfer at cycle {cycle}"
+            );
         }
     }
 

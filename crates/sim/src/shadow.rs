@@ -216,8 +216,26 @@ mod tests {
         let _ = ck;
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         f
     }
 
@@ -251,7 +269,16 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // Source-follower style pass from input: y follows q.
-        f.add_device(Device::mos(MosKind::Nmos, "m1", vdd, a, y, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "m1",
+            vdd,
+            a,
+            y,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let mut shadow = ShadowSim::new(
             &d,
             &f,

@@ -54,10 +54,7 @@ mod tests {
 
     #[test]
     fn vectors_repeat_cyclically() {
-        let s = Stimulus::Vectors(vec![
-            vec![("a".into(), 1)],
-            vec![("a".into(), 0)],
-        ]);
+        let s = Stimulus::Vectors(vec![vec![("a".into(), 1)], vec![("a".into(), 0)]]);
         let g = s.generate(5);
         assert_eq!(g.len(), 5);
         assert_eq!(g[0][0].1, 1);

@@ -22,7 +22,9 @@ pub enum Logic {
 }
 
 impl Logic {
-    /// Logical complement (X stays X).
+    /// Logical complement (X stays X). Not `std::ops::Not`: that trait
+    /// cannot express the X fixpoint without implying total negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Logic {
         match self {
             Logic::Zero => Logic::One,
@@ -176,14 +178,14 @@ impl<'n> SwitchSim<'n> {
         let mut changed = false;
         let n = self.netlist.net_count();
         let mut new_values = self.values.clone();
-        for net_idx in 0..n {
+        for (net_idx, slot) in new_values.iter_mut().enumerate().take(n) {
             let net = NetId(net_idx as u32);
             if self.driven[net_idx] {
                 continue;
             }
             let v = self.evaluate_node(net, pessimistic);
             if v != self.values[net_idx] {
-                new_values[net_idx] = v;
+                *slot = v;
                 changed = true;
             }
         }
@@ -280,10 +282,7 @@ impl<'n> SwitchSim<'n> {
         }
         // Deduplicate revisited nodes for the charge computation below.
         let mut seen = std::collections::HashSet::new();
-        let group: Vec<NetId> = group
-            .into_iter()
-            .filter(|&g| seen.insert(g))
-            .collect();
+        let group: Vec<NetId> = group.into_iter().filter(|&g| seen.insert(g)).collect();
         if driven_vals.contains(&Logic::X) {
             return Logic::X;
         }
@@ -369,8 +368,26 @@ mod tests {
     use cbv_netlist::{Device, NetKind};
 
     fn add_inverter(f: &mut FlatNetlist, name: &str, a: NetId, y: NetId, vdd: NetId, gnd: NetId) {
-        f.add_device(Device::mos(MosKind::Pmos, format!("{name}p"), a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, format!("{name}n"), a, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("{name}p"),
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("{name}n"),
+            a,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
     }
 
     #[test]
@@ -402,10 +419,46 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pa", a, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "pb", b, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, y, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "nb", b, x, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pa",
+            a,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pb",
+            b,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            y,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "nb",
+            b,
+            x,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let mut sim = SwitchSim::new(&f);
         for (va, vb, expect) in [
             (Logic::Zero, Logic::Zero, Logic::One),
@@ -430,9 +483,36 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "ft", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "ft",
+            clk,
+            x,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         add_inverter(&mut f, "o", d, out, vdd, gnd);
         let mut sim = SwitchSim::new(&f);
         // Precharge phase: clk low.
@@ -487,8 +567,26 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "load", gnd, y, vdd, vdd, 1.0e-6, 1.4e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n", a, y, gnd, gnd, 8e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "load",
+            gnd,
+            y,
+            vdd,
+            vdd,
+            1.0e-6,
+            1.4e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            8e-6,
+            0.35e-6,
+        ));
         let mut sim = SwitchSim::new(&f);
         sim.set(a, Logic::Zero);
         sim.settle().unwrap();
@@ -505,8 +603,26 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         // Two equal always-on devices fighting.
-        f.add_device(Device::mos(MosKind::Pmos, "up", gnd, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "dn", vdd, y, gnd, gnd, 4e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "up",
+            gnd,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "dn",
+            vdd,
+            y,
+            gnd,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
         let mut sim = SwitchSim::new(&f);
         sim.settle().unwrap();
         assert_eq!(sim.value(y), Logic::X);

@@ -27,7 +27,11 @@ pub enum CornerKind {
 
 impl CornerKind {
     /// All three standard corners, slowest first.
-    pub const ALL: [CornerKind; 3] = [CornerKind::SlowSlow, CornerKind::Typical, CornerKind::FastFast];
+    pub const ALL: [CornerKind; 3] = [
+        CornerKind::SlowSlow,
+        CornerKind::Typical,
+        CornerKind::FastFast,
+    ];
 }
 
 /// One process/voltage/temperature operating point.

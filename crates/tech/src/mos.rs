@@ -77,8 +77,7 @@ impl MosModel {
     /// corner: `Vt0 + rolloff·(L−Lnom) − DIBL·Vds + corner shift`.
     pub fn vt_effective(&self, l: f64, vds: Volts, corner: &Corner) -> Volts {
         let rolloff = self.vt_rolloff * (l - self.l_nominal);
-        Volts::new(self.vt0.volts() + rolloff - self.dibl * vds.volts().abs())
-            + corner.vt_shift
+        Volts::new(self.vt0.volts() + rolloff - self.dibl * vds.volts().abs()) + corner.vt_shift
     }
 
     /// Saturation drain current of a `w` × `l` device with full gate drive
@@ -220,7 +219,11 @@ mod tests {
         // must still leak noticeably more than slow.
         let lf = m.subthreshold_leakage(10e-6, m.l_nominal, &Corner::fast(&p));
         let ls = m.subthreshold_leakage(10e-6, m.l_nominal, &Corner::slow(&p));
-        assert!(lf.amps() > ls.amps() * 1.3, "fast/slow = {}", lf.amps() / ls.amps());
+        assert!(
+            lf.amps() > ls.amps() * 1.3,
+            "fast/slow = {}",
+            lf.amps() / ls.amps()
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ impl Process {
     ///
     /// Panics if the device models' polarities are swapped or the supply
     /// is not positive.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         generation: Generation,
@@ -80,6 +81,7 @@ impl Process {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn make(
         name: &str,
         generation: Generation,
@@ -139,17 +141,44 @@ impl Process {
 
     /// The 0.75 µm, 3.45 V process of the ALPHA 21064 (200 MHz).
     pub fn alpha_21064() -> Process {
-        Process::make("CMOS4 0.75um (21064)", Generation::Cmos4, 0.75, 3.45, 200.0, 0.65, 0.75, 1.6)
+        Process::make(
+            "CMOS4 0.75um (21064)",
+            Generation::Cmos4,
+            0.75,
+            3.45,
+            200.0,
+            0.65,
+            0.75,
+            1.6,
+        )
     }
 
     /// The 0.5 µm, 3.3 V process of the ALPHA 21164 (433 MHz).
     pub fn alpha_21164() -> Process {
-        Process::make("CMOS5 0.5um (21164)", Generation::Cmos5, 0.5, 3.3, 433.0, 0.58, 0.68, 1.45)
+        Process::make(
+            "CMOS5 0.5um (21164)",
+            Generation::Cmos5,
+            0.5,
+            3.3,
+            433.0,
+            0.58,
+            0.68,
+            1.45,
+        )
     }
 
     /// The 0.35 µm, 2.2 V process of the ALPHA 21264 (600 MHz).
     pub fn alpha_21264() -> Process {
-        Process::make("CMOS6 0.35um (21264)", Generation::Cmos6, 0.35, 2.2, 600.0, 0.5, 0.55, 1.35)
+        Process::make(
+            "CMOS6 0.35um (21264)",
+            Generation::Cmos6,
+            0.35,
+            2.2,
+            600.0,
+            0.5,
+            0.55,
+            1.35,
+        )
     }
 
     /// The 0.35 µm low-voltage (1.5 V), low-threshold StrongARM SA-110
@@ -241,7 +270,10 @@ mod tests {
     fn balanced_beta_is_about_two_and_a_half() {
         let p = Process::alpha_21064();
         let beta = p.balanced_beta();
-        assert!(beta > 1.5 && beta < 3.5, "beta {beta} out of realistic range");
+        assert!(
+            beta > 1.5 && beta < 3.5,
+            "beta {beta} out of realistic range"
+        );
     }
 
     #[test]

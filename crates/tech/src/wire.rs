@@ -145,7 +145,7 @@ impl WireStack {
         let s = l_min / 0.75e-6;
         let mk = |r_sq: f64, c_a: f64, c_f: f64, c_c: f64, w_min: f64, s_min: f64, em: f64| {
             WireParams {
-                r_sheet: r_sq / s,          // thinner films as we scale
+                r_sheet: r_sq / s,           // thinner films as we scale
                 c_area: c_a,                 // per-area roughly constant
                 c_fringe: c_f * 1.05,        // fringe grows in relative terms
                 c_couple_min_space: c_c / s, // tighter spacing couples harder

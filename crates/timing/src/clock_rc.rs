@@ -72,11 +72,7 @@ pub fn clock_skew_bounds(
 }
 
 /// Per-node insertion delays (node index, delay), for reporting.
-pub fn insertion_delays(
-    extracted: &Extracted,
-    net: NetId,
-    r_driver: Ohms,
-) -> Vec<(u32, Seconds)> {
+pub fn insertion_delays(extracted: &Extracted, net: NetId, r_driver: Ohms) -> Vec<(u32, Seconds)> {
     let Some(en) = extracted.net(net) else {
         return Vec::new();
     };
@@ -151,7 +147,7 @@ mod tests {
         }
         let p = Process::strongarm_035();
         let layout = synthesize(&mut f, &p);
-        let ex = cbv_extract::extract(&layout, &mut f, &p);
+        let ex = cbv_extract::extract(&layout, &f, &p);
         let tight = clock_skew_bounds(&ex, ck, Ohms::new(200.0), &Tolerance::nominal())
             .expect("clock net extracted");
         let wide = clock_skew_bounds(&ex, ck, Ohms::new(200.0), &Tolerance::conservative())

@@ -61,7 +61,7 @@ pub fn characteristic_tau(process: &Process, corner: &Corner) -> Seconds {
 /// characteristic tau, inflated by the pessimism margin; experiment E10
 /// sweeps that margin.
 pub fn infer_constraints(
-    netlist: &mut FlatNetlist,
+    netlist: &FlatNetlist,
     recognition: &Recognition,
     process: &Process,
     pessimism: &Pessimism,
@@ -135,13 +135,43 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            x,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         let rec = recognize(&mut f);
         let p = Process::strongarm_035();
-        let cons = infer_constraints(&mut f, &rec, &p, &Pessimism::signoff());
-        let c = cons.iter().find(|c| c.net == d).expect("dynamic constraint");
+        let cons = infer_constraints(&f, &rec, &p, &Pessimism::signoff());
+        let c = cons
+            .iter()
+            .find(|c| c.net == d)
+            .expect("dynamic constraint");
         assert_eq!(c.kind, CaptureKind::DynamicEval);
         assert_eq!(c.clock, Some(clk));
         assert!(c.setup.seconds() > 0.0 && c.hold.seconds() > 0.0);
@@ -157,16 +187,52 @@ mod tests {
         let fb = f.add_net("fb", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "pass", ck, dta, x, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "pass",
+            ck,
+            dta,
+            x,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         for (n, i, o) in [("fwd", x, y), ("bck", y, fb)] {
-            f.add_device(Device::mos(MosKind::Pmos, format!("{n}p"), i, o, vdd, vdd, 4e-6, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Nmos, format!("{n}n"), i, o, gnd, gnd, 2e-6, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("{n}p"),
+                i,
+                o,
+                vdd,
+                vdd,
+                4e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("{n}n"),
+                i,
+                o,
+                gnd,
+                gnd,
+                2e-6,
+                0.35e-6,
+            ));
         }
-        f.add_device(Device::mos(MosKind::Nmos, "fbk", ck, fb, x, gnd, 1e-6, 0.7e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "fbk",
+            ck,
+            fb,
+            x,
+            gnd,
+            1e-6,
+            0.7e-6,
+        ));
         let rec = recognize(&mut f);
         let p = Process::strongarm_035();
-        let base = infer_constraints(&mut f, &rec, &p, &Pessimism::none());
-        let padded = infer_constraints(&mut f, &rec, &p, &Pessimism::signoff());
+        let base = infer_constraints(&f, &rec, &p, &Pessimism::none());
+        let padded = infer_constraints(&f, &rec, &p, &Pessimism::signoff());
         assert!(!base.is_empty());
         assert!(base.iter().all(|c| c.kind == CaptureKind::Latch));
         let s0: f64 = base.iter().map(|c| c.setup.seconds()).sum();

@@ -234,13 +234,49 @@ mod tests {
         let y = f.add_net("y", NetKind::Output);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "p0", a, m, vdd, vdd, w_scale * 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n0", a, m, gnd, gnd, w_scale * 2e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Pmos, "p1", m, y, vdd, vdd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "n1", m, y, gnd, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p0",
+            a,
+            m,
+            vdd,
+            vdd,
+            w_scale * 4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n0",
+            a,
+            m,
+            gnd,
+            gnd,
+            w_scale * 2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p1",
+            m,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n1",
+            m,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         let process = Process::strongarm_035();
         let layout = synthesize(&mut f, &process);
-        let ex = cbv_extract::extract(&layout, &mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
         let rec = recognize(&mut f);
         (f, ex, rec.classes)
     }
@@ -262,7 +298,10 @@ mod tests {
             .unwrap();
         let (lo, hi) = dc.arc_delay(&f, &ex, class, a, m).unwrap();
         assert!(lo.seconds() > 0.0);
-        assert!(hi.seconds() > lo.seconds() * 1.5, "window must be wide: {lo} vs {hi}");
+        assert!(
+            hi.seconds() > lo.seconds() * 1.5,
+            "window must be wide: {lo} vs {hi}"
+        );
     }
 
     #[test]
@@ -274,16 +313,25 @@ mod tests {
         let d1 = {
             let a = f1.find_net("a").unwrap();
             let m = f1.find_net("m").unwrap();
-            let class = c1.iter().find(|c| c.outputs.iter().any(|o| o.net == m)).unwrap();
+            let class = c1
+                .iter()
+                .find(|c| c.outputs.iter().any(|o| o.net == m))
+                .unwrap();
             dc.arc_delay(&f1, &ex1, class, a, m).unwrap().1
         };
         let d4 = {
             let a = f4.find_net("a").unwrap();
             let m = f4.find_net("m").unwrap();
-            let class = c4.iter().find(|c| c.outputs.iter().any(|o| o.net == m)).unwrap();
+            let class = c4
+                .iter()
+                .find(|c| c.outputs.iter().any(|o| o.net == m))
+                .unwrap();
             dc.arc_delay(&f4, &ex4, class, a, m).unwrap().1
         };
-        assert!(d4.seconds() < d1.seconds(), "4x driver must beat 1x: {d4} vs {d1}");
+        assert!(
+            d4.seconds() < d1.seconds(),
+            "4x driver must beat 1x: {d4} vs {d1}"
+        );
     }
 
     #[test]
@@ -292,7 +340,10 @@ mod tests {
         let p = process();
         let a = f.find_net("a").unwrap();
         let m = f.find_net("m").unwrap();
-        let class = classes.iter().find(|c| c.outputs.iter().any(|o| o.net == m)).unwrap();
+        let class = classes
+            .iter()
+            .find(|c| c.outputs.iter().any(|o| o.net == m))
+            .unwrap();
         let lo_hi = |pess: Pessimism| {
             let dc = DelayCalc::new(&p, Tolerance::conservative(), pess);
             dc.arc_delay(&f, &ex, class, a, m).unwrap()

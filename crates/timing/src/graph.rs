@@ -1,5 +1,8 @@
 //! Timing-graph construction from recognition results.
 
+use std::time::Duration;
+
+use cbv_exec::Executor;
 use cbv_extract::Extracted;
 use cbv_netlist::{CccId, FlatNetlist, NetId};
 use cbv_recognize::{NetRole, Recognition};
@@ -63,6 +66,91 @@ impl TimingGraph {
     }
 }
 
+/// A state element's internal regeneration (e.g. a jam latch's feedback
+/// inverter driving its own storage node) is not a timing arc: data
+/// timing is measured from *outside* the element.
+fn same_element(netlist: &FlatNetlist, recognition: &Recognition, from: NetId, to: NetId) -> bool {
+    // Externally driven nets are by definition new data, even when a
+    // feedback component happens to touch them.
+    if netlist.net_kind(from).is_driven_externally() {
+        return false;
+    }
+    recognition.state_elements.iter().any(|se| {
+        se.storage_nets.contains(&to)
+            && se
+                .cccs
+                .iter()
+                .any(|&ci| recognition.cccs[ci.index()].outputs.contains(&from))
+    })
+}
+
+/// All delay arcs contributed by one CCC, in deterministic order.
+fn ccc_arcs(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    calc: &DelayCalc<'_>,
+    i: usize,
+) -> Vec<Arc> {
+    let ccc = &recognition.cccs[i];
+    let class = &recognition.classes[i];
+    let mut arcs = Vec::new();
+    for &out in &ccc.outputs {
+        // Externally driven nets are set by the outside world; the
+        // circuit cannot retime them (a pass network touching a
+        // primary input does not drive it).
+        if netlist.net_kind(out).is_driven_externally() {
+            continue;
+        }
+        for &inp in &ccc.inputs {
+            // A clock input arcs only onto dynamic outputs (the
+            // evaluate edge); data inputs arc onto everything.
+            let is_clock = recognition.clock_nets.contains(&inp);
+            let is_dynamic_out = class.dynamic_outputs.contains(&out);
+            if is_clock && !is_dynamic_out {
+                continue;
+            }
+            if same_element(netlist, recognition, inp, out) {
+                continue;
+            }
+            if let Some((min, max)) = calc.arc_delay(netlist, extracted, class, inp, out) {
+                arcs.push(Arc {
+                    from: inp,
+                    to: out,
+                    min,
+                    max,
+                    ccc: CccId(i as u32),
+                });
+            }
+        }
+        // Data can also enter through the *channel* side of a pass
+        // network: a primary input wired straight into a pass device
+        // has no gate arc, yet its value flushes through to every
+        // boundary net of the component.
+        for &src in &ccc.outputs {
+            if src == out
+                || !netlist.net_kind(src).is_driven_externally()
+                || recognition.clock_nets.contains(&src)
+            {
+                continue;
+            }
+            if same_element(netlist, recognition, src, out) {
+                continue;
+            }
+            if let Some((min, max)) = calc.arc_delay(netlist, extracted, class, src, out) {
+                arcs.push(Arc {
+                    from: src,
+                    to: out,
+                    min,
+                    max,
+                    ccc: CccId(i as u32),
+                });
+            }
+        }
+    }
+    arcs
+}
+
 /// Builds the timing graph: one arc per (input, output) pair of every
 /// CCC, delays from the bounded calculator; launches at primary inputs,
 /// state nets and dynamic nodes; cuts at state nets.
@@ -72,86 +160,35 @@ pub fn build_graph(
     extracted: &Extracted,
     calc: &DelayCalc<'_>,
 ) -> TimingGraph {
+    build_graph_parallel(netlist, recognition, extracted, calc, &Executor::serial()).0
+}
+
+/// [`build_graph`] with the per-CCC arc/delay computation — the hot part
+/// of timing verification — partitioned into chunks processed across
+/// `exec`'s workers. Arcs are reassembled in CCC order, so the graph is
+/// identical to a serial build. Also returns aggregate worker busy time.
+pub fn build_graph_parallel(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    calc: &DelayCalc<'_>,
+    exec: &Executor,
+) -> (TimingGraph, Duration) {
     let mut g = TimingGraph::default();
 
-    // A state element's internal regeneration (e.g. a jam latch's
-    // feedback inverter driving its own storage node) is not a timing
-    // arc: data timing is measured from *outside* the element.
-    let same_element = |from: NetId, to: NetId| -> bool {
-        // Externally driven nets are by definition new data, even when a
-        // feedback component happens to touch them.
-        if netlist.net_kind(from).is_driven_externally() {
-            return false;
+    // Arcs: chunk the CCC index space so each queue pop hands a worker a
+    // meaningful slice, then flatten in CCC order.
+    let n = recognition.cccs.len();
+    let chunk = (n / (exec.thread_count() * 8)).max(1);
+    let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+    let (chunks, busy) = exec.map_timed(starts, |start| {
+        let mut arcs = Vec::new();
+        for i in start..(start + chunk).min(n) {
+            arcs.extend(ccc_arcs(netlist, recognition, extracted, calc, i));
         }
-        recognition.state_elements.iter().any(|se| {
-            se.storage_nets.contains(&to)
-                && se
-                    .cccs
-                    .iter()
-                    .any(|&ci| recognition.cccs[ci.index()].outputs.contains(&from))
-        })
-    };
-    // Arcs.
-    for (i, (ccc, class)) in recognition
-        .cccs
-        .iter()
-        .zip(&recognition.classes)
-        .enumerate()
-    {
-        for &out in &ccc.outputs {
-            // Externally driven nets are set by the outside world; the
-            // circuit cannot retime them (a pass network touching a
-            // primary input does not drive it).
-            if netlist.net_kind(out).is_driven_externally() {
-                continue;
-            }
-            for &inp in &ccc.inputs {
-                // A clock input arcs only onto dynamic outputs (the
-                // evaluate edge); data inputs arc onto everything.
-                let is_clock = recognition.clock_nets.contains(&inp);
-                let is_dynamic_out = class.dynamic_outputs.contains(&out);
-                if is_clock && !is_dynamic_out {
-                    continue;
-                }
-                if same_element(inp, out) {
-                    continue;
-                }
-                if let Some((min, max)) = calc.arc_delay(netlist, extracted, class, inp, out) {
-                    g.arcs.push(Arc {
-                        from: inp,
-                        to: out,
-                        min,
-                        max,
-                        ccc: CccId(i as u32),
-                    });
-                }
-            }
-            // Data can also enter through the *channel* side of a pass
-            // network: a primary input wired straight into a pass device
-            // has no gate arc, yet its value flushes through to every
-            // boundary net of the component.
-            for &src in &ccc.outputs {
-                if src == out
-                    || !netlist.net_kind(src).is_driven_externally()
-                    || recognition.clock_nets.contains(&src)
-                {
-                    continue;
-                }
-                if same_element(src, out) {
-                    continue;
-                }
-                if let Some((min, max)) = calc.arc_delay(netlist, extracted, class, src, out) {
-                    g.arcs.push(Arc {
-                        from: src,
-                        to: out,
-                        min,
-                        max,
-                        ccc: CccId(i as u32),
-                    });
-                }
-            }
-        }
-    }
+        arcs
+    });
+    g.arcs = chunks.into_iter().flatten().collect();
 
     // Launches: primary inputs.
     for net in 0..netlist.net_count() as u32 {
@@ -186,7 +223,7 @@ pub fn build_graph(
             }
         }
     }
-    g
+    (g, busy)
 }
 
 #[cfg(test)]
@@ -217,8 +254,26 @@ mod tests {
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
         for (n, i, o) in [("i0", a, m), ("i1", m, y)] {
-            f.add_device(Device::mos(MosKind::Pmos, format!("{n}p"), i, o, vdd, vdd, 4e-6, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Nmos, format!("{n}n"), i, o, gnd, gnd, 2e-6, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("{n}p"),
+                i,
+                o,
+                vdd,
+                vdd,
+                4e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("{n}n"),
+                i,
+                o,
+                gnd,
+                gnd,
+                2e-6,
+                0.35e-6,
+            ));
         }
         let (_, g) = build(&mut f);
         assert_eq!(g.arcs.len(), 2);
@@ -241,9 +296,36 @@ mod tests {
         let x = f.add_net("x", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Pmos, "pre", clk, d, vdd, vdd, 3e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "na", a, d, x, gnd, 4e-6, 0.35e-6));
-        f.add_device(Device::mos(MosKind::Nmos, "foot", clk, x, gnd, gnd, 6e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            d,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "na",
+            a,
+            d,
+            x,
+            gnd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "foot",
+            clk,
+            x,
+            gnd,
+            gnd,
+            6e-6,
+            0.35e-6,
+        ));
         let (_, g) = build(&mut f);
         // Arc from a to d (data) and clk to d (eval).
         assert!(g.arcs.iter().any(|arc| arc.from == a && arc.to == d));
@@ -265,20 +347,53 @@ mod tests {
         let fb = f.add_net("fb", NetKind::Signal);
         let vdd = f.add_net("vdd", NetKind::Power);
         let gnd = f.add_net("gnd", NetKind::Ground);
-        f.add_device(Device::mos(MosKind::Nmos, "pass", ck, dta, x, gnd, 2e-6, 0.35e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "pass",
+            ck,
+            dta,
+            x,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
         for (n, i, o) in [("fwd", x, y), ("bck", y, fb)] {
-            f.add_device(Device::mos(MosKind::Pmos, format!("{n}p"), i, o, vdd, vdd, 4e-6, 0.35e-6));
-            f.add_device(Device::mos(MosKind::Nmos, format!("{n}n"), i, o, gnd, gnd, 2e-6, 0.35e-6));
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("{n}p"),
+                i,
+                o,
+                vdd,
+                vdd,
+                4e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("{n}n"),
+                i,
+                o,
+                gnd,
+                gnd,
+                2e-6,
+                0.35e-6,
+            ));
         }
-        f.add_device(Device::mos(MosKind::Nmos, "fbk", ck, fb, x, gnd, 1e-6, 0.7e-6));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "fbk",
+            ck,
+            fb,
+            x,
+            gnd,
+            1e-6,
+            0.7e-6,
+        ));
         let (rec, g) = build(&mut f);
         assert!(!rec.state_elements.is_empty());
         assert!(!g.cut_nets.is_empty());
         for &cn in &g.cut_nets {
-            assert!(
-                g.launches.iter().any(|l| l.net == cn),
-                "cut nets relaunch"
-            );
+            assert!(g.launches.iter().any(|l| l.net == cn), "cut nets relaunch");
         }
     }
 }

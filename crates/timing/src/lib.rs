@@ -37,7 +37,9 @@ pub use constraints::{infer_constraints, CaptureKind, Constraint};
 pub use delay::{DelayCalc, Pessimism};
 pub use graph::{Arc, LaunchPoint, TimingGraph};
 pub use sizing::{size_path, SizingResult};
-pub use sta::{analyze, find_min_period, ArrivalWindow, PathStep, StaReport, Violation, ViolationKind};
+pub use sta::{
+    analyze, find_min_period, ArrivalWindow, PathStep, StaReport, Violation, ViolationKind,
+};
 
 use cbv_tech::Seconds;
 

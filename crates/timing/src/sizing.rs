@@ -34,7 +34,12 @@ fn stage_input_cap(netlist: &FlatNetlist, stage: &[DeviceId], process: &Process)
         .sum()
 }
 
-fn stage_resistance(netlist: &FlatNetlist, stage: &[DeviceId], process: &Process, corner: &Corner) -> f64 {
+fn stage_resistance(
+    netlist: &FlatNetlist,
+    stage: &[DeviceId],
+    process: &Process,
+    corner: &Corner,
+) -> f64 {
     // Parallel-ish proxy: the NMOS half (or whole stage if single
     // polarity) as one conductance; good enough for chain optimization.
     let g: f64 = stage
@@ -102,11 +107,11 @@ pub fn size_path(
 
     // Target input cap of stage i: C_in1 * f^i  (stage 0 unchanged).
     let mut stage_scale = vec![1.0];
-    for i in 1..stages.len() {
-        let current = stage_input_cap(netlist, &stages[i], process);
+    for (i, stage) in stages.iter().enumerate().skip(1) {
+        let current = stage_input_cap(netlist, stage, process);
         let target = c_in1.farads() * f.powi(i as i32);
         let scale = (target / current.farads()).max(0.1);
-        for &d in &stages[i] {
+        for &d in stage {
             let dev = netlist.device_mut(d);
             dev.w *= scale;
         }
@@ -175,7 +180,11 @@ mod tests {
         );
         // Stage scales must grow monotonically (geometric taper).
         for w in r.stage_scale.windows(2) {
-            assert!(w[1] >= w[0] * 0.99, "taper must not shrink: {:?}", r.stage_scale);
+            assert!(
+                w[1] >= w[0] * 0.99,
+                "taper must not shrink: {:?}",
+                r.stage_scale
+            );
         }
     }
 

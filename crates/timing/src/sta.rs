@@ -354,7 +354,12 @@ pub fn analyze(
             });
         }
     }
-    violations.sort_by(|a, b| a.slack.seconds().partial_cmp(&b.slack.seconds()).expect("finite"));
+    violations.sort_by(|a, b| {
+        a.slack
+            .seconds()
+            .partial_cmp(&b.slack.seconds())
+            .expect("finite")
+    });
 
     StaReport {
         arrivals,
@@ -368,6 +373,7 @@ pub fn analyze(
 /// time independent and reported separately by [`analyze`].
 ///
 /// Returns `None` when even `t_max` fails.
+#[allow(clippy::too_many_arguments)]
 pub fn find_min_period(
     netlist: &FlatNetlist,
     graph: &TimingGraph,
@@ -474,7 +480,10 @@ mod tests {
         // 2 x 600ps chain vs 1ns phase fall (period 2ns): 1200 > 1000-50.
         let (f, g, cons) = fixture(600.0);
         let r = run(&f, &g, &cons, 2.0, Pessimism::none(), &[]);
-        let v = r.of_kind(ViolationKind::Setup).next().expect("setup violation");
+        let v = r
+            .of_kind(ViolationKind::Setup)
+            .next()
+            .expect("setup violation");
         assert!(v.slack.seconds() < 0.0);
         assert_eq!(v.path.len(), 3, "in -> a -> b");
         assert_eq!(v.path[0].net, f.find_net("in").unwrap());
@@ -508,8 +517,11 @@ mod tests {
         };
         let mut pess = Pessimism::none();
         pess.correlated = true;
-        let r = run(&f, &g, &cons, 2.0, pess, &[skew.clone()]);
-        assert!(r.of_kind(ViolationKind::Race).next().is_none(), "correlated: no race");
+        let r = run(&f, &g, &cons, 2.0, pess, std::slice::from_ref(&skew));
+        assert!(
+            r.of_kind(ViolationKind::Race).next().is_none(),
+            "correlated: no race"
+        );
         let mut pess = Pessimism::none();
         pess.correlated = false;
         let r = run(&f, &g, &cons, 2.0, pess, &[skew]);

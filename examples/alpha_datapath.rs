@@ -16,11 +16,21 @@ use cbv_core::tech::Process;
 
 fn main() {
     let process = Process::alpha_21264();
-    println!("process: {} ({} MHz target)\n", process.name(), process.f_target().hertz() / 1e6);
+    println!(
+        "process: {} ({} MHz target)\n",
+        process.name(),
+        process.f_target().hertz() / 1e6
+    );
 
     for (title, design) in [
-        ("two-phase ALU slice (static + latches)", alu_slice(8, &process)),
-        ("domino Manchester carry chain", manchester_domino_adder(8, &process)),
+        (
+            "two-phase ALU slice (static + latches)",
+            alu_slice(8, &process),
+        ),
+        (
+            "domino Manchester carry chain",
+            manchester_domino_adder(8, &process),
+        ),
         ("DCVSL comparator stage", dcvsl_and2(&process)),
     ] {
         println!("=== {title} ===");

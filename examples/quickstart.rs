@@ -38,6 +38,9 @@ fn main() {
         );
     }
 
-    println!("\nrecognition: {} channel-connected components", report.recognition.cccs.len());
+    println!(
+        "\nrecognition: {} channel-connected components",
+        report.recognition.cccs.len()
+    );
     println!("{}", report.signoff);
 }

@@ -14,11 +14,16 @@ fn main() {
     // --- Table 1 ---
     println!("Table 1: ALPHA 21064 -> StrongARM SA-110 power waterfall\n");
     println!("  {:<34}{:>8}  {:>10}", "step", "factor", "power");
-    println!("  {:<34}{:>8}  {:>10}", "ALPHA 21064 @ 3.45 V", "-", "26.0 W");
+    println!(
+        "  {:<34}{:>8}  {:>10}",
+        "ALPHA 21064 @ 3.45 V", "-", "26.0 W"
+    );
     for row in strongarm_waterfall(Watts::new(26.0)) {
         println!(
             "  {:<34}{:>7.2}x  {:>8.2} W",
-            row.step, row.factor, row.power.watts()
+            row.step,
+            row.factor,
+            row.power.watts()
         );
     }
     println!("  (paper: 5.3x, 3x, 2x, 1.3x, 1.25x -> ~0.5 W; realized 0.45 W)\n");
@@ -28,7 +33,10 @@ fn main() {
     let process = Process::strongarm_035();
     let fast = Corner::fast(&process);
     let spec = milliwatts(20.0);
-    println!("  {:>10}  {:>12}  {:>10}", "delta L", "standby", "meets 20 mW?");
+    println!(
+        "  {:>10}  {:>12}  {:>10}",
+        "delta L", "standby", "meets 20 mW?"
+    );
     for delta_um in [0.0, 0.045, 0.090] {
         // A chip-scale leaky population (see cache_like_block below).
         let mut chip = cache_like_block(&process);
@@ -77,8 +85,26 @@ fn cache_like_block(process: &Process) -> cbv_core::netlist::FlatNetlist {
     }
     // 64 pad drivers.
     for i in 0..64 {
-        f.add_device(Device::mos(MosKind::Nmos, format!("pad_n{i}"), wl, bit, gnd, gnd, 1000e-6, l));
-        f.add_device(Device::mos(MosKind::Pmos, format!("pad_p{i}"), wl, bit, vdd, vdd, 2000e-6, l));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            format!("pad_n{i}"),
+            wl,
+            bit,
+            gnd,
+            gnd,
+            1000e-6,
+            l,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            format!("pad_p{i}"),
+            wl,
+            bit,
+            vdd,
+            vdd,
+            2000e-6,
+            l,
+        ));
     }
     let _ = static_ripple_adder(1, process); // keep the generator linked in examples
     f

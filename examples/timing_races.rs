@@ -26,15 +26,19 @@ fn main() {
     let mut netlist = design.netlist;
     let recognition = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, &process);
-    let extracted = extract(&layout, &mut netlist, &process);
+    let extracted = extract(&layout, &netlist, &process);
 
-    println!("inferred {} clock nets, {} state elements", recognition.clock_nets.len(), recognition.state_elements.len());
+    println!(
+        "inferred {} clock nets, {} state elements",
+        recognition.clock_nets.len(),
+        recognition.state_elements.len()
+    );
 
     for period_ns in [60.0, 40.0, 20.0, 8.0] {
         let pessimism = Pessimism::signoff();
         let calc = DelayCalc::new(&process, Tolerance::conservative(), pessimism);
         let graph = build_graph(&netlist, &recognition, &extracted, &calc);
-        let constraints = infer_constraints(&mut netlist, &recognition, &process, &pessimism);
+        let constraints = infer_constraints(&netlist, &recognition, &process, &pessimism);
         let schedule = ClockSchedule::two_phase(
             "phi1",
             "phi2",
@@ -69,7 +73,7 @@ fn main() {
         let pessimism = Pessimism::signoff();
         let calc = DelayCalc::new(&process, Tolerance::conservative(), pessimism);
         let graph = build_graph(&netlist, &recognition, &extracted, &calc);
-        let constraints = infer_constraints(&mut netlist, &recognition, &process, &pessimism);
+        let constraints = infer_constraints(&netlist, &recognition, &process, &pessimism);
         match find_min_period(
             &netlist,
             &graph,
@@ -93,10 +97,15 @@ fn main() {
     println!("\ncorrelated vs uncorrelated min/max race analysis:");
     let mut trunk = clock_trunk(4, 3.0, 64, &process);
     let tlayout = synthesize(&mut trunk.netlist, &process);
-    let textract = extract(&tlayout, &mut trunk.netlist, &process);
+    let textract = extract(&tlayout, &trunk.netlist, &process);
     let root = trunk.clocks[0];
-    let skew = clock_skew_bounds(&textract, root, Ohms::new(150.0), &Tolerance::conservative())
-        .expect("clock net has RC");
+    let skew = clock_skew_bounds(
+        &textract,
+        root,
+        Ohms::new(150.0),
+        &Tolerance::conservative(),
+    )
+    .expect("clock net has RC");
     println!(
         "  clock trunk insertion window: {:.1}..{:.1} ps (spread {:.1} ps)",
         skew.min.seconds() * 1e12,

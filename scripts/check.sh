@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: everything runs offline (all deps are workspace-internal,
+# external names resolve to the in-tree shims under shims/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! Criterion benches link against this minimal harness instead. It keeps
+//! the same API shape (`Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter*`, the `criterion_group!`/`criterion_main!` macros) and
+//! measures mean wall-clock time per iteration over a fixed number of
+//! samples, printing one line per benchmark. No statistics, plots or
+//! outlier analysis — just honest, regenerable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 10;
+/// Target wall time per sample when calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark directly on the driver.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` back to back for the sample's iteration count.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` with a fresh un-timed `setup` value per call.
+    pub fn iter_with_setup<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // costs ~TARGET_SAMPLE (bounded so huge kernels still run once).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "bench {name:<40} {:>12}/iter (median {:>12}, {samples} samples x {iters} iters)",
+        format_time(mean),
+        format_time(median),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`;
+            // this minimal harness has no options to parse.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        let mut with_setup = 0u64;
+        b.iter_with_setup(|| 2u64, |x| with_setup += x);
+        assert_eq!(with_setup, 10);
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! property tests link against this shim. It keeps the same surface the
+//! tests use — the [`proptest!`] macro, `prop_assert*`, [`prelude`],
+//! range and tuple strategies, `any::<T>()` and [`collection::vec`] —
+//! but samples each strategy a fixed number of deterministic cases per
+//! test (no shrinking, no persistence files). Failures reproduce exactly
+//! because the RNG seed is derived from the test name and case index.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of sampled cases per property.
+pub const CASES: u32 = 32;
+
+/// Deterministic per-test, per-case random source.
+#[derive(Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one case of one named property test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the test name keeps seeds distinct across tests.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32)))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() - *self.start()) as u64 + 1;
+                    *self.start() + (rng.next_u64() % span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Marker strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element count for [`vec`]: exact or a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniform in `[lo, hi)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with the given size.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values, `size` elements long.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => (lo..hi).sample(rng),
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` sampling [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __proptest_case in 0..$crate::CASES {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), __proptest_case);
+                    $(let $arg =
+                        $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assertion inside a property (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges_stay_in_bounds", 0);
+        for _ in 0..200 {
+            let v = (3u32..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (1.5f64..2.5).sample(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+            let t = (0u8..4, any::<bool>(), 1u64..3).sample(&mut rng);
+            assert!(t.0 < 4 && t.2 >= 1 && t.2 < 3);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut rng = TestRng::for_case("vec_sizes_respected", 1);
+        let exact = collection::vec(0u32..10, 8).sample(&mut rng);
+        assert_eq!(exact.len(), 8);
+        for _ in 0..100 {
+            let ranged = collection::vec(any::<u64>(), 1..6).sample(&mut rng);
+            assert!((1..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = collection::vec(any::<u64>(), 4).sample(&mut TestRng::for_case("t", 3));
+        let b = collection::vec(any::<u64>(), 4).sample(&mut TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The macro itself: args bind, bodies run, asserts pass.
+        #[test]
+        fn macro_smoke(xs in collection::vec(0u32..5, 1..4), flip in any::<bool>()) {
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+            let scan: Vec<u32> = if flip { xs.iter().rev().copied().collect() } else { xs.clone() };
+            prop_assert_eq!(scan.len(), xs.len());
+            for x in scan {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+}

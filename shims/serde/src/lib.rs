@@ -1,0 +1,168 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this shim replaces
+//! serde's data model with one direct-to-JSON trait. There is no derive
+//! macro: types implement [`Serialize`] by hand with the [`JsonWriter`]
+//! helper, and the sibling `serde_json` shim renders them.
+
+use std::fmt::Write;
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+impl Serialize for usize {
+    fn serialize_json(&self, out: &mut String) {
+        let _ = write!(out, "{self}");
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize_json(&self, out: &mut String) {
+        let _ = write!(out, "{self}");
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            let _ = write!(out, "{self}");
+        } else {
+            // JSON has no inf/nan; serde_json emits null for them.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+/// Escapes and quotes one JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for a JSON object: `{"key": value, ...}` with correct commas.
+#[derive(Debug)]
+pub struct JsonWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonWriter<'a> {
+    /// Opens an object.
+    pub fn object(out: &'a mut String) -> JsonWriter<'a> {
+        out.push('{');
+        JsonWriter { out, first: true }
+    }
+
+    /// Writes one field.
+    pub fn field(&mut self, key: &str, value: &impl Serialize) -> &mut Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_json_string(key, self.out);
+        self.out.push(':');
+        value.serialize_json(self.out);
+        self
+    }
+
+    /// Closes the object.
+    pub fn end(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut s = String::new();
+        3usize.serialize_json(&mut s);
+        s.push(' ');
+        true.serialize_json(&mut s);
+        s.push(' ');
+        "a\"b\n".serialize_json(&mut s);
+        assert_eq!(s, "3 true \"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn vec_option_object() {
+        let mut s = String::new();
+        let mut w = JsonWriter::object(&mut s);
+        w.field("xs", &vec![1u64, 2]);
+        w.field("none", &Option::<f64>::None);
+        w.field("some", &Some(1.5f64));
+        w.end();
+        assert_eq!(s, "{\"xs\":[1,2],\"none\":null,\"some\":1.5}");
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        let mut s = String::new();
+        f64::NAN.serialize_json(&mut s);
+        assert_eq!(s, "null");
+    }
+}

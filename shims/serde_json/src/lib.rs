@@ -1,0 +1,110 @@
+//! Offline stand-in for the `serde_json` crate, paired with the in-tree
+//! `serde` shim: [`to_string`] and [`to_string_pretty`] render any type
+//! implementing the shim's `Serialize` trait.
+
+use serde::Serialize;
+
+/// Serialization error. The shim's direct-to-string model cannot fail;
+/// the type exists for API compatibility with `serde_json::to_string`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON for `value`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Indented JSON for `value` (two-space indent, like serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indents compact JSON. Operates on the token stream, so it never
+/// mangles string contents (escapes are honoured).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair;
+
+    impl Serialize for Pair {
+        fn serialize_json(&self, out: &mut String) {
+            let mut w = serde::JsonWriter::object(out);
+            w.field("a", &1u64);
+            w.field("b", &"x{y");
+            w.end();
+        }
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        assert_eq!(to_string(&Pair).unwrap(), "{\"a\":1,\"b\":\"x{y\"}");
+    }
+
+    #[test]
+    fn pretty_indents_without_mangling_strings() {
+        let p = to_string_pretty(&Pair).unwrap();
+        assert!(p.contains("\"a\": 1"));
+        assert!(p.contains("\"x{y\""), "brace inside string untouched: {p}");
+        assert!(p.contains('\n'));
+    }
+}

@@ -94,11 +94,8 @@ fn transistor_adder_sum_bit_equals_rtl_by_bdd() {
     // Rename circuit nets to the golden variable names first.
     // Circuit input nets are "a[0]"/"b[0]"/"cin"; golden vars a0/b0/cin.
     // Build a small golden with matching names instead:
-    let golden2_rtl = compile(
-        "module p0(in a, in b, out y) { assign y = a ^ b; }",
-        "p0",
-    )
-    .expect("compiles");
+    let golden2_rtl =
+        compile("module p0(in a, in b, out y) { assign y = a ^ b; }", "p0").expect("compiles");
     let g2net = blast(&golden2_rtl).expect("blasts");
     let mut g2out = boolnet_to_bdds(&g2net, &mut mgr, &mut vars).expect("combinational");
     let golden_p0 = g2out.remove(0).1[0];
@@ -151,19 +148,25 @@ fn transistor_adder_sum_bit_equals_rtl_by_bdd() {
         .iter()
         .find(|o| netlist.net_name(o.net) == "p0")
         .expect("p0 output");
-    let expr = out_fn.function.clone().or_else(|| {
-        // Pass-style xor: output = pull-up condition when driven high.
-        Some(out_fn.pull_down.clone().negate())
-    })
-    .expect("some function");
-    let mut circuit =
-        cbv_core::equiv::expr_to_bdd(&expr, &netlist, &mut mgr, &mut vars);
+    let expr = out_fn
+        .function
+        .clone()
+        .or_else(|| {
+            // Pass-style xor: output = pull-up condition when driven high.
+            Some(out_fn.pull_down.clone().negate())
+        })
+        .expect("some function");
+    let mut circuit = cbv_core::equiv::expr_to_bdd(&expr, &netlist, &mut mgr, &mut vars);
     for (rail, spec) in [("xp0_an", spec_an), ("xp0_bn", spec_bn)] {
         let v = vars.var(rail);
         circuit = mgr.compose(circuit, v, spec);
     }
     let diff = mgr.xor(circuit, golden_p0);
-    assert_eq!(mgr.any_sat(diff), None, "p0 cone equals a^b after substitution");
+    assert_eq!(
+        mgr.any_sat(diff),
+        None,
+        "p0 cone equals a^b after substitution"
+    );
 }
 
 #[test]

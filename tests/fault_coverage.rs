@@ -15,9 +15,9 @@ use cbv_core::tech::Process;
 fn everify_violations(mut netlist: FlatNetlist, p: &Process) -> Vec<(CheckKind, String)> {
     let rec = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, p);
-    let ex = extract(&layout, &mut netlist, p);
+    let ex = extract(&layout, &netlist, p);
     let cfg = EverifyConfig::for_process(p);
-    let report = run_all(&mut netlist, &rec, &ex, Some(&layout), p, &cfg);
+    let report = run_all(&netlist, &rec, &ex, Some(&layout), p, &cfg);
     report
         .violations()
         .map(|f| (f.check, f.message.clone()))
@@ -37,7 +37,10 @@ fn clean_baselines_are_clean() {
 fn detection_matrix() {
     let p = Process::strongarm_035();
     let cases: Vec<(FaultKind, Vec<CheckKind>)> = vec![
-        (FaultKind::SubMinLength, vec![CheckKind::BetaRatio, CheckKind::HotCarrier]),
+        (
+            FaultKind::SubMinLength,
+            vec![CheckKind::BetaRatio, CheckKind::HotCarrier],
+        ),
         (FaultKind::MonsterKeeper, vec![CheckKind::Writability]),
     ];
     for (fault, expected) in cases {
@@ -129,10 +132,10 @@ fn leaky_dynamic_detected_by_leakage_check() {
     let mut netlist = g.netlist;
     let rec = recognize(&mut netlist);
     let layout = synthesize(&mut netlist, &p);
-    let ex = extract(&layout, &mut netlist, &p);
+    let ex = extract(&layout, &netlist, &p);
     let mut cfg = EverifyConfig::for_process(&p);
     cfg.dynamic_hold = cbv_core::tech::Seconds::new(3e-6); // 3 µs gated-clock hold
-    let report = run_all(&mut netlist, &rec, &ex, Some(&layout), &p, &cfg);
+    let report = run_all(&netlist, &rec, &ex, Some(&layout), &p, &cfg);
     assert!(
         report.violations().any(|f| f.check == CheckKind::Leakage),
         "{:?}",

@@ -26,12 +26,32 @@ fn every_generator_survives_the_full_flow() {
         ..FlowConfig::default()
     };
     let designs = vec![
-        ("ripple4", static_ripple_adder(4, &p).netlist, FlowConfig::default()),
-        ("manchester4", manchester_domino_adder(4, &p).netlist, FlowConfig::default()),
+        (
+            "ripple4",
+            static_ripple_adder(4, &p).netlist,
+            FlowConfig::default(),
+        ),
+        (
+            "manchester4",
+            manchester_domino_adder(4, &p).netlist,
+            FlowConfig::default(),
+        ),
         ("alu4", alu_slice(4, &p).netlist, alu_cfg),
-        ("cam_ml8", cam_match_line(8, &p).netlist, FlowConfig::default()),
-        ("jam", jam_latch(&p, 8e-6, 1e-6).netlist, FlowConfig::default()),
-        ("keeper", keeper_domino(&p, 1e-6).netlist, FlowConfig::default()),
+        (
+            "cam_ml8",
+            cam_match_line(8, &p).netlist,
+            FlowConfig::default(),
+        ),
+        (
+            "jam",
+            jam_latch(&p, 8e-6, 1e-6).netlist,
+            FlowConfig::default(),
+        ),
+        (
+            "keeper",
+            keeper_domino(&p, 1e-6).netlist,
+            FlowConfig::default(),
+        ),
     ];
     for (name, netlist, cfg) in designs {
         let report = run_flow(netlist, &p, &cfg);
@@ -76,10 +96,20 @@ fn datapath_recognition_inventory() {
         .iter()
         .map(|se| se.storage_nets.len())
         .sum();
-    assert!(latch_elements >= 8, "expected >=8 latch elements, found {latch_elements}");
-    assert!(storage_nets >= 16, "expected >=16 storage nets, found {storage_nets}");
+    assert!(
+        latch_elements >= 8,
+        "expected >=8 latch elements, found {latch_elements}"
+    );
+    assert!(
+        storage_nets >= 16,
+        "expected >=16 storage nets, found {storage_nets}"
+    );
     // All four declared clock phases.
-    assert!(rec.clock_nets.len() >= 4, "clock phases: {:?}", rec.clock_nets.len());
+    assert!(
+        rec.clock_nets.len() >= 4,
+        "clock phases: {:?}",
+        rec.clock_nets.len()
+    );
 }
 
 #[test]
@@ -128,7 +158,15 @@ fn signoff_serializes_for_report_consumers() {
 #[test]
 fn bigger_designs_cost_more_power() {
     let p = Process::strongarm_035();
-    let small = run_flow(static_ripple_adder(2, &p).netlist, &p, &FlowConfig::default());
-    let big = run_flow(static_ripple_adder(8, &p).netlist, &p, &FlowConfig::default());
+    let small = run_flow(
+        static_ripple_adder(2, &p).netlist,
+        &p,
+        &FlowConfig::default(),
+    );
+    let big = run_flow(
+        static_ripple_adder(8, &p).netlist,
+        &p,
+        &FlowConfig::default(),
+    );
     assert!(big.signoff.power.unwrap() > 2.0 * small.signoff.power.unwrap());
 }

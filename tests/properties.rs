@@ -1,11 +1,11 @@
 //! Property-based tests on the toolkit's core invariants.
 
 use cbv_core::bdd::Bdd;
+use cbv_core::netlist::spice;
 use cbv_core::netlist::{partition_cccs, Device, FlatNetlist, NetKind};
 use cbv_core::rtl::{blast::blast, compile, interp::Interp};
 use cbv_core::tech::{MosKind, Process};
 use cbv_core::views::partition_overlap;
-use cbv_core::netlist::spice;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -173,7 +173,6 @@ proptest! {
     }
 }
 
-
 proptest! {
     /// SPICE write → parse round-trips arbitrary random netlists with
     /// identical device population and connectivity degree profile.
@@ -184,7 +183,7 @@ proptest! {
         let vdd = cell.add_net("vdd", NetKind::Power);
         let gnd = cell.add_net("gnd", NetKind::Ground);
         let nets: Vec<_> = (0..10)
-            .map(|i| cell.add_net(&format!("n{i}"), NetKind::Signal))
+            .map(|i| cell.add_net(format!("n{i}"), NetKind::Signal))
             .collect();
         for (i, &(g, s, d, is_n, w, l)) in devices.iter().enumerate() {
             let kind = if is_n { MosKind::Nmos } else { MosKind::Pmos };
