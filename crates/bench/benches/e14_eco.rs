@@ -1,0 +1,40 @@
+//! Criterion bench for E14: cold `run_flow` vs warm `run_flow_incremental`
+//! after a one-device ECO on a 16-bit ALU slice.
+use cbv_core::cache::VerifyCache;
+use cbv_core::flow::{run_flow, run_flow_incremental, FlowConfig};
+use cbv_core::gen::datapath::alu_slice;
+use cbv_core::netlist::DeviceId;
+use cbv_core::tech::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let process = Process::strongarm_035();
+    let config = FlowConfig::default();
+    let base = alu_slice(16, &process).netlist;
+    let mut eco = base.clone();
+    eco.device_mut(DeviceId(0)).w *= 1.05;
+
+    let mut g = c.benchmark_group("e14_eco_rerun");
+    g.sample_size(10);
+    g.bench_function("cold_run_flow", |b| {
+        b.iter_with_setup(
+            || eco.clone(),
+            |n| std::hint::black_box(run_flow(n, &process, &config)),
+        )
+    });
+    g.bench_function("warm_run_flow_incremental", |b| {
+        b.iter_with_setup(
+            || {
+                let mut cache = VerifyCache::new();
+                run_flow_incremental(base.clone(), &process, &config, &mut cache);
+                (eco.clone(), cache)
+            },
+            |(n, mut cache)| {
+                std::hint::black_box(run_flow_incremental(n, &process, &config, &mut cache))
+            },
+        )
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

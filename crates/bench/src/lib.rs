@@ -19,6 +19,7 @@ pub mod e10_pessimism;
 pub mod e11_sizing;
 pub mod e12_coverage;
 pub mod e13_parallel;
+pub mod e14_eco;
 
 /// Prints a uniform experiment header.
 pub fn banner(id: &str, what: &str) {

@@ -1,0 +1,503 @@
+//! Content and environment fingerprints for verification units.
+//!
+//! The incremental CBV flow skips re-verifying a unit when its
+//! fingerprint matches a cached result. Two hashes guard each unit:
+//!
+//! * **content** — an id-invariant FNV-1a digest of everything the
+//!   unit's checks and timing arcs can read: member devices (kind, size,
+//!   canonically-keyed connectivity), boundary nets with their kinds and
+//!   recognized roles, the recognized logic family, touching state
+//!   elements, touching passives, and the extracted parasitics of the
+//!   nets the unit owns. Per-element digests are sorted before folding,
+//!   so reordering devices or nets of an unchanged design leaves the
+//!   content hash untouched.
+//! * **binding** — an id-*sensitive* digest of the raw ids and names the
+//!   cached payload mentions. Cached findings and arcs store concrete
+//!   [`NetId`]s/[`DeviceId`]s; replaying them is only valid when those
+//!   ids still mean the same elements, so a hit requires both hashes to
+//!   match. An id shift (e.g. a device inserted elsewhere) flips the
+//!   binding hash and degrades to a conservative miss — never a false
+//!   hit.
+//!
+//! The environment fingerprint folds in everything results depend on
+//! besides the design itself: process, corner tolerances, pessimism,
+//! the electrical-check configuration, and the tool version. Any knob
+//! change invalidates the whole cache, exactly like a compiler flag
+//! change invalidating an object cache.
+
+use std::fmt::Debug;
+
+use cbv_everify::EverifyConfig;
+use cbv_extract::Extracted;
+use cbv_netlist::canon::{fnv1a, FNV_OFFSET};
+use cbv_netlist::{CanonicalKeys, FlatNetlist, NetId};
+use cbv_recognize::Recognition;
+use cbv_tech::{Process, Tolerance};
+use cbv_timing::Pessimism;
+
+/// Folds one `u64` into an FNV accumulator.
+#[inline]
+fn fold_u64(hash: u64, v: u64) -> u64 {
+    fnv1a(hash, &v.to_le_bytes())
+}
+
+/// Folds one `f64` into an FNV accumulator, bit-exactly.
+#[inline]
+fn fold_f64(hash: u64, v: f64) -> u64 {
+    fold_u64(hash, v.to_bits())
+}
+
+/// Folds a value's `Debug` rendering (used for plain enums and config
+/// structs whose derived format is stable and id-free).
+fn fold_debug(hash: u64, v: &impl Debug) -> u64 {
+    fnv1a(hash, format!("{v:?}").as_bytes())
+}
+
+/// Sorts element digests and folds them, making the combination
+/// invariant under element enumeration order.
+fn fold_sorted(hash: u64, mut parts: Vec<u64>) -> u64 {
+    parts.sort_unstable();
+    parts.iter().fold(hash, |h, &p| fold_u64(h, p))
+}
+
+/// Fingerprint pair guarding one verification unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnitFingerprint {
+    /// Id-invariant content digest.
+    pub content: u64,
+    /// Id-sensitive binding digest (payload replay validity).
+    pub binding: u64,
+}
+
+/// Fingerprints for every verification unit of one design: one per CCC
+/// in CCC order, then the whole-design residue unit last (mirroring
+/// `cbv_everify::CheckScope::partition`).
+#[derive(Debug, Clone)]
+pub struct DesignFingerprints {
+    /// Per-unit fingerprints; `units.len() == cccs + 1`.
+    pub units: Vec<UnitFingerprint>,
+}
+
+impl DesignFingerprints {
+    /// Number of CCC units (excludes the residue unit).
+    pub fn ccc_count(&self) -> usize {
+        self.units.len() - 1
+    }
+
+    /// The residue (whole-design) unit's fingerprint.
+    pub fn residue(&self) -> UnitFingerprint {
+        *self.units.last().expect("at least the residue unit")
+    }
+}
+
+/// Digest of one extracted net as the checks and delay model read it:
+/// ground/gate/diffusion capacitance, the coupling list (aggressors by
+/// canonical key), and the wire RC term the Elmore model uses.
+fn parasitic_digest(extracted: &Extracted, keys: &CanonicalKeys, net: NetId) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, b"par");
+    h = fold_u64(h, keys.net(net));
+    let Some(en) = extracted.net(net) else {
+        return fold_u64(h, 0);
+    };
+    h = fold_f64(h, en.wire_cap.farads());
+    h = fold_f64(h, en.gate_cap.farads());
+    h = fold_f64(h, en.gate_cap_bounds.0.farads());
+    h = fold_f64(h, en.gate_cap_bounds.1.farads());
+    h = fold_f64(h, en.diff_cap.farads());
+    let couplings: Vec<u64> = en
+        .couplings
+        .iter()
+        .map(|&(other, c)| {
+            let mut ch = fold_u64(FNV_OFFSET, keys.net(other));
+            ch = fold_f64(ch, c.farads());
+            ch
+        })
+        .collect();
+    h = fold_sorted(h, couplings);
+    h = fold_u64(h, en.rc.node_count() as u64);
+    if en.rc.node_count() > 1 {
+        if let Some(t) = en
+            .rc
+            .elmore(en.rc.first_node(), en.rc.last_node(), cbv_tech::Ohms::ZERO)
+        {
+            h = fold_f64(h, t.seconds());
+        }
+    }
+    h
+}
+
+/// Digest of one net's identity-independent facts: canonical key,
+/// declared kind, recognized role.
+fn net_digest(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    keys: &CanonicalKeys,
+    net: NetId,
+) -> u64 {
+    let mut h = fold_u64(FNV_OFFSET, keys.net(net));
+    h = fold_debug(h, &netlist.net_kind(net));
+    fold_debug(h, &recognition.role(net))
+}
+
+/// Digest of one device: polarity, drawn geometry, finger count, and the
+/// canonical identity plus kind/role of each terminal net.
+fn device_digest(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    keys: &CanonicalKeys,
+    id: cbv_netlist::DeviceId,
+) -> u64 {
+    let d = netlist.device(id);
+    let mut h = fnv1a(FNV_OFFSET, b"dev");
+    h = fold_debug(h, &d.kind);
+    h = fold_f64(h, d.w);
+    h = fold_f64(h, d.l);
+    h = fold_u64(h, d.fingers as u64);
+    for net in [d.gate, d.source, d.drain, d.bulk] {
+        h = fold_u64(h, net_digest(netlist, recognition, keys, net));
+    }
+    h
+}
+
+/// Digest of one state element: kind, storage and clock nets by
+/// canonical key, and a representative key per member CCC (so loop
+/// membership changes register even when the storage nets survive).
+fn state_element_digest(
+    recognition: &Recognition,
+    keys: &CanonicalKeys,
+    se: &cbv_recognize::StateElement,
+) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, b"se");
+    h = fold_debug(h, &se.kind);
+    h = fold_sorted(h, se.storage_nets.iter().map(|&n| keys.net(n)).collect());
+    h = fold_sorted(h, se.clocks.iter().map(|&n| keys.net(n)).collect());
+    let members: Vec<u64> = se
+        .cccs
+        .iter()
+        .map(|&ci| {
+            recognition.cccs[ci.index()]
+                .devices
+                .iter()
+                .map(|&d| keys.device(d))
+                .min()
+                .unwrap_or(0)
+        })
+        .collect();
+    fold_sorted(h, members)
+}
+
+/// Digest of one passive: kind, value, canonically-keyed terminals.
+fn passive_digest(keys: &CanonicalKeys, p: &cbv_netlist::Passive) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, b"pas");
+    h = fold_debug(h, &p.kind);
+    h = fold_f64(h, p.value);
+    fold_sorted(h, vec![keys.net(p.a), keys.net(p.b)])
+}
+
+/// Computes the fingerprint of every verification unit.
+///
+/// Unit `i < cccs` guards CCC `i`; the last unit guards the residue
+/// scope. The residue content hash folds every CCC's content hash (plus
+/// the unowned nets, state elements and stray passives), so *any*
+/// design change dirties it — correct, because its checks (latch
+/// writability, antenna) read global structure.
+pub fn fingerprint_design(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+) -> DesignFingerprints {
+    let keys = CanonicalKeys::new(netlist);
+    let n = recognition.cccs.len();
+    let mut owned = vec![false; netlist.net_count()];
+    // Which state elements / passives touch which CCC (by channel nets).
+    let se_digests: Vec<u64> = recognition
+        .state_elements
+        .iter()
+        .map(|se| state_element_digest(recognition, &keys, se))
+        .collect();
+
+    let mut units = Vec::with_capacity(n + 1);
+    for (i, ccc) in recognition.cccs.iter().enumerate() {
+        let class = &recognition.classes[i];
+        for &net in &ccc.channel_nets {
+            owned[net.index()] = true;
+        }
+
+        let mut content = fnv1a(FNV_OFFSET, b"ccc");
+        content = fold_sorted(
+            content,
+            ccc.devices
+                .iter()
+                .map(|&d| device_digest(netlist, recognition, &keys, d))
+                .collect(),
+        );
+        content = fold_sorted(
+            content,
+            ccc.channel_nets
+                .iter()
+                .chain(&ccc.inputs)
+                .map(|&n| net_digest(netlist, recognition, &keys, n))
+                .collect(),
+        );
+        content = fold_sorted(content, ccc.outputs.iter().map(|&n| keys.net(n)).collect());
+        // Recognized class: family plus which outputs are dynamic and
+        // which inputs clock the stage.
+        content = fold_debug(content, &class.family);
+        content = fold_sorted(
+            content,
+            class.dynamic_outputs.iter().map(|&n| keys.net(n)).collect(),
+        );
+        content = fold_sorted(
+            content,
+            class.clock_inputs.iter().map(|&n| keys.net(n)).collect(),
+        );
+        // State elements storing on a net this unit touches (keeper
+        // detection, same-element arc suppression).
+        let touching: Vec<u64> = recognition
+            .state_elements
+            .iter()
+            .zip(&se_digests)
+            .filter(|(se, _)| {
+                se.cccs.iter().any(|&ci| ci.index() == i)
+                    || se
+                        .storage_nets
+                        .iter()
+                        .any(|&sn| ccc.channel_nets.contains(&sn) || ccc.inputs.contains(&sn))
+            })
+            .map(|(_, &d)| d)
+            .collect();
+        content = fold_sorted(content, touching);
+        // Passives on owned nets (they shape CCC outputs and loading).
+        let passives: Vec<u64> = netlist
+            .passives()
+            .iter()
+            .filter(|p| ccc.channel_nets.contains(&p.a) || ccc.channel_nets.contains(&p.b))
+            .map(|p| passive_digest(&keys, p))
+            .collect();
+        content = fold_sorted(content, passives);
+        // Parasitics of the owned nets — the only extraction data the
+        // unit's checks and arcs read.
+        content = fold_sorted(
+            content,
+            ccc.channel_nets
+                .iter()
+                .map(|&net| parasitic_digest(extracted, &keys, net))
+                .collect(),
+        );
+
+        // Binding: raw ids and names, in order, plus the unit's own CCC
+        // index (cached arcs carry it).
+        let mut binding = fold_u64(fnv1a(FNV_OFFSET, b"bind"), i as u64);
+        for &d in &ccc.devices {
+            binding = fold_u64(binding, d.index() as u64);
+            binding = fnv1a(binding, netlist.device(d).name.as_bytes());
+        }
+        for &net in ccc
+            .channel_nets
+            .iter()
+            .chain(&ccc.inputs)
+            .chain(&ccc.outputs)
+        {
+            binding = fold_u64(binding, net.index() as u64);
+            binding = fnv1a(binding, netlist.net_name(net).as_bytes());
+        }
+        units.push(UnitFingerprint { content, binding });
+    }
+
+    // Residue unit: all CCC content hashes + unowned nets + all state
+    // elements + stray passives. Binding covers the whole netlist (its
+    // payload may reference any id).
+    let mut content = fnv1a(FNV_OFFSET, b"residue");
+    content = fold_sorted(content, units.iter().map(|u| u.content).collect());
+    content = fold_sorted(
+        content,
+        netlist
+            .net_ids()
+            .filter(|n| !owned[n.index()])
+            .map(|n| {
+                fold_u64(
+                    net_digest(netlist, recognition, &keys, n),
+                    parasitic_digest(extracted, &keys, n),
+                )
+            })
+            .collect(),
+    );
+    content = fold_sorted(content, se_digests);
+    content = fold_sorted(
+        content,
+        netlist
+            .passives()
+            .iter()
+            .filter(|p| !owned[p.a.index()] && !owned[p.b.index()])
+            .map(|p| passive_digest(&keys, p))
+            .collect(),
+    );
+    let mut binding = fnv1a(FNV_OFFSET, b"bind-all");
+    for net in netlist.net_ids() {
+        binding = fold_u64(binding, net.index() as u64);
+        binding = fnv1a(binding, netlist.net_name(net).as_bytes());
+        binding = fold_debug(binding, &netlist.net_kind(net));
+    }
+    for (i, d) in netlist.devices().iter().enumerate() {
+        binding = fold_u64(binding, i as u64);
+        binding = fnv1a(binding, d.name.as_bytes());
+    }
+    units.push(UnitFingerprint { content, binding });
+
+    DesignFingerprints { units }
+}
+
+/// Fingerprints the verification environment: everything a cached
+/// result depends on besides the design. Includes the crate version so
+/// model changes across tool releases invalidate stale caches.
+pub fn env_fingerprint(
+    process: &Process,
+    tolerance: &Tolerance,
+    pessimism: &Pessimism,
+    config: &EverifyConfig,
+) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, env!("CARGO_PKG_VERSION").as_bytes());
+    h = fold_debug(h, process);
+    h = fold_debug(h, tolerance);
+    h = fold_debug(h, pessimism);
+    fold_debug(h, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_layout::synthesize;
+    use cbv_netlist::{Device, NetKind};
+    use cbv_recognize::recognize;
+    use cbv_tech::MosKind;
+
+    fn chain(order: &[usize]) -> FlatNetlist {
+        // Three inverters appended in `order` permutation.
+        let mut f = FlatNetlist::new("chain");
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let a = f.add_net("a", NetKind::Input);
+        let n0 = f.add_net("n0", NetKind::Signal);
+        let n1 = f.add_net("n1", NetKind::Signal);
+        let y = f.add_net("y", NetKind::Output);
+        let stages = [(a, n0), (n0, n1), (n1, y)];
+        for &i in order {
+            let (inp, out) = stages[i];
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("p{i}"),
+                inp,
+                out,
+                vdd,
+                vdd,
+                5.6e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("n{i}"),
+                inp,
+                out,
+                gnd,
+                gnd,
+                2.4e-6,
+                0.35e-6,
+            ));
+        }
+        f
+    }
+
+    fn prints(f: &mut FlatNetlist) -> DesignFingerprints {
+        let rec = recognize(f);
+        fingerprint_design(f, &rec, &Extracted::default())
+    }
+
+    #[test]
+    fn content_invariant_under_device_reorder() {
+        let mut a = chain(&[0, 1, 2]);
+        let mut b = chain(&[2, 0, 1]);
+        let fa = prints(&mut a);
+        let fb = prints(&mut b);
+        let sorted = |f: &DesignFingerprints| {
+            let mut v: Vec<u64> = f.units.iter().map(|u| u.content).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&fa), sorted(&fb), "content hashes are id-free");
+        assert_eq!(fa.residue().content, fb.residue().content);
+        // Bindings are id-sensitive by design: the reordered build MUST
+        // differ (conservative miss).
+        let ba: Vec<u64> = fa.units.iter().map(|u| u.binding).collect();
+        let bb: Vec<u64> = fb.units.iter().map(|u| u.binding).collect();
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn size_edit_dirties_owner_and_residue_only() {
+        let mut a = chain(&[0, 1, 2]);
+        let fa = prints(&mut a);
+        let mut b = chain(&[0, 1, 2]);
+        // Widen one device of the middle inverter.
+        let id = b
+            .devices()
+            .iter()
+            .position(|d| d.name == "p1")
+            .map(|i| cbv_netlist::DeviceId(i as u32))
+            .unwrap();
+        b.device_mut(id).w *= 2.0;
+        let fb = prints(&mut b);
+        assert_eq!(fa.units.len(), fb.units.len());
+        let changed: Vec<usize> = (0..fa.units.len())
+            .filter(|&i| fa.units[i].content != fb.units[i].content)
+            .collect();
+        // Exactly the owning CCC and the residue change.
+        assert_eq!(changed.len(), 2);
+        assert_eq!(changed[1], fa.units.len() - 1, "residue always dirties");
+    }
+
+    #[test]
+    fn parasitics_enter_the_fingerprint() {
+        let process = cbv_tech::Process::strongarm_035();
+        let mut a = chain(&[0, 1, 2]);
+        let layout = synthesize(&mut a, &process);
+        let ex = cbv_extract::extract(&layout, &a, &process);
+        let rec = recognize(&mut a);
+        let with = fingerprint_design(&a, &rec, &ex);
+        let without = fingerprint_design(&a, &rec, &Extracted::default());
+        assert_ne!(
+            with.units[0].content, without.units[0].content,
+            "extraction data must be part of the content hash"
+        );
+    }
+
+    #[test]
+    fn env_fingerprint_tracks_knobs() {
+        let p = Process::strongarm_035();
+        let cfg = EverifyConfig::for_process(&p);
+        let base = env_fingerprint(&p, &Tolerance::conservative(), &Pessimism::signoff(), &cfg);
+        assert_eq!(
+            base,
+            env_fingerprint(&p, &Tolerance::conservative(), &Pessimism::signoff(), &cfg),
+            "stable for identical inputs"
+        );
+        assert_ne!(
+            base,
+            env_fingerprint(&p, &Tolerance::nominal(), &Pessimism::signoff(), &cfg)
+        );
+        assert_ne!(
+            base,
+            env_fingerprint(&p, &Tolerance::conservative(), &Pessimism::none(), &cfg)
+        );
+        let mut loose = cfg.clone();
+        loose.filter_threshold = 0.9;
+        assert_ne!(
+            base,
+            env_fingerprint(
+                &p,
+                &Tolerance::conservative(),
+                &Pessimism::signoff(),
+                &loose
+            )
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! `cbv-cache` — content-fingerprinted verification result cache.
+//!
+//! §2.3 of the paper frames verification CAD as a *filter* the designer
+//! iterates against: run the checks, fix what they flag, run again. In
+//! an ECO loop almost nothing changes between iterations, yet a naive
+//! flow re-verifies every channel-connected component from scratch.
+//! This crate makes the §4.2 electrical-rules battery and the §4.3
+//! timing-arc computation *incremental*: each verification unit (one
+//! CCC, plus one whole-design residue) is keyed by a content
+//! fingerprint ([`fingerprint`]) and its per-unit results — findings,
+//! check counts, timing arcs — are memoised in a [`VerifyCache`].
+//!
+//! On a re-run, units whose fingerprints match a cached entry are
+//! replayed instead of recomputed; only *dirty* units (changed
+//! fingerprint, or sharing a boundary with one that changed) hit the
+//! checkers. Merging cached and fresh results in fixed unit order makes
+//! the incremental signoff byte-identical to a cold run — proven by
+//! test, not assumed.
+//!
+//! The cache is an in-memory store with optional JSON persistence.
+//! Floats are persisted as IEEE-754 bit patterns (`u64`), so a
+//! save/load round-trip is *exact* — a reloaded cache produces the same
+//! bytes of signoff as the live one.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use cbv_everify::report::{CheckKind, Finding, Severity, Subject};
+use cbv_netlist::{CccId, DeviceId, NetId};
+use cbv_tech::Seconds;
+use cbv_timing::Arc;
+use serde::write_json_string;
+
+pub mod fingerprint;
+
+pub use fingerprint::{env_fingerprint, fingerprint_design, DesignFingerprints, UnitFingerprint};
+
+/// Full key of one cached unit result: environment fingerprint plus the
+/// unit's content and binding fingerprints. All three must match for a
+/// hit; see [`fingerprint`] for why binding is part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Environment (process/corner/config/tool-version) fingerprint.
+    pub env: u64,
+    /// Unit content fingerprint (id-invariant).
+    pub content: u64,
+    /// Unit binding fingerprint (id-sensitive).
+    pub binding: u64,
+}
+
+impl CacheKey {
+    /// Combines an environment fingerprint with a unit fingerprint.
+    pub fn new(env: u64, unit: UnitFingerprint) -> CacheKey {
+        CacheKey {
+            env,
+            content: unit.content,
+            binding: unit.binding,
+        }
+    }
+}
+
+/// Cached verification payload of one unit: the §4.2 findings the unit's
+/// scoped check battery produced (with its checked/filtered tallies) and
+/// the timing arcs its CCC contributes to the §4.3 graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnitResult {
+    /// Findings in the order the checks emitted them.
+    pub findings: Vec<Finding>,
+    /// Values inspected by the unit's checks.
+    pub checked: usize,
+    /// Values silently filtered (below the review threshold).
+    pub filtered: usize,
+    /// Timing arcs of the unit's CCC (empty for the residue unit).
+    pub arcs: Vec<Arc>,
+}
+
+/// Hit/miss tally of one incremental stage, reported to the user so ECO
+/// savings are visible in the flow summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Units replayed from cache.
+    pub hits: usize,
+    /// Units re-verified (fingerprint miss or dirty neighbour).
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total units considered.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
+/// The verification result store.
+///
+/// A plain fingerprint-keyed map. Entries are never invalidated in
+/// place — a stale entry simply stops being hit once its key no longer
+/// matches anything — so the store only grows; call
+/// [`VerifyCache::retain_env`] to drop entries from dead environments.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyCache {
+    entries: HashMap<CacheKey, UnitResult>,
+}
+
+impl VerifyCache {
+    /// An empty cache.
+    pub fn new() -> VerifyCache {
+        VerifyCache::default()
+    }
+
+    /// Number of stored unit results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a unit result.
+    pub fn get(&self, key: &CacheKey) -> Option<&UnitResult> {
+        self.entries.get(key)
+    }
+
+    /// Stores a unit result.
+    pub fn insert(&mut self, key: CacheKey, result: UnitResult) {
+        self.entries.insert(key, result);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Keeps only entries recorded under the given environment
+    /// fingerprint (garbage collection after a corner/config change).
+    pub fn retain_env(&mut self, env: u64) {
+        self.entries.retain(|k, _| k.env == env);
+    }
+
+    /// Serializes the cache to JSON. Entries are emitted in sorted key
+    /// order, so equal caches serialize to equal bytes. Floats are
+    /// stored as `to_bits()` integers for exact round-tripping.
+    pub fn to_json(&self) -> String {
+        let mut keys: Vec<&CacheKey> = self.entries.keys().collect();
+        keys.sort_unstable();
+        let mut out = String::new();
+        out.push_str("{\"format\":\"cbv-cache/1\",\"entries\":[");
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_entry(key, &self.entries[key], &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a cache from [`VerifyCache::to_json`] output. Any
+    /// structural problem — bad JSON, unknown format tag, missing
+    /// field, unknown enum string — is an error; a corrupt cache file
+    /// must never half-load.
+    pub fn from_json(text: &str) -> Result<VerifyCache, CacheFormatError> {
+        let root = serde_json::from_str(text)
+            .map_err(|e| CacheFormatError::new(format!("invalid JSON: {e}")))?;
+        let format = root
+            .get("format")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| CacheFormatError::new("missing format tag"))?;
+        if format != "cbv-cache/1" {
+            return Err(CacheFormatError::new(format!(
+                "unsupported cache format {format:?}"
+            )));
+        }
+        let entries = root
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| CacheFormatError::new("missing entries array"))?;
+        let mut cache = VerifyCache::new();
+        for entry in entries {
+            let (key, result) = read_entry(entry)?;
+            cache.insert(key, result);
+        }
+        Ok(cache)
+    }
+}
+
+/// Error from [`VerifyCache::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheFormatError {
+    message: String,
+}
+
+impl CacheFormatError {
+    fn new(message: impl Into<String>) -> CacheFormatError {
+        CacheFormatError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CacheFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cache format error: {}", self.message)
+    }
+}
+
+impl Error for CacheFormatError {}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Review => "review",
+        Severity::Violation => "violation",
+    }
+}
+
+fn parse_severity(s: &str) -> Option<Severity> {
+    match s {
+        "review" => Some(Severity::Review),
+        "violation" => Some(Severity::Violation),
+        _ => None,
+    }
+}
+
+fn parse_check(s: &str) -> Option<CheckKind> {
+    const ALL: [CheckKind; 10] = [
+        CheckKind::BetaRatio,
+        CheckKind::EdgeRate,
+        CheckKind::Coupling,
+        CheckKind::ChargeShare,
+        CheckKind::Leakage,
+        CheckKind::Writability,
+        CheckKind::Electromigration,
+        CheckKind::Antenna,
+        CheckKind::HotCarrier,
+        CheckKind::Tddb,
+    ];
+    ALL.into_iter().find(|k| k.to_string() == s)
+}
+
+fn write_entry(key: &CacheKey, result: &UnitResult, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"env\":{},\"content\":{},\"binding\":{},\"checked\":{},\"filtered\":{},\"findings\":[",
+        key.env, key.content, key.binding, result.checked, result.filtered
+    ));
+    for (i, f) in result.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (skey, sval) = match f.subject {
+            Subject::Net(n) => ("net", n.index()),
+            Subject::Device(d) => ("dev", d.index()),
+        };
+        out.push_str(&format!(
+            "{{\"check\":\"{}\",\"{}\":{},\"severity\":\"{}\",\"stress\":{},\"message\":",
+            f.check,
+            skey,
+            sval,
+            severity_str(f.severity),
+            f.stress.to_bits()
+        ));
+        write_json_string(&f.message, out);
+        out.push('}');
+    }
+    out.push_str("],\"arcs\":[");
+    for (i, a) in result.arcs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"from\":{},\"to\":{},\"min\":{},\"max\":{},\"ccc\":{}}}",
+            a.from.index(),
+            a.to.index(),
+            a.min.seconds().to_bits(),
+            a.max.seconds().to_bits(),
+            a.ccc.index()
+        ));
+    }
+    out.push_str("]}");
+}
+
+fn field_u64(entry: &serde_json::Value, name: &str) -> Result<u64, CacheFormatError> {
+    entry
+        .get(name)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| CacheFormatError::new(format!("missing or non-integer field {name:?}")))
+}
+
+fn field_str<'a>(entry: &'a serde_json::Value, name: &str) -> Result<&'a str, CacheFormatError> {
+    entry
+        .get(name)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| CacheFormatError::new(format!("missing or non-string field {name:?}")))
+}
+
+fn read_entry(entry: &serde_json::Value) -> Result<(CacheKey, UnitResult), CacheFormatError> {
+    let key = CacheKey {
+        env: field_u64(entry, "env")?,
+        content: field_u64(entry, "content")?,
+        binding: field_u64(entry, "binding")?,
+    };
+    let mut findings = Vec::new();
+    for f in entry
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| CacheFormatError::new("missing findings array"))?
+    {
+        let check = parse_check(field_str(f, "check")?)
+            .ok_or_else(|| CacheFormatError::new("unknown check kind"))?;
+        let subject = if let Some(n) = f.get("net").and_then(|v| v.as_u64()) {
+            Subject::Net(NetId(n as u32))
+        } else if let Some(d) = f.get("dev").and_then(|v| v.as_u64()) {
+            Subject::Device(DeviceId(d as u32))
+        } else {
+            return Err(CacheFormatError::new("finding lacks net/dev subject"));
+        };
+        let severity = parse_severity(field_str(f, "severity")?)
+            .ok_or_else(|| CacheFormatError::new("unknown severity"))?;
+        findings.push(Finding {
+            check,
+            subject,
+            severity,
+            stress: f64::from_bits(field_u64(f, "stress")?),
+            message: field_str(f, "message")?.to_string(),
+        });
+    }
+    let mut arcs = Vec::new();
+    for a in entry
+        .get("arcs")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| CacheFormatError::new("missing arcs array"))?
+    {
+        arcs.push(Arc {
+            from: NetId(field_u64(a, "from")? as u32),
+            to: NetId(field_u64(a, "to")? as u32),
+            min: Seconds::new(f64::from_bits(field_u64(a, "min")?)),
+            max: Seconds::new(f64::from_bits(field_u64(a, "max")?)),
+            ccc: CccId(field_u64(a, "ccc")? as u32),
+        });
+    }
+    Ok((
+        key,
+        UnitResult {
+            findings,
+            checked: field_u64(entry, "checked")? as usize,
+            filtered: field_u64(entry, "filtered")? as usize,
+            arcs,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> UnitResult {
+        UnitResult {
+            findings: vec![
+                Finding {
+                    check: CheckKind::Coupling,
+                    subject: Subject::Net(NetId(7)),
+                    severity: Severity::Review,
+                    stress: 0.731_234_567_890_123_4,
+                    message: "coupling \"quote\" and \\ backslash".into(),
+                },
+                Finding {
+                    check: CheckKind::BetaRatio,
+                    subject: Subject::Device(DeviceId(3)),
+                    severity: Severity::Violation,
+                    stress: 1.25,
+                    message: "beta too low".into(),
+                },
+            ],
+            checked: 42,
+            filtered: 40,
+            arcs: vec![Arc {
+                from: NetId(1),
+                to: NetId(2),
+                min: Seconds::new(1.234_567_890_123e-10),
+                max: Seconds::new(4.321e-10),
+                ccc: CccId(5),
+            }],
+        }
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let mut c = VerifyCache::new();
+        assert!(c.is_empty());
+        let key = CacheKey {
+            env: 1,
+            content: 2,
+            binding: 3,
+        };
+        c.insert(key, sample_result());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key).unwrap().checked, 42);
+        assert!(c.get(&CacheKey { env: 9, ..key }).is_none());
+        c.retain_env(9);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut c = VerifyCache::new();
+        for i in 0..3u64 {
+            c.insert(
+                CacheKey {
+                    env: 10,
+                    content: 100 + i,
+                    binding: 200 + i,
+                },
+                sample_result(),
+            );
+        }
+        let json = c.to_json();
+        let back = VerifyCache::from_json(&json).unwrap();
+        assert_eq!(back.len(), c.len());
+        for (k, v) in &c.entries {
+            let r = back.get(k).expect("entry survives");
+            assert_eq!(r, v, "payload is bit-exact after round trip");
+            // Stronger than PartialEq on floats: bit patterns match.
+            assert_eq!(
+                r.findings[0].stress.to_bits(),
+                v.findings[0].stress.to_bits()
+            );
+            assert_eq!(
+                r.arcs[0].min.seconds().to_bits(),
+                v.arcs[0].min.seconds().to_bits()
+            );
+        }
+        // Deterministic serialization: reserialize equals original.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(VerifyCache::from_json("not json").is_err());
+        assert!(VerifyCache::from_json("{}").is_err());
+        assert!(VerifyCache::from_json("{\"format\":\"cbv-cache/999\",\"entries\":[]}").is_err());
+        assert!(
+            VerifyCache::from_json("{\"format\":\"cbv-cache/1\",\"entries\":[{\"env\":1}]}")
+                .is_err()
+        );
+        let empty = VerifyCache::from_json("{\"format\":\"cbv-cache/1\",\"entries\":[]}").unwrap();
+        assert!(empty.is_empty());
+    }
+}

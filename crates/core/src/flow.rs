@@ -15,7 +15,10 @@
 
 use std::time::{Duration, Instant};
 
-use cbv_everify::EverifyConfig;
+use cbv_cache::{
+    env_fingerprint, fingerprint_design, CacheKey, CacheStats, UnitResult, VerifyCache,
+};
+use cbv_everify::{CheckScope, EverifyConfig};
 use cbv_exec::Executor;
 use cbv_netlist::FlatNetlist;
 use cbv_power::ActivityModel;
@@ -76,6 +79,9 @@ pub struct StageReport {
     pub cpu_time: Seconds,
     /// Number of artifacts produced/processed (devices, shapes, arcs...).
     pub artifacts: usize,
+    /// Cache hit/miss tally, present only for the cached stages of
+    /// [`run_flow_incremental`].
+    pub cache: Option<CacheStats>,
 }
 
 /// The full flow result.
@@ -124,6 +130,7 @@ fn timed<T>(
         runtime,
         cpu_time: cpu.map_or(runtime, |d| Seconds::new(d.as_secs_f64())),
         artifacts,
+        cache: None,
     });
     value
 }
@@ -261,6 +268,249 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     }
 }
 
+/// Runs the verification flow incrementally against a [`VerifyCache`].
+///
+/// The ECO loop of §2.3: recognition, layout and extraction always run
+/// (they are the inputs the fingerprints are computed *from*), then each
+/// verification unit — one per CCC plus the whole-design residue — is
+/// looked up by its content fingerprint. Units that hit replay their
+/// cached §4.2 findings and §4.3 timing arcs; only *dirty* units
+/// (fingerprint miss, or a CCC whose fanin boundary crosses a
+/// fingerprint-dirty CCC — a conservative one-step closure) are
+/// re-verified on the executor. Cached and fresh results are merged in
+/// fixed unit order, so the resulting [`Signoff`] is byte-identical to
+/// a cold [`run_flow`] — the soundness contract `tests/incremental.rs`
+/// enforces.
+///
+/// On a cold cache every unit misses and the flow degenerates to
+/// [`run_flow`] plus fingerprinting overhead; the cache is then primed
+/// for the next call. Stage reports for `everify` and `timing` carry
+/// [`CacheStats`] so the savings are visible.
+pub fn run_flow_incremental(
+    mut netlist: FlatNetlist,
+    process: &Process,
+    config: &FlowConfig,
+    cache: &mut VerifyCache,
+) -> FlowReport {
+    let mut stages = Vec::new();
+    let mut drc_violations = 0usize;
+    let exec = Executor::threads(config.parallelism);
+
+    // 1–3. Recognition, layout, extraction: identical to the cold flow.
+    let recognition = timed(&mut stages, "recognize", || {
+        let r = cbv_recognize::recognize(&mut netlist);
+        let n = r.cccs.len();
+        (r, n, None)
+    });
+    let layout = timed(&mut stages, "layout", || {
+        let l = cbv_layout::synthesize(&mut netlist, process);
+        let n = l.shapes.len();
+        (l, n, None)
+    });
+    if config.check_drc {
+        let rules = cbv_layout::Rules::for_process(process);
+        let violations = timed(&mut stages, "drc", || {
+            let v = cbv_layout::check_drc(&layout, &netlist, &rules, 10_000);
+            let n = v.len();
+            (v, n, None)
+        });
+        drc_violations = violations.len();
+    }
+    let extracted = timed(&mut stages, "extract", || {
+        let e = cbv_extract::extract(&layout, &netlist, process);
+        let n = e.iter().count();
+        (e, n, None)
+    });
+
+    let mut everify_cfg = EverifyConfig::for_process(process);
+    everify_cfg.tolerance = config.tolerance;
+
+    // 4. Fingerprint every unit and compute the dirty closure.
+    let n_cccs = recognition.cccs.len();
+    let (env, fps, dirty) = timed(&mut stages, "fingerprint", || {
+        let env = env_fingerprint(process, &config.tolerance, &config.pessimism, &everify_cfg);
+        let fps = fingerprint_design(&netlist, &recognition, &extracted);
+        let mut dirty: Vec<bool> = fps
+            .units
+            .iter()
+            .map(|&u| cache.get(&CacheKey::new(env, u)).is_none())
+            .collect();
+        // Conservative one-step closure: a clean CCC whose fanin
+        // boundary crosses a fingerprint-dirty CCC is re-verified too.
+        let fp_dirty: Vec<usize> = (0..n_cccs).filter(|&i| dirty[i]).collect();
+        for (j, d) in dirty.iter_mut().enumerate().take(n_cccs) {
+            if *d {
+                continue;
+            }
+            let inputs = &recognition.cccs[j].inputs;
+            if fp_dirty.iter().any(|&i| {
+                recognition.cccs[i]
+                    .outputs
+                    .iter()
+                    .any(|o| inputs.binary_search(o).is_ok())
+            }) {
+                *d = true;
+            }
+        }
+        let n_units = fps.units.len();
+        ((env, fps, dirty), n_units, None)
+    });
+
+    // 5. Electrical battery (§4.2): re-verify dirty units in parallel,
+    // replay the rest from cache. `per_unit` accumulates every unit's
+    // payload in fixed unit order; timing arcs are filled in below.
+    let scopes = CheckScope::partition(&netlist, &recognition);
+    debug_assert_eq!(scopes.len(), fps.units.len());
+    let dirty_units: Vec<usize> = (0..scopes.len()).filter(|&i| dirty[i]).collect();
+    let everify_stats = CacheStats {
+        hits: scopes.len() - dirty_units.len(),
+        misses: dirty_units.len(),
+    };
+    let (ereport, mut per_unit) = timed(&mut stages, "everify", || {
+        let (fresh, busy) = exec.map_timed(dirty_units.clone(), |i| {
+            cbv_everify::run_scoped(
+                &netlist,
+                &recognition,
+                &extracted,
+                Some(&layout),
+                process,
+                &everify_cfg,
+                &scopes[i],
+            )
+        });
+        let mut fresh = fresh.into_iter();
+        let per_unit: Vec<UnitResult> = (0..scopes.len())
+            .map(|i| {
+                if dirty[i] {
+                    let r = fresh.next().expect("one report per dirty unit");
+                    UnitResult {
+                        findings: r.raw_findings().to_vec(),
+                        checked: r.checked_count(),
+                        filtered: r.filtered_count(),
+                        arcs: Vec::new(),
+                    }
+                } else {
+                    cache
+                        .get(&CacheKey::new(env, fps.units[i]))
+                        .expect("clean unit has a cache entry")
+                        .clone()
+                }
+            })
+            .collect();
+        let merged = cbv_everify::Report::from_parts(
+            everify_cfg.filter_threshold,
+            per_unit.iter().flat_map(|u| u.findings.clone()).collect(),
+            per_unit.iter().map(|u| u.checked).sum(),
+            per_unit.iter().map(|u| u.filtered).sum(),
+        );
+        let n = merged.checked_count();
+        ((merged, per_unit), n, Some(busy))
+    });
+    stages.last_mut().expect("everify stage").cache = Some(everify_stats);
+
+    // 6. Timing (§4.3): recompute arcs for dirty CCCs only, splice the
+    // cached arcs back in CCC index order — reproducing the cold graph's
+    // exact arc sequence — then run constraints, skew and STA as usual.
+    let schedule = config.schedule.clone().unwrap_or_else(|| {
+        let name = recognition
+            .clock_nets
+            .first()
+            .map(|&c| netlist.net_name(c).to_owned())
+            .unwrap_or_else(|| "clk".to_owned());
+        ClockSchedule::single(name, process.f_target().period())
+    });
+    let calc = DelayCalc::new(process, config.tolerance, config.pessimism);
+    let dirty_cccs: Vec<usize> = (0..n_cccs).filter(|&i| dirty[i]).collect();
+    let timing_stats = CacheStats {
+        hits: n_cccs - dirty_cccs.len(),
+        misses: dirty_cccs.len(),
+    };
+    let (sta, n_constraints) = timed(&mut stages, "timing", || {
+        let (fresh_arcs, graph_busy) = exec.map_timed(dirty_cccs.clone(), |i| {
+            cbv_timing::graph::ccc_arcs(&netlist, &recognition, &extracted, &calc, i)
+        });
+        let serial_start = Instant::now();
+        let mut fresh_arcs = fresh_arcs.into_iter();
+        for (i, unit) in per_unit.iter_mut().take(n_cccs).enumerate() {
+            if dirty[i] {
+                unit.arcs = fresh_arcs.next().expect("one arc set per dirty CCC");
+            }
+        }
+        let arcs: Vec<cbv_timing::Arc> = per_unit
+            .iter()
+            .take(n_cccs)
+            .flat_map(|u| u.arcs.clone())
+            .collect();
+        let n_arcs = arcs.len();
+        let graph = cbv_timing::graph_from_arcs(&netlist, &recognition, arcs);
+        let constraints =
+            cbv_timing::infer_constraints(&netlist, &recognition, process, &config.pessimism);
+        let skews: Vec<_> = recognition
+            .clock_nets
+            .iter()
+            .filter_map(|&c| {
+                cbv_timing::clock_skew_bounds(
+                    &extracted,
+                    c,
+                    cbv_tech::Ohms::new(200.0),
+                    &config.tolerance,
+                )
+            })
+            .collect();
+        let r = cbv_timing::analyze(
+            &netlist,
+            &graph,
+            &constraints,
+            &schedule,
+            &config.pessimism,
+            &skews,
+        );
+        let n = constraints.len();
+        let cpu = graph_busy + serial_start.elapsed();
+        ((r, n), n_arcs, Some(cpu))
+    });
+    stages.last_mut().expect("timing stage").cache = Some(timing_stats);
+
+    // Prime the cache with the re-verified units, now that both their
+    // findings and arcs are known.
+    for i in 0..per_unit.len() {
+        if dirty[i] {
+            cache.insert(
+                CacheKey::new(env, fps.units[i]),
+                std::mem::take(&mut per_unit[i]),
+            );
+        }
+    }
+
+    // 7. Power estimation (§3) — cheap, always recomputed.
+    let power = timed(&mut stages, "power", || {
+        let p = cbv_power::dynamic_power(
+            &netlist,
+            &recognition,
+            &extracted,
+            process,
+            process.f_target(),
+            &ActivityModel::uniform(config.activity),
+        );
+        (p, 1, None)
+    });
+
+    let mut signoff = Signoff::default();
+    if config.check_drc {
+        signoff.add_drc(drc_violations);
+    }
+    signoff.add_everify(&ereport);
+    signoff.add_timing(&sta, n_constraints);
+    signoff.set_power(power.total());
+
+    FlowReport {
+        stages,
+        recognition,
+        signoff,
+        netlist,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +552,39 @@ mod tests {
                 .iter()
                 .any(|se| se.kind == cbv_recognize::StateKind::Keeper),
             "chain keepers recognized"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_cold_and_hits_warm() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig::default();
+        let cold = run_flow(static_ripple_adder(4, &p).netlist, &p, &cfg);
+        let cold_json = serde_json::to_string(&cold.signoff).unwrap();
+
+        let mut cache = VerifyCache::new();
+        let first = run_flow_incremental(static_ripple_adder(4, &p).netlist, &p, &cfg, &mut cache);
+        assert_eq!(serde_json::to_string(&first.signoff).unwrap(), cold_json);
+        let estats = first.stages.iter().find(|s| s.stage == "everify").unwrap();
+        assert_eq!(estats.cache.unwrap().hits, 0, "cold cache: all misses");
+        assert!(!cache.is_empty());
+
+        let second = run_flow_incremental(static_ripple_adder(4, &p).netlist, &p, &cfg, &mut cache);
+        assert_eq!(serde_json::to_string(&second.signoff).unwrap(), cold_json);
+        for stage in &second.stages {
+            if let Some(stats) = stage.cache {
+                assert_eq!(
+                    stats.misses, 0,
+                    "{}: warm rerun must be all hits",
+                    stage.stage
+                );
+                assert!(stats.hits > 0);
+            }
+        }
+        assert_eq!(
+            second.stages.len(),
+            7,
+            "incremental adds a fingerprint stage"
         );
     }
 

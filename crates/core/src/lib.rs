@@ -72,5 +72,8 @@ pub use cbv_equiv as equiv;
 /// The scoped-thread parallel execution layer.
 pub use cbv_exec as exec;
 
+/// The content-fingerprinted verification cache (incremental flow).
+pub use cbv_cache as cache;
+
 /// Synthetic design generators and fault injectors.
 pub use cbv_gen as gen;

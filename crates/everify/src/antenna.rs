@@ -13,6 +13,17 @@ use crate::EverifyConfig;
 /// Runs the antenna check for every net with gate connections.
 pub fn check(netlist: &FlatNetlist, layout: &Layout, config: &EverifyConfig, report: &mut Report) {
     let uses = netlist.uses_table();
+    // Collector area per net in one pass over the shape list —
+    // `shapes_on` filters the whole layout per call, which made this
+    // check O(nets × shapes) on full designs.
+    let mut collector = vec![0.0f64; netlist.net_count()];
+    for s in &layout.shapes {
+        if let Some(net) = s.net {
+            if s.layer == Layer::Poly || s.layer.is_metal() {
+                collector[net.index()] += s.rect.area() as f64 * 1e-18;
+            }
+        }
+    }
     for id in 0..netlist.net_count() as u32 {
         let net = NetId(id);
         // Gate area hanging on the net.
@@ -30,11 +41,7 @@ pub fn check(netlist: &FlatNetlist, layout: &Layout, config: &EverifyConfig, rep
             continue;
         }
         // Collector area: conductor shapes on the net (poly + metals).
-        let collector_area: f64 = layout
-            .shapes_on(net)
-            .filter(|s| s.layer == Layer::Poly || s.layer.is_metal())
-            .map(|s| s.rect.area() as f64 * 1e-18)
-            .sum();
+        let collector_area = collector[net.index()];
         if collector_area <= 0.0 {
             continue;
         }

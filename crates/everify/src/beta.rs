@@ -42,10 +42,22 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
+    let scope = crate::CheckScope::full(netlist, recognition);
+    check_scoped(netlist, recognition, process, config, &scope, report);
+}
+
+/// Runs the beta-ratio and size checks on one ownership scope.
+pub fn check_scoped(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &crate::CheckScope,
+    report: &mut Report,
+) {
     // Device size sanity: drawn geometry below manufacturable minimum.
     let l_min = process.l_min().meters();
-    for did in 0..netlist.devices().len() as u32 {
-        let id = DeviceId(did);
+    for &id in &scope.devices {
         let d = netlist.device(id);
         // Exactly-at-minimum geometry is legal and filtered; shrinking
         // below minimum escalates steeply to a violation.
@@ -70,8 +82,8 @@ pub fn check(
         });
     }
 
-    for (ccc, class) in recognition.cccs.iter().zip(&recognition.classes) {
-        let _ = ccc;
+    for &ci in &scope.cccs {
+        let class = &recognition.classes[ci];
         match class.family {
             LogicFamily::StaticComplementary => {
                 for (out, up_paths) in &class.pullup_paths {

@@ -21,7 +21,22 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
-    for (ccc, class) in recognition.cccs.iter().zip(&recognition.classes) {
+    let scope = crate::CheckScope::full(netlist, recognition);
+    check_scoped(netlist, recognition, process, config, &scope, report);
+}
+
+/// Runs the charge-share check on one ownership scope.
+pub fn check_scoped(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &crate::CheckScope,
+    report: &mut Report,
+) {
+    for &ci in &scope.cccs {
+        let ccc = &recognition.cccs[ci];
+        let class = &recognition.classes[ci];
         for &dyn_net in &class.dynamic_outputs {
             // Internal stack nodes: channel nets of this CCC reachable in
             // the pull-down network, excluding the output itself.

@@ -57,8 +57,31 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
+    let scope = crate::CheckScope::full(netlist, recognition);
+    check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        &scope,
+        report,
+    );
+}
+
+/// Runs the edge-rate check on one ownership scope.
+pub fn check_scoped(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &crate::CheckScope,
+    report: &mut Report,
+) {
     let slow = Corner::slow(process);
-    for class in &recognition.classes {
+    for &ci in &scope.cccs {
+        let class = &recognition.classes[ci];
         for (out, up_paths) in &class.pullup_paths {
             let down_paths = class
                 .pulldown_paths

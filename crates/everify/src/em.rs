@@ -26,10 +26,35 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
+    let scope = crate::CheckScope::full(netlist, recognition);
+    check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        &scope,
+        report,
+    );
+}
+
+/// Runs both EM checks on the nets one scope owns.
+pub fn check_scoped(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &crate::CheckScope,
+    report: &mut Report,
+) {
     let m1 = process.wires().params(Layer::Metal1);
     let i_limit = m1.em_current_limit(m1.width_min);
     let fast = Corner::fast(process);
-    for en in extracted.iter() {
+    for &net in &scope.nets {
+        let Some(en) = extracted.net(net) else {
+            continue;
+        };
         let role = recognition.role(en.net);
         if matches!(role, NetRole::Rail) {
             continue;

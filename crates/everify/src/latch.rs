@@ -27,6 +27,16 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
+    // Channel-net ownership is a partition (every non-rail channel net
+    // belongs to exactly one CCC, and a CCC's outputs are a subset of
+    // its channel nets), so "some non-loop component touches this net"
+    // reduces to one owner lookup instead of a scan over every CCC.
+    let mut owner: Vec<Option<usize>> = vec![None; netlist.net_count()];
+    for (i, ccc) in recognition.cccs.iter().enumerate() {
+        for &n in &ccc.channel_nets {
+            owner[n.index()] = Some(i);
+        }
+    }
     for se in &recognition.state_elements {
         match se.kind {
             StateKind::LevelLatch => {
@@ -43,10 +53,10 @@ pub fn check(
                     if netlist.net_kind(net).is_driven_externally() {
                         return true;
                     }
-                    recognition.cccs.iter().enumerate().any(|(i, ccc)| {
-                        let in_loop = se.cccs.iter().any(|c| c.index() == i);
-                        !in_loop && (ccc.outputs.contains(&net) || ccc.channel_nets.contains(&net))
-                    })
+                    match owner[net.index()] {
+                        Some(i) => !se.cccs.iter().any(|c| c.index() == i),
+                        None => false,
+                    }
                 };
                 let mut g_write = 0.0;
                 let mut g_feedback = 0.0;

@@ -23,8 +23,31 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
+    let scope = crate::CheckScope::full(netlist, recognition);
+    check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        &scope,
+        report,
+    );
+}
+
+/// Runs the dynamic-leakage check on one ownership scope.
+pub fn check_scoped(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &crate::CheckScope,
+    report: &mut Report,
+) {
     let fast = Corner::fast(process);
-    for class in &recognition.classes {
+    for &ci in &scope.cccs {
+        let class = &recognition.classes[ci];
         for &dyn_net in &class.dynamic_outputs {
             // Leakage through every off device whose channel touches the
             // node and leads (eventually) to ground: conservatively, every

@@ -47,9 +47,143 @@ use std::time::Duration;
 use cbv_exec::Executor;
 use cbv_extract::Extracted;
 use cbv_layout::Layout;
-use cbv_netlist::FlatNetlist;
+use cbv_netlist::{DeviceId, FlatNetlist, NetId};
 use cbv_recognize::Recognition;
 use cbv_tech::{Hertz, Process, Seconds, Tolerance, Volts};
+
+/// The slice of a design one verification unit owns.
+///
+/// The incremental flow partitions the battery into per-CCC units plus
+/// one whole-design residue; each unit re-verifies independently and the
+/// per-unit reports merge back together. Ownership is exact: every
+/// device belongs to exactly one CCC (the `partition_cccs` map is
+/// total), and every non-rail channel net to exactly one CCC as well, so
+/// the union of all scopes reproduces [`run_all`]'s findings, finding
+/// for finding — the property the cold-vs-incremental byte-identity
+/// tests rest on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckScope {
+    /// CCC indices this unit verifies (class-driven checks iterate these).
+    pub cccs: Vec<usize>,
+    /// Devices this unit owns (device-driven checks iterate these).
+    pub devices: Vec<DeviceId>,
+    /// Nets this unit owns (net-victim checks iterate these). For a CCC
+    /// unit these are its channel nets; the residue gets every net no
+    /// CCC's channel touches (inputs, clocks, rails, floating nets).
+    pub nets: Vec<NetId>,
+    /// Whether this scope carries the whole-design residue. State-element
+    /// writability and antenna analysis read global structure (latch
+    /// loops span CCCs; antenna collector area depends on routing and
+    /// reader-gate geometry), so they run whole-design in exactly one
+    /// scope rather than being sliced per CCC.
+    pub whole_design: bool,
+}
+
+impl CheckScope {
+    /// The scope covering the entire design. [`run_scoped`] on this scope
+    /// equals [`run_all`].
+    pub fn full(netlist: &FlatNetlist, recognition: &Recognition) -> CheckScope {
+        CheckScope {
+            cccs: (0..recognition.cccs.len()).collect(),
+            devices: (0..netlist.devices().len() as u32).map(DeviceId).collect(),
+            nets: netlist.net_ids().collect(),
+            whole_design: true,
+        }
+    }
+
+    /// Partitions the design into one scope per CCC plus the residue
+    /// scope (always last). The scopes are disjoint and their union
+    /// covers every device and net.
+    pub fn partition(netlist: &FlatNetlist, recognition: &Recognition) -> Vec<CheckScope> {
+        let mut owned = vec![false; netlist.net_count()];
+        let mut scopes: Vec<CheckScope> = recognition
+            .cccs
+            .iter()
+            .enumerate()
+            .map(|(i, ccc)| {
+                for &n in &ccc.channel_nets {
+                    owned[n.index()] = true;
+                }
+                CheckScope {
+                    cccs: vec![i],
+                    devices: ccc.devices.clone(),
+                    nets: ccc.channel_nets.clone(),
+                    whole_design: false,
+                }
+            })
+            .collect();
+        scopes.push(CheckScope {
+            cccs: Vec::new(),
+            devices: Vec::new(),
+            nets: netlist.net_ids().filter(|n| !owned[n.index()]).collect(),
+            whole_design: true,
+        });
+        scopes
+    }
+}
+
+/// Runs the battery restricted to one ownership scope, in the fixed
+/// check order of the paper's list. Merging the reports of a full
+/// [`CheckScope::partition`] yields the same findings as [`run_all`].
+pub fn run_scoped(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    layout: Option<&Layout>,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &CheckScope,
+) -> Report {
+    let mut report = Report::new(config.filter_threshold);
+    beta::check_scoped(netlist, recognition, process, config, scope, &mut report);
+    edges::check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        scope,
+        &mut report,
+    );
+    coupling::check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        scope,
+        &mut report,
+    );
+    charge::check_scoped(netlist, recognition, process, config, scope, &mut report);
+    leakage::check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        scope,
+        &mut report,
+    );
+    if scope.whole_design {
+        latch::check(netlist, recognition, process, config, &mut report);
+    }
+    em::check_scoped(
+        netlist,
+        recognition,
+        extracted,
+        process,
+        config,
+        scope,
+        &mut report,
+    );
+    if scope.whole_design {
+        if let Some(layout) = layout {
+            antenna::check(netlist, layout, config, &mut report);
+        }
+    }
+    stress::check_scoped(netlist, process, config, scope, &mut report);
+    report
+}
 
 /// Tunable limits for the electrical checks.
 #[derive(Debug, Clone, PartialEq)]
@@ -237,5 +371,174 @@ mod tests {
             report.violations().collect::<Vec<_>>()
         );
         assert!(report.checked_count() > 0, "checks actually ran");
+    }
+
+    /// The partition of scopes must reproduce the monolithic battery
+    /// finding-for-finding: same counts, same multiset of findings.
+    #[test]
+    fn scope_partition_matches_run_all() {
+        let mut f = FlatNetlist::new("mix");
+        let process = Process::strongarm_035();
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let clk = f.add_net("clk", NetKind::Clock);
+        let a = f.add_net("a", NetKind::Input);
+        let mut prev = a;
+        // Static chain, then a domino stage: several CCCs, a dynamic
+        // node, a keeper, pass structure — every check has subjects.
+        for i in 0..3 {
+            let out = f.add_net(&format!("s{i}"), NetKind::Signal);
+            f.add_device(Device::mos(
+                MosKind::Pmos,
+                format!("p{i}"),
+                prev,
+                out,
+                vdd,
+                vdd,
+                5.6e-6,
+                0.35e-6,
+            ));
+            f.add_device(Device::mos(
+                MosKind::Nmos,
+                format!("n{i}"),
+                prev,
+                out,
+                gnd,
+                gnd,
+                2.4e-6,
+                0.35e-6,
+            ));
+            prev = out;
+        }
+        let dyn_net = f.add_net("dyn", NetKind::Signal);
+        let x = f.add_net("x", NetKind::Signal);
+        let y = f.add_net("y", NetKind::Output);
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pre",
+            clk,
+            dyn_net,
+            vdd,
+            vdd,
+            3e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "ev",
+            prev,
+            dyn_net,
+            x,
+            gnd,
+            8e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "ft",
+            clk,
+            x,
+            gnd,
+            gnd,
+            8e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "op",
+            dyn_net,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "on",
+            dyn_net,
+            y,
+            gnd,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        let layout = synthesize(&mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
+        let rec = recognize(&mut f);
+        let cfg = EverifyConfig::for_process(&process);
+
+        let whole = run_all(&f, &rec, &ex, Some(&layout), &process, &cfg);
+        let mut merged = Report::new(cfg.filter_threshold);
+        for scope in CheckScope::partition(&f, &rec) {
+            merged.merge(run_scoped(
+                &f,
+                &rec,
+                &ex,
+                Some(&layout),
+                &process,
+                &cfg,
+                &scope,
+            ));
+        }
+        assert_eq!(whole.checked_count(), merged.checked_count());
+        assert_eq!(whole.filtered_count(), merged.filtered_count());
+        let key = |r: &Report| {
+            let mut v: Vec<String> = r
+                .raw_findings()
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{:?}|{:?}|{:.9e}|{}",
+                        f.check, f.subject, f.stress, f.message
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&whole), key(&merged));
+        assert!(whole.checked_count() > 10, "battery exercised");
+    }
+
+    /// A full scope behaves exactly like run_all through run_scoped.
+    #[test]
+    fn full_scope_equals_run_all() {
+        let mut f = FlatNetlist::new("inv");
+        let process = Process::strongarm_035();
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let a = f.add_net("a", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            5.6e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2.4e-6,
+            0.35e-6,
+        ));
+        let layout = synthesize(&mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
+        let rec = recognize(&mut f);
+        let cfg = EverifyConfig::for_process(&process);
+        let whole = run_all(&f, &rec, &ex, Some(&layout), &process, &cfg);
+        let scope = CheckScope::full(&f, &rec);
+        let scoped = run_scoped(&f, &rec, &ex, Some(&layout), &process, &cfg, &scope);
+        assert_eq!(whole.checked_count(), scoped.checked_count());
+        assert_eq!(whole.filtered_count(), scoped.filtered_count());
+        assert_eq!(whole.raw_findings().len(), scoped.raw_findings().len());
     }
 }

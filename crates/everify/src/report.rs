@@ -194,6 +194,40 @@ impl Report {
         self.checked += other.checked;
         self.filtered += other.filtered;
     }
+
+    /// The filter threshold this report was built with.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The surviving findings in insertion order, unsorted — the raw
+    /// payload a verification cache stores and replays.
+    pub fn raw_findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Reassembles a report from cached parts — the inverse of reading
+    /// [`Report::raw_findings`], [`Report::checked_count`] and
+    /// [`Report::filtered_count`] back out.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold <= 1` (same contract as
+    /// [`Report::new`]).
+    pub fn from_parts(
+        threshold: f64,
+        findings: Vec<Finding>,
+        checked: usize,
+        filtered: usize,
+    ) -> Report {
+        assert!(threshold > 0.0 && threshold <= 1.0, "threshold in (0, 1]");
+        Report {
+            threshold,
+            findings,
+            checked,
+            filtered,
+        }
+    }
 }
 
 #[cfg(test)]

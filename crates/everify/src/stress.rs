@@ -24,10 +24,31 @@ pub fn check(
     config: &EverifyConfig,
     report: &mut Report,
 ) {
+    let all: Vec<DeviceId> = (0..netlist.devices().len() as u32).map(DeviceId).collect();
+    check_devices(netlist, process, config, &all, report);
+}
+
+/// Runs hot-carrier and TDDB checks on one ownership scope.
+pub fn check_scoped(
+    netlist: &FlatNetlist,
+    process: &Process,
+    config: &EverifyConfig,
+    scope: &crate::CheckScope,
+    report: &mut Report,
+) {
+    check_devices(netlist, process, config, &scope.devices, report);
+}
+
+fn check_devices(
+    netlist: &FlatNetlist,
+    process: &Process,
+    config: &EverifyConfig,
+    devices: &[DeviceId],
+    report: &mut Report,
+) {
     let fast = Corner::fast(process);
     let l_min = process.l_min().meters();
-    for did in 0..netlist.devices().len() as u32 {
-        let id = DeviceId(did);
+    for &id in devices {
         let d = netlist.device(id);
         // Hot carrier: NMOS only to first order; stress is the fast-corner
         // Vds derated by channel-length relief.

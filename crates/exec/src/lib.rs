@@ -180,6 +180,43 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_single_item_maps() {
+        for threads in [1, 4] {
+            let exec = Executor::threads(threads);
+            let empty: Vec<u64> = exec.map(Vec::new(), |x: u64| x + 1);
+            assert!(empty.is_empty(), "empty input yields empty output");
+            let (one, busy) = exec.map_timed(vec![41u64], |x| x + 1);
+            assert_eq!(one, vec![42]);
+            // A single item runs inline; busy time is still measured.
+            assert!(busy >= Duration::ZERO);
+        }
+    }
+
+    // One test mutates the process-wide env var for every CBV_THREADS
+    // case, serialized within a single test fn so parallel test threads
+    // cannot interleave observations of it.
+    #[test]
+    fn threads_env_edge_cases_fall_back_to_auto() {
+        let checks: [(&str, &dyn Fn(usize)); 5] = [
+            ("0", &|n| assert!(n >= 1, "zero falls back to auto")),
+            ("garbage", &|n| assert!(n >= 1, "non-numeric falls back")),
+            ("-2", &|n| assert!(n >= 1, "negative falls back")),
+            ("  3  ", &|n| assert_eq!(n, 3, "whitespace is trimmed")),
+            ("2", &|n| assert_eq!(n, 2)),
+        ];
+        for (value, check) in checks {
+            std::env::set_var(THREADS_ENV, value);
+            let exec = Executor::new();
+            check(exec.thread_count());
+            // Whatever the resolution, mapping must not panic and must
+            // preserve order.
+            assert_eq!(exec.map(vec![1u64, 2, 3], |x| x * 2), vec![2, 4, 6]);
+        }
+        std::env::remove_var(THREADS_ENV);
+        assert!(Executor::new().thread_count() >= 1, "unset means auto");
+    }
+
+    #[test]
     fn busy_time_accumulates() {
         let exec = Executor::threads(4);
         let (out, busy) = exec.map_timed((0..16).collect::<Vec<u64>>(), |x| {

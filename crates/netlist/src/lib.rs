@@ -39,6 +39,7 @@
 //! assert_eq!(flat.devices().len(), 2);
 //! ```
 
+pub mod canon;
 pub mod ccc;
 pub mod cell;
 pub mod device;
@@ -46,6 +47,7 @@ pub mod error;
 pub mod flat;
 pub mod spice;
 
+pub use canon::CanonicalKeys;
 pub use ccc::{partition_cccs, Ccc, CccId};
 pub use cell::{Cell, CellId, Instance, Library};
 pub use device::{Device, Passive, PassiveKind};

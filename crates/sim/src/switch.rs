@@ -62,6 +62,12 @@ pub struct SwitchSim<'n> {
     /// Per-net charge weight: total channel width attached (diffusion
     /// capacitance proxy), used to resolve charge sharing.
     charge_weight: Vec<f64>,
+    /// Per-net list of devices whose channel touches the net, in device
+    /// id order — the same order a full device scan visits them. The
+    /// conducting-group BFS walks this index instead of rescanning every
+    /// device per node, taking group exploration from O(nets × devices)
+    /// to O(touching devices).
+    channel_adj: Vec<Vec<cbv_netlist::DeviceId>>,
     /// Rail-fight win threshold: the stronger side must exceed the weaker
     /// by this conductance factor to win cleanly.
     pub fight_ratio: f64,
@@ -87,10 +93,13 @@ impl<'n> SwitchSim<'n> {
             }
         }
         let mut charge_weight = vec![0.0f64; netlist.net_count()];
-        for d in netlist.devices() {
+        let mut channel_adj = vec![Vec::new(); netlist.net_count()];
+        for (i, d) in netlist.devices().iter().enumerate() {
             charge_weight[d.source.index()] += d.w;
+            channel_adj[d.source.index()].push(cbv_netlist::DeviceId(i as u32));
             if d.drain != d.source {
                 charge_weight[d.drain.index()] += d.w;
+                channel_adj[d.drain.index()].push(cbv_netlist::DeviceId(i as u32));
             }
         }
         SwitchSim {
@@ -98,6 +107,7 @@ impl<'n> SwitchSim<'n> {
             values,
             driven,
             charge_weight,
+            channel_adj,
             fight_ratio: 3.0,
         }
     }
@@ -227,10 +237,8 @@ impl<'n> SwitchSim<'n> {
             let cur = group[head];
             let cur_bn = bottleneck[head];
             head += 1;
-            for d in self.netlist.devices() {
-                if !d.channel_touches(cur) {
-                    continue;
-                }
+            for &did in &self.channel_adj[cur.index()] {
+                let d = self.netlist.device(did);
                 let on = match conducts(d.kind, self.values[d.gate.index()]) {
                     Some(on) => on,
                     None => x_on,
@@ -388,6 +396,113 @@ mod tests {
             2e-6,
             0.35e-6,
         ));
+    }
+
+    #[test]
+    fn adjacency_index_matches_brute_force_scan() {
+        // Build a mixed topology: inverter chain + a pass-gate mux +
+        // a device with source == drain (degenerate channel).
+        let mut f = FlatNetlist::new("mix");
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let a = f.add_net("a", NetKind::Input);
+        let s = f.add_net("s", NetKind::Input);
+        let n0 = f.add_net("n0", NetKind::Signal);
+        let y = f.add_net("y", NetKind::Output);
+        add_inverter(&mut f, "i0", a, n0, vdd, gnd);
+        add_inverter(&mut f, "i1", n0, y, vdd, gnd);
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "pass",
+            s,
+            y,
+            n0,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "degen",
+            s,
+            n0,
+            n0,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+
+        let sim = SwitchSim::new(&f);
+        // The index must list, per net, exactly the devices a full scan
+        // in id order finds touching that net — including them in the
+        // same order. The BFS previously iterated `devices()` and
+        // skipped non-touching ones, so ordered equality of the
+        // filtered list proves the fast path visits identical devices
+        // in identical order, hence settles identically.
+        for net in f.net_ids() {
+            let brute: Vec<DeviceId> = f
+                .devices()
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.channel_touches(net))
+                .map(|(i, _)| DeviceId(i as u32))
+                .collect();
+            assert_eq!(sim.channel_adj[net.index()], brute, "net {net:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_settle_matches_expected_mux_values() {
+        let mut f = FlatNetlist::new("mux");
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let a = f.add_net("a", NetKind::Input);
+        let s = f.add_net("s", NetKind::Input);
+        let sb = f.add_net("sb", NetKind::Signal);
+        let y = f.add_net("y", NetKind::Output);
+        add_inverter(&mut f, "si", s, sb, vdd, gnd);
+        // Transmission-gate mux: y = s ? a : vdd-side constant one.
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "tn",
+            s,
+            y,
+            a,
+            gnd,
+            2e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "tp",
+            sb,
+            y,
+            a,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "pu",
+            s,
+            y,
+            vdd,
+            vdd,
+            4e-6,
+            0.35e-6,
+        ));
+        let mut sim = SwitchSim::new(&f);
+        sim.set(s, Logic::One);
+        for v in [Logic::Zero, Logic::One] {
+            sim.set(a, v);
+            sim.settle().unwrap();
+            assert_eq!(sim.value(y), v, "selected input passes through");
+        }
+        sim.set(s, Logic::Zero);
+        sim.set(a, Logic::Zero);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y), Logic::One, "deselected: pull-up wins");
     }
 
     #[test]

@@ -46,14 +46,15 @@ pub fn clock_skew_bounds(
     let root = en.rc.first_node();
     let mut nominal_min: Option<Seconds> = None;
     let mut nominal_max: Option<Seconds> = None;
-    for i in 0..en.rc.node_count() as u32 {
-        let node = cbv_extract::RcNodeId(i);
-        if node == root {
+    // One O(nodes) sweep instead of a per-node Elmore solve: clock nets
+    // are the largest RC networks in a design, and skew bounds are
+    // recomputed by every flow run.
+    let delays = en.rc.elmore_all(root, r_driver)?;
+    for (i, t) in delays.into_iter().enumerate() {
+        if i == root.index() {
             continue;
         }
-        let Some(t) = en.rc.elmore(root, node, r_driver) else {
-            continue;
-        };
+        let Some(t) = t else { continue };
         nominal_min = Some(match nominal_min {
             Some(m) => m.min(t),
             None => t,
@@ -77,11 +78,13 @@ pub fn insertion_delays(extracted: &Extracted, net: NetId, r_driver: Ohms) -> Ve
         return Vec::new();
     };
     let root = en.rc.first_node();
-    (0..en.rc.node_count() as u32)
-        .filter_map(|i| {
-            let node = cbv_extract::RcNodeId(i);
-            en.rc.elmore(root, node, r_driver).map(|t| (i, t))
-        })
+    let Some(delays) = en.rc.elmore_all(root, r_driver) else {
+        return Vec::new();
+    };
+    delays
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (i as u32, t)))
         .collect()
 }
 

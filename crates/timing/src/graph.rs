@@ -85,7 +85,12 @@ fn same_element(netlist: &FlatNetlist, recognition: &Recognition, from: NetId, t
 }
 
 /// All delay arcs contributed by one CCC, in deterministic order.
-fn ccc_arcs(
+///
+/// Exposed so the incremental flow can rebuild arcs for just the dirty
+/// components and splice cached arcs in for the rest; the result for a
+/// given `i` depends only on that CCC's devices, boundary nets, class
+/// and parasitics.
+pub fn ccc_arcs(
     netlist: &FlatNetlist,
     recognition: &Recognition,
     extracted: &Extracted,
@@ -174,8 +179,6 @@ pub fn build_graph_parallel(
     calc: &DelayCalc<'_>,
     exec: &Executor,
 ) -> (TimingGraph, Duration) {
-    let mut g = TimingGraph::default();
-
     // Arcs: chunk the CCC index space so each queue pop hands a worker a
     // meaningful slice, then flatten in CCC order.
     let n = recognition.cccs.len();
@@ -188,7 +191,24 @@ pub fn build_graph_parallel(
         }
         arcs
     });
-    g.arcs = chunks.into_iter().flatten().collect();
+    let arcs = chunks.into_iter().flatten().collect();
+    (graph_from_arcs(netlist, recognition, arcs), busy)
+}
+
+/// Assembles a [`TimingGraph`] from a finished arc list: attaches the
+/// launch points (primary inputs, state nets, dynamic nodes) and the
+/// cut nets, which depend only on recognition, not on the delays. The
+/// incremental flow calls this directly with a mix of cached and freshly
+/// computed arcs.
+pub fn graph_from_arcs(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    arcs: Vec<Arc>,
+) -> TimingGraph {
+    let mut g = TimingGraph {
+        arcs,
+        ..TimingGraph::default()
+    };
 
     // Launches: primary inputs.
     for net in 0..netlist.net_count() as u32 {
@@ -223,7 +243,7 @@ pub fn build_graph_parallel(
             }
         }
     }
-    (g, busy)
+    g
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub mod sta;
 pub use clock_rc::{clock_skew_bounds, ClockSkew};
 pub use constraints::{infer_constraints, CaptureKind, Constraint};
 pub use delay::{DelayCalc, Pessimism};
-pub use graph::{Arc, LaunchPoint, TimingGraph};
+pub use graph::{ccc_arcs, graph_from_arcs, Arc, LaunchPoint, TimingGraph};
 pub use sizing::{size_path, SizingResult};
 pub use sta::{
     analyze, find_min_period, ArrivalWindow, PathStep, StaReport, Violation, ViolationKind,

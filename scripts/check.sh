@@ -10,6 +10,16 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+# The incremental flow's contract: run_flow_incremental produces a
+# signoff byte-identical to a cold run_flow at every worker count.
+for threads in 1 2 8; do
+  echo "== incremental byte-identity (CBV_THREADS=$threads) =="
+  CBV_THREADS=$threads cargo test -q -p cbv-core --test incremental
+done
+
+echo "== E14 smoke (ECO walk soundness) =="
+cargo test -q -p cbv-bench e14_eco
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

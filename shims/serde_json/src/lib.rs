@@ -1,6 +1,9 @@
 //! Offline stand-in for the `serde_json` crate, paired with the in-tree
 //! `serde` shim: [`to_string`] and [`to_string_pretty`] render any type
-//! implementing the shim's `Serialize` trait.
+//! implementing the shim's `Serialize` trait, and [`from_str`] parses
+//! JSON text into a dynamic [`Value`] tree (the shim has no derive, so
+//! deserialization is by-hand from `Value`, mirroring
+//! `serde_json::Value` usage).
 
 use serde::Serialize;
 
@@ -80,6 +83,274 @@ fn prettify(compact: &str) -> String {
     out
 }
 
+/// A parsed JSON value.
+///
+/// Numbers keep their raw source text so integer payloads (e.g. `u64`
+/// bit patterns) round-trip exactly — a lossy `f64` intermediate would
+/// corrupt them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw JSON text.
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, fields in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value of an object field, if this is an object and has one.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document into a [`Value`].
+pub fn from_str(text: &str) -> Result<Value, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError::at(pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl ParseError {
+    fn at(offset: usize, message: &'static str) -> ParseError {
+        ParseError { offset, message }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8, msg: &'static str) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError::at(*pos, msg))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(ParseError::at(*pos, "unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, b"null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(ParseError::at(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':', "expected ':'")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(ParseError::at(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &[u8],
+    value: Value,
+) -> Result<Value, ParseError> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(ParseError::at(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let raw =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| ParseError::at(start, "utf8"))?;
+    if raw.is_empty() || raw.parse::<f64>().is_err() {
+        return Err(ParseError::at(start, "invalid number"));
+    }
+    Ok(Value::Number(raw.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"', "expected string")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(ParseError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| ParseError::at(*pos, "bad \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| ParseError::at(*pos, "utf8"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| ParseError::at(*pos, "bad \\u escape"))?;
+                        // Surrogate pairs are not produced by the paired
+                        // serializer (it emits raw UTF-8); lone
+                        // surrogates decode to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(ParseError::at(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through untouched).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| ParseError::at(*pos, "utf8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +377,47 @@ mod tests {
         assert!(p.contains("\"a\": 1"));
         assert!(p.contains("\"x{y\""), "brace inside string untouched: {p}");
         assert!(p.contains('\n'));
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = from_str(r#"{"a": [1, -2.5e3, true, null], "s": "x\n\"y\""}"#).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[3], Value::Null);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn u64_bit_patterns_round_trip_exactly() {
+        // f64 cannot hold this; the raw-text Number must.
+        let big = u64::MAX - 1;
+        let v = from_str(&format!("{{\"bits\":{big}}}")).unwrap();
+        assert_eq!(v.get("bits").unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn serializer_output_parses_back() {
+        let v = from_str(&to_string(&Pair).unwrap()).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x{y"));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = from_str(&to_string_pretty(&Pair).unwrap()).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x{y"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"open").is_err());
     }
 }

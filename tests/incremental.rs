@@ -1,0 +1,175 @@
+//! Cold-vs-incremental soundness and the E14 ECO speedup contract.
+//!
+//! The incremental flow's one promise: for any design — clean or broken
+//! — [`run_flow_incremental`] produces a signoff *byte-identical* to a
+//! cold [`run_flow`], whether the cache is empty, warm, or reloaded
+//! from JSON; and after a one-device ECO on a many-CCC design it spends
+//! at least 5× less compute in the everify and timing stages than a
+//! cold run does.
+//!
+//! `scripts/check.sh` re-runs the byte-identity tests under
+//! `CBV_THREADS=1,2,8` — the flows here use `parallelism: 0`, which
+//! honours that variable, so the identity is also exercised across
+//! worker counts.
+
+use cbv_core::cache::VerifyCache;
+use cbv_core::flow::{run_flow, run_flow_incremental, FlowConfig, FlowReport};
+use cbv_core::gen::datapath::alu_slice;
+use cbv_core::gen::{inject, FaultKind};
+use cbv_core::netlist::{DeviceId, FlatNetlist};
+use cbv_core::tech::{Process, Seconds};
+
+fn signoff_json(r: &FlowReport) -> String {
+    serde_json::to_string(&r.signoff).expect("signoff serializes")
+}
+
+fn stage_cpu(r: &FlowReport, stage: &str) -> Seconds {
+    r.stages
+        .iter()
+        .find(|s| s.stage == stage)
+        .unwrap_or_else(|| panic!("flow has a {stage} stage"))
+        .cpu_time
+}
+
+fn verify_cpu(r: &FlowReport) -> f64 {
+    (stage_cpu(r, "everify") + stage_cpu(r, "timing")).seconds()
+}
+
+#[test]
+fn incremental_signoff_byte_identical_on_clean_design() {
+    let p = Process::strongarm_035();
+    let cfg = FlowConfig::default();
+    let netlist = alu_slice(8, &p).netlist;
+
+    let cold = run_flow(netlist.clone(), &p, &cfg);
+    let cold_json = signoff_json(&cold);
+
+    let mut cache = VerifyCache::new();
+    let first = run_flow_incremental(netlist.clone(), &p, &cfg, &mut cache);
+    assert_eq!(signoff_json(&first), cold_json, "cold cache run");
+    let second = run_flow_incremental(netlist, &p, &cfg, &mut cache);
+    assert_eq!(signoff_json(&second), cold_json, "warm cache run");
+    for stage in &second.stages {
+        if let Some(stats) = stage.cache {
+            assert_eq!(
+                stats.misses, 0,
+                "{}: clean rerun must be all hits",
+                stage.stage
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_signoff_byte_identical_on_faulty_design() {
+    let p = Process::strongarm_035();
+    let cfg = FlowConfig::default();
+    for kind in [
+        FaultKind::BetaSkew,
+        FaultKind::SubMinLength,
+        FaultKind::WeakDriver,
+    ] {
+        let mut netlist = alu_slice(4, &p).netlist;
+        inject(&mut netlist, kind).expect("fault injects");
+        let cold = run_flow(netlist.clone(), &p, &cfg);
+        assert!(!cold.signoff.clean(), "{kind:?} must break signoff");
+
+        let mut cache = VerifyCache::new();
+        let first = run_flow_incremental(netlist.clone(), &p, &cfg, &mut cache);
+        let second = run_flow_incremental(netlist, &p, &cfg, &mut cache);
+        assert_eq!(
+            signoff_json(&first),
+            signoff_json(&cold),
+            "{kind:?} cold cache"
+        );
+        assert_eq!(
+            signoff_json(&second),
+            signoff_json(&cold),
+            "{kind:?} warm cache"
+        );
+    }
+}
+
+#[test]
+fn cache_json_reload_preserves_byte_identity() {
+    let p = Process::strongarm_035();
+    let cfg = FlowConfig::default();
+    let netlist = alu_slice(4, &p).netlist;
+    let cold_json = signoff_json(&run_flow(netlist.clone(), &p, &cfg));
+
+    let mut cache = VerifyCache::new();
+    run_flow_incremental(netlist.clone(), &p, &cfg, &mut cache);
+
+    // Round-trip the cache through its JSON form — findings, stress
+    // ratios and arc delays must survive bit-exactly for the replayed
+    // signoff to stay byte-identical.
+    let mut reloaded = VerifyCache::from_json(&cache.to_json()).expect("cache parses back");
+    let replay = run_flow_incremental(netlist, &p, &cfg, &mut reloaded);
+    assert_eq!(signoff_json(&replay), cold_json);
+    for stage in &replay.stages {
+        if let Some(stats) = stage.cache {
+            assert_eq!(
+                stats.misses, 0,
+                "{}: reloaded cache must fully hit",
+                stage.stage
+            );
+        }
+    }
+}
+
+/// The E14 contract: a one-device ECO on a ≥64-CCC design re-verifies
+/// only the dirty neighbourhood, cutting everify+timing compute ≥5×
+/// versus cold while keeping the signoff byte-identical.
+#[test]
+fn eco_rerun_verifies_5x_faster_with_identical_signoff() {
+    let p = Process::strongarm_035();
+    let cfg = FlowConfig::default();
+    let base = alu_slice(16, &p).netlist;
+
+    // Prime the cache with the unedited design.
+    let mut cache = VerifyCache::new();
+    let primed = run_flow_incremental(base.clone(), &p, &cfg, &mut cache);
+    assert!(
+        primed.recognition.cccs.len() >= 64,
+        "E14 needs a many-CCC design, got {}",
+        primed.recognition.cccs.len()
+    );
+
+    // The ECO: nudge one device's width by 5 %.
+    let mut eco: FlatNetlist = base;
+    eco.device_mut(DeviceId(0)).w *= 1.05;
+
+    let cold = run_flow(eco.clone(), &p, &cfg);
+    let warm = run_flow_incremental(eco, &p, &cfg, &mut cache);
+
+    // Soundness first: identical signoff bytes.
+    assert_eq!(signoff_json(&warm), signoff_json(&cold));
+
+    // Almost everything hits: at most the edited CCC, its one-step
+    // fanout closure, and the always-dirty residue unit re-verify.
+    let estats = warm
+        .stages
+        .iter()
+        .find(|s| s.stage == "everify")
+        .and_then(|s| s.cache)
+        .expect("everify stage reports cache stats");
+    assert!(
+        estats.misses <= 8,
+        "one-device ECO should dirty a handful of units, re-verified {} of {}",
+        estats.misses,
+        estats.total()
+    );
+    assert!(estats.hits >= estats.total() - 8);
+
+    // The speed contract, on compute time (wall time is noisy and the
+    // CI box may be single-core): everify+timing together, ≥5×.
+    let cold_cpu = verify_cpu(&cold);
+    let warm_cpu = verify_cpu(&warm);
+    assert!(
+        warm_cpu * 5.0 <= cold_cpu,
+        "ECO rerun must be ≥5x cheaper on verify stages: cold {:.3} ms, warm {:.3} ms ({:.1}x)",
+        cold_cpu * 1e3,
+        warm_cpu * 1e3,
+        cold_cpu / warm_cpu
+    );
+}

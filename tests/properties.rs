@@ -296,3 +296,150 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Any single-device size or connectivity edit must dirty the owning
+    /// CCC's content fingerprint (and the whole-design residue unit) —
+    /// the soundness floor of the incremental verification cache: a
+    /// changed device can never hit a stale cached result.
+    #[test]
+    fn device_edit_dirties_owning_ccc_fingerprint(
+        bits in 2u32..4,
+        dev_sel in any::<u64>(),
+        edit_kind in 0u8..4,
+    ) {
+        use cbv_core::cache::fingerprint_design;
+        use cbv_core::extract::Extracted;
+        use cbv_core::recognize::recognize;
+
+        let p = Process::strongarm_035();
+        let mut base = cbv_core::gen::adders::static_ripple_adder(bits, &p).netlist;
+        let mut edited = base.clone();
+        let rec = recognize(&mut base);
+        let before = fingerprint_design(&base, &rec, &Extracted::default());
+
+        let d = cbv_core::netlist::DeviceId((dev_sel % base.devices().len() as u64) as u32);
+        let owner = rec.device_ccc[d.index()].index();
+        match edit_kind {
+            0 => edited.device_mut(d).w *= 1.5,
+            1 => edited.device_mut(d).l *= 2.0,
+            2 => edited.device_mut(d).fingers += 1,
+            _ => {
+                // Connectivity edit: rewire the gate to some other
+                // device's (different) gate net. Channel connectivity is
+                // untouched, so the CCC partition — and the owner index —
+                // is identical in both builds.
+                let current = edited.device(d).gate;
+                let other = edited
+                    .devices()
+                    .iter()
+                    .map(|dd| dd.gate)
+                    .find(|&g| g != current)
+                    .expect("adder has more than one distinct gate net");
+                edited.device_mut(d).gate = other;
+            }
+        }
+        let rec2 = recognize(&mut edited);
+        prop_assert_eq!(rec.cccs.len(), rec2.cccs.len(), "partition is stable");
+        let after = fingerprint_design(&edited, &rec2, &Extracted::default());
+
+        prop_assert!(
+            before.units[owner].content != after.units[owner].content,
+            "edit kind {} on device {:?} must dirty owning CCC {}",
+            edit_kind, d, owner
+        );
+        prop_assert!(
+            before.residue().content != after.residue().content,
+            "any edit must dirty the whole-design residue unit"
+        );
+    }
+
+    /// Content fingerprints are id-invariant: building the same design
+    /// with nets and devices declared in a different order changes every
+    /// id, but the multiset of per-unit content hashes must not move.
+    #[test]
+    fn fingerprints_invariant_under_declaration_order(
+        stages in 2u32..7,
+        widths in proptest::collection::vec(1.0f64..8.0, 8),
+        keys in proptest::collection::vec(any::<u64>(), 8),
+    ) {
+        use cbv_core::cache::fingerprint_design;
+        use cbv_core::extract::Extracted;
+        use cbv_core::recognize::recognize;
+        use cbv_core::netlist::NetId;
+
+        let k = stages as usize;
+        // An inverter chain a -> n1 -> ... -> y, built twice: once in
+        // natural order, once with nets and devices declared in an
+        // argsort-of-random-keys permutation.
+        let build = |order: &[usize]| -> FlatNetlist {
+            let mut f = FlatNetlist::new("chain");
+            let mut net_of = vec![NetId(u32::MAX); k + 1];
+            let mut rails = (NetId(0), NetId(0));
+            // Interleave rail/net creation according to the permutation
+            // so net ids genuinely differ between the two builds.
+            rails.0 = f.add_net("vdd", NetKind::Power);
+            for &i in order {
+                let name = if i == 0 {
+                    "a".to_string()
+                } else if i == k {
+                    "y".to_string()
+                } else {
+                    format!("n{i}")
+                };
+                let kind = if i == 0 {
+                    NetKind::Input
+                } else if i == k {
+                    NetKind::Output
+                } else {
+                    NetKind::Signal
+                };
+                net_of[i] = f.add_net(&name, kind);
+            }
+            rails.1 = f.add_net("gnd", NetKind::Ground);
+            for &i in order.iter().filter(|&&i| i < k) {
+                let w = widths[i % widths.len()] * 1e-6;
+                f.add_device(Device::mos(
+                    MosKind::Pmos,
+                    format!("p{i}"),
+                    net_of[i],
+                    net_of[i + 1],
+                    rails.0,
+                    rails.0,
+                    2.0 * w,
+                    0.35e-6,
+                ));
+                f.add_device(Device::mos(
+                    MosKind::Nmos,
+                    format!("n{i}d"),
+                    net_of[i],
+                    net_of[i + 1],
+                    rails.1,
+                    rails.1,
+                    w,
+                    0.35e-6,
+                ));
+            }
+            f
+        };
+
+        let natural: Vec<usize> = (0..=k).collect();
+        let mut permuted = natural.clone();
+        permuted.sort_by_key(|&i| keys[i % keys.len()].wrapping_add(i as u64));
+
+        let mut a = build(&natural);
+        let mut b = build(&permuted);
+        let ra = recognize(&mut a);
+        let rb = recognize(&mut b);
+        let fa = fingerprint_design(&a, &ra, &Extracted::default());
+        let fb = fingerprint_design(&b, &rb, &Extracted::default());
+
+        let sorted = |f: &cbv_core::cache::DesignFingerprints| {
+            let mut v: Vec<u64> = f.units.iter().map(|u| u.content).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(sorted(&fa), sorted(&fb), "content is declaration-order-free");
+        prop_assert_eq!(fa.residue().content, fb.residue().content);
+    }
+}
