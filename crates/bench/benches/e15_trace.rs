@@ -1,0 +1,36 @@
+//! Criterion bench for E15: the flow with tracing off versus on over
+//! the E13 workload (32-bit manchester domino adder). The two curves
+//! quantify the observability tax directly.
+use cbv_core::flow::{run_flow, FlowConfig};
+use cbv_core::gen::adders::manchester_domino_adder;
+use cbv_core::obs::Tracer;
+use cbv_core::tech::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let process = Process::strongarm_035();
+    let mut g = c.benchmark_group("e15_trace_overhead");
+    g.sample_size(10);
+    for traced in [false, true] {
+        let label = if traced { "traced" } else { "untraced" };
+        g.bench_function(label, |b| {
+            b.iter_with_setup(
+                || {
+                    let config = FlowConfig {
+                        tracer: if traced {
+                            Tracer::collecting().0
+                        } else {
+                            Tracer::disabled()
+                        },
+                        ..FlowConfig::default()
+                    };
+                    (manchester_domino_adder(32, &process).netlist, config)
+                },
+                |(netlist, config)| std::hint::black_box(run_flow(netlist, &process, &config)),
+            )
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

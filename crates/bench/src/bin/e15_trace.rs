@@ -1,0 +1,5 @@
+//! Regenerates experiment e15's waterfall and overhead table (see
+//! DESIGN.md's index).
+fn main() {
+    cbv_bench::e15_trace::print();
+}

@@ -20,6 +20,7 @@ pub mod e11_sizing;
 pub mod e12_coverage;
 pub mod e13_parallel;
 pub mod e14_eco;
+pub mod e15_trace;
 
 /// Prints a uniform experiment header.
 pub fn banner(id: &str, what: &str) {

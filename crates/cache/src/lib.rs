@@ -213,6 +213,7 @@ fn severity_str(s: Severity) -> &'static str {
     match s {
         Severity::Review => "review",
         Severity::Violation => "violation",
+        Severity::ToolError => "tool-error",
     }
 }
 
@@ -220,24 +221,13 @@ fn parse_severity(s: &str) -> Option<Severity> {
     match s {
         "review" => Some(Severity::Review),
         "violation" => Some(Severity::Violation),
+        "tool-error" => Some(Severity::ToolError),
         _ => None,
     }
 }
 
 fn parse_check(s: &str) -> Option<CheckKind> {
-    const ALL: [CheckKind; 10] = [
-        CheckKind::BetaRatio,
-        CheckKind::EdgeRate,
-        CheckKind::Coupling,
-        CheckKind::ChargeShare,
-        CheckKind::Leakage,
-        CheckKind::Writability,
-        CheckKind::Electromigration,
-        CheckKind::Antenna,
-        CheckKind::HotCarrier,
-        CheckKind::Tddb,
-    ];
-    ALL.into_iter().find(|k| k.to_string() == s)
+    CheckKind::ALL.into_iter().find(|k| k.to_string() == s)
 }
 
 fn write_entry(key: &CacheKey, result: &UnitResult, out: &mut String) {
@@ -252,6 +242,7 @@ fn write_entry(key: &CacheKey, result: &UnitResult, out: &mut String) {
         let (skey, sval) = match f.subject {
             Subject::Net(n) => ("net", n.index()),
             Subject::Device(d) => ("dev", d.index()),
+            Subject::Unit(u) => ("unit", u as usize),
         };
         out.push_str(&format!(
             "{{\"check\":\"{}\",\"{}\":{},\"severity\":\"{}\",\"stress\":{},\"message\":",
@@ -313,8 +304,10 @@ fn read_entry(entry: &serde_json::Value) -> Result<(CacheKey, UnitResult), Cache
             Subject::Net(NetId(n as u32))
         } else if let Some(d) = f.get("dev").and_then(|v| v.as_u64()) {
             Subject::Device(DeviceId(d as u32))
+        } else if let Some(u) = f.get("unit").and_then(|v| v.as_u64()) {
+            Subject::Unit(u as u32)
         } else {
-            return Err(CacheFormatError::new("finding lacks net/dev subject"));
+            return Err(CacheFormatError::new("finding lacks net/dev/unit subject"));
         };
         let severity = parse_severity(field_str(f, "severity")?)
             .ok_or_else(|| CacheFormatError::new("unknown severity"))?;
@@ -372,6 +365,14 @@ mod tests {
                     stress: 1.25,
                     message: "beta too low".into(),
                 },
+                // Tool failures round-trip too (NaN stress bit-exactly).
+                Finding {
+                    check: CheckKind::Tool,
+                    subject: Subject::Unit(9),
+                    severity: Severity::ToolError,
+                    stress: f64::NAN,
+                    message: "check edge-rate panicked: boom".into(),
+                },
             ],
             checked: 42,
             filtered: 40,
@@ -420,12 +421,20 @@ mod tests {
         assert_eq!(back.len(), c.len());
         for (k, v) in &c.entries {
             let r = back.get(k).expect("entry survives");
-            assert_eq!(r, v, "payload is bit-exact after round trip");
-            // Stronger than PartialEq on floats: bit patterns match.
-            assert_eq!(
-                r.findings[0].stress.to_bits(),
-                v.findings[0].stress.to_bits()
-            );
+            // Bit-exact comparison finding by finding (PartialEq on the
+            // whole struct would reject the NaN-stress tool error even
+            // though it round-trips exactly).
+            assert_eq!(r.checked, v.checked);
+            assert_eq!(r.filtered, v.filtered);
+            assert_eq!(r.findings.len(), v.findings.len());
+            for (a, b) in r.findings.iter().zip(&v.findings) {
+                assert_eq!(a.check, b.check);
+                assert_eq!(a.subject, b.subject);
+                assert_eq!(a.severity, b.severity);
+                assert_eq!(a.stress.to_bits(), b.stress.to_bits());
+                assert_eq!(a.message, b.message);
+            }
+            assert_eq!(r.arcs, v.arcs);
             assert_eq!(
                 r.arcs[0].min.seconds().to_bits(),
                 v.arcs[0].min.seconds().to_bits()

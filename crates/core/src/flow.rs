@@ -18,9 +18,10 @@ use std::time::{Duration, Instant};
 use cbv_cache::{
     env_fingerprint, fingerprint_design, CacheKey, CacheStats, UnitResult, VerifyCache,
 };
-use cbv_everify::{CheckScope, EverifyConfig};
+use cbv_everify::{CheckKind, CheckScope, EverifyConfig, Finding, Severity, Subject};
 use cbv_exec::Executor;
 use cbv_netlist::FlatNetlist;
+use cbv_obs::{TraceCtx, Tracer};
 use cbv_power::ActivityModel;
 use cbv_recognize::Recognition;
 use cbv_tech::{Process, Seconds, Tolerance};
@@ -50,6 +51,11 @@ pub struct FlowConfig {
     /// graph build). `0` = auto: honour `CBV_THREADS`, else machine
     /// parallelism. Results are identical at every thread count.
     pub parallelism: usize,
+    /// Observability: a [`Tracer`] receiving one span per stage (plus
+    /// per-check / per-unit / per-chunk child spans from the parallel
+    /// stages) and the flow's counters and gauges. Disabled by default;
+    /// the flow's outputs are byte-identical either way.
+    pub tracer: Tracer,
 }
 
 impl Default for FlowConfig {
@@ -61,6 +67,7 @@ impl Default for FlowConfig {
             activity: 0.15,
             check_drc: false,
             parallelism: 0,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -82,6 +89,9 @@ pub struct StageReport {
     /// Cache hit/miss tally, present only for the cached stages of
     /// [`run_flow_incremental`].
     pub cache: Option<CacheStats>,
+    /// Id of this stage's span in the flow's trace (`None` when the
+    /// configured tracer is disabled).
+    pub span_id: Option<u64>,
 }
 
 /// The full flow result.
@@ -114,42 +124,63 @@ impl FlowReport {
     }
 }
 
-/// Times one stage. The closure reports `(value, artifacts, cpu)`; `cpu`
-/// is the aggregate worker busy time for parallel stages, or `None` for
-/// serial stages (cpu time == wall time).
+/// Times one stage under one span of the flow's trace. The closure
+/// receives a [`TraceCtx`] positioned at the stage's span (so parallel
+/// inner work can attach child spans) and reports `(value, artifacts,
+/// cpu)`; `cpu` is the aggregate worker busy time for parallel stages,
+/// or `None` for serial stages (cpu time == wall time).
 fn timed<T>(
     stages: &mut Vec<StageReport>,
+    flow: TraceCtx<'_>,
     stage: &'static str,
-    f: impl FnOnce() -> (T, usize, Option<Duration>),
+    f: impl FnOnce(TraceCtx<'_>) -> (T, usize, Option<Duration>),
 ) -> T {
+    let span = flow.tracer.span_in(flow.parent, stage);
+    let span_id = span.id();
+    let ctx = TraceCtx {
+        tracer: flow.tracer,
+        parent: span_id,
+    };
     let start = Instant::now();
-    let (value, artifacts, cpu) = f();
+    let (value, artifacts, cpu) = f(ctx);
     let runtime = Seconds::new(start.elapsed().as_secs_f64());
+    drop(span);
     stages.push(StageReport {
         stage,
         runtime,
         cpu_time: cpu.map_or(runtime, |d| Seconds::new(d.as_secs_f64())),
         artifacts,
         cache: None,
+        span_id,
     });
     value
 }
 
 /// Runs the complete verification flow over a transistor netlist.
+///
+/// With an enabled [`FlowConfig::tracer`] the run emits a `flow` root
+/// span with one child span per stage ([`StageReport::span_id`]),
+/// per-check spans inside `everify`, per-CCC-chunk spans inside
+/// `timing`, the per-check finding counters, and busy-time gauges; the
+/// tracer is flushed before returning. The signoff and report are
+/// byte-identical whether tracing is enabled or not.
 pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig) -> FlowReport {
     let mut stages = Vec::new();
     let mut drc_violations = 0usize;
     let exec = Executor::threads(config.parallelism);
+    let tracer = &config.tracer;
+    let root = tracer.span("flow");
+    let flow = TraceCtx::under(tracer, &root);
 
     // 1. Circuit recognition (§2.3).
-    let recognition = timed(&mut stages, "recognize", || {
+    let recognition = timed(&mut stages, flow, "recognize", |_| {
         let r = cbv_recognize::recognize(&mut netlist);
         let n = r.cccs.len();
         (r, n, None)
     });
 
     // 2. Layout assistance (§2.2).
-    let layout = timed(&mut stages, "layout", || {
+    let layout = timed(&mut stages, flow, "layout", |_| {
         let l = cbv_layout::synthesize(&mut netlist, process);
         let n = l.shapes.len();
         (l, n, None)
@@ -158,7 +189,7 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     // 2b. Optional geometric DRC over the assisted layout.
     if config.check_drc {
         let rules = cbv_layout::Rules::for_process(process);
-        let violations = timed(&mut stages, "drc", || {
+        let violations = timed(&mut stages, flow, "drc", |_| {
             let v = cbv_layout::check_drc(&layout, &netlist, &rules, 10_000);
             let n = v.len();
             (v, n, None)
@@ -167,26 +198,28 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     }
 
     // 3. Extraction (§4.3 inputs).
-    let extracted = timed(&mut stages, "extract", || {
+    let extracted = timed(&mut stages, flow, "extract", |_| {
         let e = cbv_extract::extract(&layout, &netlist, process);
         let n = e.iter().count();
         (e, n, None)
     });
 
     // 4. Electrical verification battery (§4.2), checks fanned out
-    // across the executor's workers.
+    // across the executor's workers — one `check:<kind>` span each, a
+    // panicking check isolated into a ToolError finding.
     let mut everify_cfg = EverifyConfig::for_process(process);
     everify_cfg.tolerance = config.tolerance;
-    let ereport = timed(&mut stages, "everify", || {
-        let (r, busy) = cbv_everify::run_all_parallel(
+    let ereport = timed(&mut stages, flow, "everify", |ctx| {
+        let checks = cbv_everify::battery(
             &netlist,
             &recognition,
             &extracted,
             Some(&layout),
             process,
             &everify_cfg,
-            &exec,
         );
+        let (r, busy) = cbv_everify::run_battery(checks, everify_cfg.filter_threshold, &exec, ctx);
+        ctx.tracer.gauge("everify.busy_s", busy.as_secs_f64());
         let n = r.checked_count();
         (r, n, Some(busy))
     });
@@ -201,13 +234,14 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
         ClockSchedule::single(name, process.f_target().period())
     });
     let calc = DelayCalc::new(process, config.tolerance, config.pessimism);
-    let (sta, n_constraints) = timed(&mut stages, "timing", || {
-        let (graph, graph_busy) = cbv_timing::graph::build_graph_parallel(
+    let (sta, n_constraints) = timed(&mut stages, flow, "timing", |ctx| {
+        let (graph, graph_busy) = cbv_timing::graph::build_graph_traced(
             &netlist,
             &recognition,
             &extracted,
             &calc,
             &exec,
+            ctx,
         );
         let serial_start = Instant::now();
         let constraints =
@@ -224,14 +258,23 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
                 )
             })
             .collect();
-        let r = cbv_timing::analyze(
-            &netlist,
-            &graph,
-            &constraints,
-            &schedule,
-            &config.pessimism,
-            &skews,
-        );
+        let r = {
+            let _sta_span = ctx.span("sta");
+            cbv_timing::analyze(
+                &netlist,
+                &graph,
+                &constraints,
+                &schedule,
+                &config.pessimism,
+                &skews,
+            )
+        };
+        ctx.tracer
+            .add("timing.constraints", constraints.len() as u64);
+        ctx.tracer
+            .add("timing.violations", r.violations.len() as u64);
+        ctx.tracer
+            .gauge("timing.graph_busy_s", graph_busy.as_secs_f64());
         let n = constraints.len();
         // Stage compute = parallel graph build (all workers) + the
         // serial constraint/skew/propagation remainder.
@@ -240,7 +283,7 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     });
 
     // 6. Power estimation (§3).
-    let power = timed(&mut stages, "power", || {
+    let power = timed(&mut stages, flow, "power", |_| {
         let p = cbv_power::dynamic_power(
             &netlist,
             &recognition,
@@ -259,6 +302,9 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     signoff.add_everify(&ereport);
     signoff.add_timing(&sta, n_constraints);
     signoff.set_power(power.total());
+
+    drop(root);
+    tracer.flush();
 
     FlowReport {
         stages,
@@ -295,28 +341,31 @@ pub fn run_flow_incremental(
     let mut stages = Vec::new();
     let mut drc_violations = 0usize;
     let exec = Executor::threads(config.parallelism);
+    let tracer = &config.tracer;
+    let root = tracer.span("flow");
+    let flow = TraceCtx::under(tracer, &root);
 
     // 1–3. Recognition, layout, extraction: identical to the cold flow.
-    let recognition = timed(&mut stages, "recognize", || {
+    let recognition = timed(&mut stages, flow, "recognize", |_| {
         let r = cbv_recognize::recognize(&mut netlist);
         let n = r.cccs.len();
         (r, n, None)
     });
-    let layout = timed(&mut stages, "layout", || {
+    let layout = timed(&mut stages, flow, "layout", |_| {
         let l = cbv_layout::synthesize(&mut netlist, process);
         let n = l.shapes.len();
         (l, n, None)
     });
     if config.check_drc {
         let rules = cbv_layout::Rules::for_process(process);
-        let violations = timed(&mut stages, "drc", || {
+        let violations = timed(&mut stages, flow, "drc", |_| {
             let v = cbv_layout::check_drc(&layout, &netlist, &rules, 10_000);
             let n = v.len();
             (v, n, None)
         });
         drc_violations = violations.len();
     }
-    let extracted = timed(&mut stages, "extract", || {
+    let extracted = timed(&mut stages, flow, "extract", |_| {
         let e = cbv_extract::extract(&layout, &netlist, process);
         let n = e.iter().count();
         (e, n, None)
@@ -327,7 +376,7 @@ pub fn run_flow_incremental(
 
     // 4. Fingerprint every unit and compute the dirty closure.
     let n_cccs = recognition.cccs.len();
-    let (env, fps, dirty) = timed(&mut stages, "fingerprint", || {
+    let (env, fps, dirty) = timed(&mut stages, flow, "fingerprint", |_| {
         let env = env_fingerprint(process, &config.tolerance, &config.pessimism, &everify_cfg);
         let fps = fingerprint_design(&netlist, &recognition, &extracted);
         let mut dirty: Vec<bool> = fps
@@ -358,7 +407,9 @@ pub fn run_flow_incremental(
 
     // 5. Electrical battery (§4.2): re-verify dirty units in parallel,
     // replay the rest from cache. `per_unit` accumulates every unit's
-    // payload in fixed unit order; timing arcs are filled in below.
+    // payload in fixed unit order; timing arcs are filled in below. A
+    // unit whose battery panics is isolated into a ToolError finding
+    // naming it and marked *poisoned* — reported, but never cached.
     let scopes = CheckScope::partition(&netlist, &recognition);
     debug_assert_eq!(scopes.len(), fps.units.len());
     let dirty_units: Vec<usize> = (0..scopes.len()).filter(|&i| dirty[i]).collect();
@@ -366,28 +417,51 @@ pub fn run_flow_incremental(
         hits: scopes.len() - dirty_units.len(),
         misses: dirty_units.len(),
     };
-    let (ereport, mut per_unit) = timed(&mut stages, "everify", || {
-        let (fresh, busy) = exec.map_timed(dirty_units.clone(), |i| {
-            cbv_everify::run_scoped(
-                &netlist,
-                &recognition,
-                &extracted,
-                Some(&layout),
-                process,
-                &everify_cfg,
-                &scopes[i],
-            )
-        });
+    let mut poisoned = vec![false; scopes.len()];
+    let (ereport, mut per_unit) = timed(&mut stages, flow, "everify", |ctx| {
+        let (fresh, busy) = exec.try_map_traced(
+            ctx,
+            dirty_units.clone(),
+            |i| {
+                cbv_everify::run_scoped(
+                    &netlist,
+                    &recognition,
+                    &extracted,
+                    Some(&layout),
+                    process,
+                    &everify_cfg,
+                    &scopes[i],
+                )
+            },
+            |k| format!("unit:{}", dirty_units[k]),
+        );
+        ctx.tracer.gauge("everify.busy_s", busy.as_secs_f64());
         let mut fresh = fresh.into_iter();
         let per_unit: Vec<UnitResult> = (0..scopes.len())
             .map(|i| {
                 if dirty[i] {
-                    let r = fresh.next().expect("one report per dirty unit");
-                    UnitResult {
-                        findings: r.raw_findings().to_vec(),
-                        checked: r.checked_count(),
-                        filtered: r.filtered_count(),
-                        arcs: Vec::new(),
+                    match fresh.next().expect("one result per dirty unit") {
+                        Ok(r) => UnitResult {
+                            findings: r.raw_findings().to_vec(),
+                            checked: r.checked_count(),
+                            filtered: r.filtered_count(),
+                            arcs: Vec::new(),
+                        },
+                        Err(p) => {
+                            poisoned[i] = true;
+                            UnitResult {
+                                findings: vec![Finding {
+                                    check: CheckKind::Tool,
+                                    subject: Subject::Unit(i as u32),
+                                    severity: Severity::ToolError,
+                                    stress: f64::INFINITY,
+                                    message: format!("everify unit {i} panicked: {}", p.message),
+                                }],
+                                checked: 0,
+                                filtered: 0,
+                                arcs: Vec::new(),
+                            }
+                        }
                     }
                 } else {
                     cache
@@ -407,6 +481,9 @@ pub fn run_flow_incremental(
         ((merged, per_unit), n, Some(busy))
     });
     stages.last_mut().expect("everify stage").cache = Some(everify_stats);
+    tracer.add("cache.everify.hits", everify_stats.hits as u64);
+    tracer.add("cache.everify.misses", everify_stats.misses as u64);
+    tracer.add("fingerprint.dirty_units", dirty_units.len() as u64);
 
     // 6. Timing (§4.3): recompute arcs for dirty CCCs only, splice the
     // cached arcs back in CCC index order — reproducing the cold graph's
@@ -425,15 +502,36 @@ pub fn run_flow_incremental(
         hits: n_cccs - dirty_cccs.len(),
         misses: dirty_cccs.len(),
     };
-    let (sta, n_constraints) = timed(&mut stages, "timing", || {
-        let (fresh_arcs, graph_busy) = exec.map_timed(dirty_cccs.clone(), |i| {
-            cbv_timing::graph::ccc_arcs(&netlist, &recognition, &extracted, &calc, i)
-        });
+    // Arc computations that panicked: the CCC's arcs are dropped (its
+    // timing is unverified), the unit is poisoned, and a ToolError
+    // finding is merged into the everify report so signoff cannot be
+    // clean.
+    let mut timing_panics: Vec<Finding> = Vec::new();
+    let (sta, n_constraints) = timed(&mut stages, flow, "timing", |ctx| {
+        let (fresh_arcs, graph_busy) = exec.try_map_traced(
+            ctx,
+            dirty_cccs.clone(),
+            |i| cbv_timing::graph::ccc_arcs(&netlist, &recognition, &extracted, &calc, i),
+            |k| format!("arcs:{}", dirty_cccs[k]),
+        );
         let serial_start = Instant::now();
         let mut fresh_arcs = fresh_arcs.into_iter();
         for (i, unit) in per_unit.iter_mut().take(n_cccs).enumerate() {
             if dirty[i] {
-                unit.arcs = fresh_arcs.next().expect("one arc set per dirty CCC");
+                match fresh_arcs.next().expect("one arc set per dirty CCC") {
+                    Ok(arcs) => unit.arcs = arcs,
+                    Err(p) => {
+                        poisoned[i] = true;
+                        unit.arcs = Vec::new();
+                        timing_panics.push(Finding {
+                            check: CheckKind::Tool,
+                            subject: Subject::Unit(i as u32),
+                            severity: Severity::ToolError,
+                            stress: f64::INFINITY,
+                            message: format!("timing arcs for CCC {i} panicked: {}", p.message),
+                        });
+                    }
+                }
             }
         }
         let arcs: Vec<cbv_timing::Arc> = per_unit
@@ -457,24 +555,38 @@ pub fn run_flow_incremental(
                 )
             })
             .collect();
-        let r = cbv_timing::analyze(
-            &netlist,
-            &graph,
-            &constraints,
-            &schedule,
-            &config.pessimism,
-            &skews,
-        );
+        let r = {
+            let _sta_span = ctx.span("sta");
+            cbv_timing::analyze(
+                &netlist,
+                &graph,
+                &constraints,
+                &schedule,
+                &config.pessimism,
+                &skews,
+            )
+        };
+        ctx.tracer.add("timing.arcs", n_arcs as u64);
+        ctx.tracer
+            .add("timing.constraints", constraints.len() as u64);
+        ctx.tracer
+            .add("timing.violations", r.violations.len() as u64);
+        ctx.tracer
+            .gauge("timing.graph_busy_s", graph_busy.as_secs_f64());
         let n = constraints.len();
         let cpu = graph_busy + serial_start.elapsed();
         ((r, n), n_arcs, Some(cpu))
     });
     stages.last_mut().expect("timing stage").cache = Some(timing_stats);
+    tracer.add("cache.timing.hits", timing_stats.hits as u64);
+    tracer.add("cache.timing.misses", timing_stats.misses as u64);
 
     // Prime the cache with the re-verified units, now that both their
-    // findings and arcs are known.
+    // findings and arcs are known. Poisoned units (battery or arc panic)
+    // are *not* cached: their stored payload would be the failure
+    // artifact, and a later run must re-attempt them.
     for i in 0..per_unit.len() {
-        if dirty[i] {
+        if dirty[i] && !poisoned[i] {
             cache.insert(
                 CacheKey::new(env, fps.units[i]),
                 std::mem::take(&mut per_unit[i]),
@@ -483,7 +595,7 @@ pub fn run_flow_incremental(
     }
 
     // 7. Power estimation (§3) — cheap, always recomputed.
-    let power = timed(&mut stages, "power", || {
+    let power = timed(&mut stages, flow, "power", |_| {
         let p = cbv_power::dynamic_power(
             &netlist,
             &recognition,
@@ -495,6 +607,17 @@ pub fn run_flow_incremental(
         (p, 1, None)
     });
 
+    let mut ereport = ereport;
+    if !timing_panics.is_empty() {
+        ereport.merge(cbv_everify::Report::from_parts(
+            everify_cfg.filter_threshold,
+            timing_panics,
+            0,
+            0,
+        ));
+    }
+    cbv_everify::finding_counters(&ereport, flow);
+
     let mut signoff = Signoff::default();
     if config.check_drc {
         signoff.add_drc(drc_violations);
@@ -502,6 +625,9 @@ pub fn run_flow_incremental(
     signoff.add_everify(&ereport);
     signoff.add_timing(&sta, n_constraints);
     signoff.set_power(power.total());
+
+    drop(root);
+    tracer.flush();
 
     FlowReport {
         stages,

@@ -75,5 +75,8 @@ pub use cbv_exec as exec;
 /// The content-fingerprinted verification cache (incremental flow).
 pub use cbv_cache as cache;
 
+/// Structured tracing and metrics (spans, counters, waterfall render).
+pub use cbv_obs as obs;
+
 /// Synthetic design generators and fault injectors.
 pub use cbv_gen as gen;

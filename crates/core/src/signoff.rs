@@ -83,9 +83,11 @@ impl Signoff {
                 .iter()
                 .filter(|f| f.severity == Severity::Review)
                 .count(),
+            // ToolError findings (panicked checks, NaN stresses) count
+            // as violations: an *unverified* unit is never clean.
             violations: findings
                 .iter()
-                .filter(|f| f.severity == Severity::Violation)
+                .filter(|f| f.severity >= Severity::Violation)
                 .count(),
         });
     }

@@ -45,6 +45,8 @@ pub use report::{CheckKind, Finding, Report, Severity, Subject};
 use std::time::Duration;
 
 use cbv_exec::Executor;
+use cbv_obs::TraceCtx;
+
 use cbv_extract::Extracted;
 use cbv_layout::Layout;
 use cbv_netlist::{DeviceId, FlatNetlist, NetId};
@@ -274,11 +276,140 @@ pub fn run_all(
     .0
 }
 
+/// One named check of the §4.2 battery, packaged so executors and
+/// tracers can see *which* check a task is before running it.
+pub struct BatteryCheck<'a> {
+    /// The check this task runs (names its span and counters).
+    pub kind: CheckKind,
+    run: Box<dyn Fn(&mut Report) + Send + Sync + 'a>,
+}
+
+impl<'a> BatteryCheck<'a> {
+    /// Packages a check body under its kind.
+    pub fn new(kind: CheckKind, run: impl Fn(&mut Report) + Send + Sync + 'a) -> BatteryCheck<'a> {
+        BatteryCheck {
+            kind,
+            run: Box::new(run),
+        }
+    }
+
+    /// Runs the check into `report`.
+    pub fn run(&self, report: &mut Report) {
+        (self.run)(report)
+    }
+}
+
+/// The full battery in the paper's fixed check order (antenna only when
+/// a layout is present). Feed this to [`run_battery`].
+pub fn battery<'a>(
+    netlist: &'a FlatNetlist,
+    recognition: &'a Recognition,
+    extracted: &'a Extracted,
+    layout: Option<&'a Layout>,
+    process: &'a Process,
+    config: &'a EverifyConfig,
+) -> Vec<BatteryCheck<'a>> {
+    let mut checks: Vec<BatteryCheck<'a>> = vec![
+        BatteryCheck::new(CheckKind::BetaRatio, |r| {
+            beta::check(netlist, recognition, process, config, r)
+        }),
+        BatteryCheck::new(CheckKind::EdgeRate, |r| {
+            edges::check(netlist, recognition, extracted, process, config, r)
+        }),
+        BatteryCheck::new(CheckKind::Coupling, |r| {
+            coupling::check(netlist, recognition, extracted, process, config, r)
+        }),
+        BatteryCheck::new(CheckKind::ChargeShare, |r| {
+            charge::check(netlist, recognition, process, config, r)
+        }),
+        BatteryCheck::new(CheckKind::Leakage, |r| {
+            leakage::check(netlist, recognition, extracted, process, config, r)
+        }),
+        BatteryCheck::new(CheckKind::Writability, |r| {
+            latch::check(netlist, recognition, process, config, r)
+        }),
+        BatteryCheck::new(CheckKind::Electromigration, |r| {
+            em::check(netlist, recognition, extracted, process, config, r)
+        }),
+    ];
+    if let Some(layout) = layout {
+        checks.push(BatteryCheck::new(CheckKind::Antenna, move |r| {
+            antenna::check(netlist, layout, config, r)
+        }));
+    }
+    checks.push(BatteryCheck::new(CheckKind::HotCarrier, |r| {
+        stress::check(netlist, process, config, r)
+    }));
+    checks
+}
+
+/// Runs a battery with the checks fanned out across `exec`'s workers,
+/// each writing into its own [`Report`]; the per-check reports merge in
+/// the battery's fixed order, so the result is identical to a serial
+/// run regardless of worker count. Also returns the aggregate busy time
+/// summed over workers.
+///
+/// Robustness and observability:
+///
+/// * a panicking check is *isolated* ([`cbv_exec::TaskPanic`]) and
+///   surfaces as a [`Severity::ToolError`] finding naming the check, at
+///   the position its findings would have occupied — every other check
+///   still completes and the merged report stays deterministic;
+/// * with an enabled tracer, each check gets a `check:<kind>` span
+///   under `ctx`, and the merged report's per-check finding counts land
+///   in `everify.findings.<kind>` counters (plus `everify.checked` /
+///   `everify.filtered` totals).
+pub fn run_battery(
+    checks: Vec<BatteryCheck<'_>>,
+    filter_threshold: f64,
+    exec: &Executor,
+    ctx: TraceCtx<'_>,
+) -> (Report, Duration) {
+    let kinds: Vec<CheckKind> = checks.iter().map(|c| c.kind).collect();
+    let (reports, busy) = exec.try_map_traced(
+        ctx,
+        checks,
+        |check| {
+            let mut report = Report::new(filter_threshold);
+            check.run(&mut report);
+            report
+        },
+        |i| format!("check:{}", kinds[i]),
+    );
+    let mut merged = Report::new(filter_threshold);
+    for (i, result) in reports.into_iter().enumerate() {
+        match result {
+            Ok(report) => merged.merge(report),
+            Err(panic) => merged.tool_error(
+                kinds[i],
+                i as u32,
+                format!("check {} panicked: {}", kinds[i], panic.message),
+            ),
+        }
+    }
+    finding_counters(&merged, ctx);
+    (merged, busy)
+}
+
+/// Emits a report's per-check finding counts (`everify.findings.<kind>`
+/// for every [`CheckKind`]) plus `everify.checked` / `everify.filtered`
+/// totals into `ctx`'s tracer. No-op when tracing is disabled.
+pub fn finding_counters(report: &Report, ctx: TraceCtx<'_>) {
+    if !ctx.is_enabled() {
+        return;
+    }
+    for kind in CheckKind::ALL {
+        let count = report.of_check(kind).count() as u64;
+        ctx.tracer.add(&format!("everify.findings.{kind}"), count);
+    }
+    ctx.tracer
+        .add("everify.checked", report.checked_count() as u64);
+    ctx.tracer
+        .add("everify.filtered", report.filtered_count() as u64);
+}
+
 /// Runs the battery with the nine checks fanned out across `exec`'s
-/// workers, each writing into its own [`Report`]; the per-check reports
-/// are merged in the fixed check order of the paper's list, so the
-/// result is identical to a serial run regardless of worker count. Also
-/// returns the aggregate busy time summed over workers.
+/// workers — [`run_battery`] over [`battery`] without tracing.
 ///
 /// Every input is shared read-only — the netlist's connectivity index is
 /// maintained incrementally, so no check needs `&mut FlatNetlist`.
@@ -291,32 +422,8 @@ pub fn run_all_parallel(
     config: &EverifyConfig,
     exec: &Executor,
 ) -> (Report, Duration) {
-    type Check<'a> = Box<dyn Fn(&mut Report) + Send + Sync + 'a>;
-    let mut checks: Vec<Check<'_>> = vec![
-        Box::new(|r| beta::check(netlist, recognition, process, config, r)),
-        Box::new(|r| edges::check(netlist, recognition, extracted, process, config, r)),
-        Box::new(|r| coupling::check(netlist, recognition, extracted, process, config, r)),
-        Box::new(|r| charge::check(netlist, recognition, process, config, r)),
-        Box::new(|r| leakage::check(netlist, recognition, extracted, process, config, r)),
-        Box::new(|r| latch::check(netlist, recognition, process, config, r)),
-        Box::new(|r| em::check(netlist, recognition, extracted, process, config, r)),
-    ];
-    if let Some(layout) = layout {
-        checks.push(Box::new(move |r| {
-            antenna::check(netlist, layout, config, r)
-        }));
-    }
-    checks.push(Box::new(|r| stress::check(netlist, process, config, r)));
-    let (reports, busy) = exec.map_timed(checks, |check| {
-        let mut report = Report::new(config.filter_threshold);
-        check(&mut report);
-        report
-    });
-    let mut merged = Report::new(config.filter_threshold);
-    for report in reports {
-        merged.merge(report);
-    }
-    (merged, busy)
+    let checks = battery(netlist, recognition, extracted, layout, process, config);
+    run_battery(checks, config.filter_threshold, exec, TraceCtx::disabled())
 }
 
 #[cfg(test)]
@@ -499,6 +606,78 @@ mod tests {
         };
         assert_eq!(key(&whole), key(&merged));
         assert!(whole.checked_count() > 10, "battery exercised");
+    }
+
+    /// A deliberately-panicking check must not take down the battery:
+    /// every other check completes, and the panic surfaces as a
+    /// `ToolError` finding naming the check — deterministically, at any
+    /// worker count.
+    #[test]
+    fn panicking_check_becomes_tool_error_finding() {
+        let mut f = FlatNetlist::new("inv");
+        let process = Process::strongarm_035();
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        let a = f.add_net("a", NetKind::Input);
+        let y = f.add_net("y", NetKind::Output);
+        f.add_device(Device::mos(
+            MosKind::Pmos,
+            "p",
+            a,
+            y,
+            vdd,
+            vdd,
+            5.6e-6,
+            0.35e-6,
+        ));
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "n",
+            a,
+            y,
+            gnd,
+            gnd,
+            2.4e-6,
+            0.35e-6,
+        ));
+        let layout = synthesize(&mut f, &process);
+        let ex = cbv_extract::extract(&layout, &f, &process);
+        let rec = recognize(&mut f);
+        let cfg = EverifyConfig::for_process(&process);
+        let clean = run_all(&f, &rec, &ex, Some(&layout), &process, &cfg);
+
+        let mut keys = Vec::new();
+        for threads in [1, 2, 8] {
+            let mut checks = battery(&f, &rec, &ex, Some(&layout), &process, &cfg);
+            checks.insert(
+                3,
+                BatteryCheck::new(CheckKind::Tool, |_| panic!("injected tool failure")),
+            );
+            let (report, _busy) = run_battery(
+                checks,
+                cfg.filter_threshold,
+                &Executor::threads(threads),
+                cbv_obs::TraceCtx::disabled(),
+            );
+            // Every real check still ran.
+            assert_eq!(report.checked_count(), clean.checked_count());
+            let errors: Vec<_> = report.tool_errors().collect();
+            assert_eq!(errors.len(), 1, "exactly one tool error");
+            assert_eq!(errors[0].subject, Subject::Unit(3));
+            assert!(
+                errors[0].message.contains("injected tool failure"),
+                "{}",
+                errors[0].message
+            );
+            let key: Vec<String> = report
+                .raw_findings()
+                .iter()
+                .map(|f| format!("{:?}|{:?}|{}", f.check, f.subject, f.message))
+                .collect();
+            keys.push(key);
+        }
+        assert_eq!(keys[0], keys[1], "1 vs 2 threads");
+        assert_eq!(keys[0], keys[2], "1 vs 8 threads");
     }
 
     /// A full scope behaves exactly like run_all through run_scoped.

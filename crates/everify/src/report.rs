@@ -40,6 +40,28 @@ pub enum CheckKind {
     HotCarrier,
     /// Time-dependent dielectric breakdown.
     Tddb,
+    /// Not a design check: a verification *tool* failed (panicked or
+    /// produced NaN), so the covered unit is unverified and must be
+    /// reviewed.
+    Tool,
+}
+
+impl CheckKind {
+    /// Every check kind, in declaration order — the canonical iteration
+    /// order for per-check counters and serialization.
+    pub const ALL: [CheckKind; 11] = [
+        CheckKind::BetaRatio,
+        CheckKind::EdgeRate,
+        CheckKind::Coupling,
+        CheckKind::ChargeShare,
+        CheckKind::Leakage,
+        CheckKind::Writability,
+        CheckKind::Electromigration,
+        CheckKind::Antenna,
+        CheckKind::HotCarrier,
+        CheckKind::Tddb,
+        CheckKind::Tool,
+    ];
 }
 
 impl fmt::Display for CheckKind {
@@ -55,6 +77,7 @@ impl fmt::Display for CheckKind {
             CheckKind::Antenna => "antenna",
             CheckKind::HotCarrier => "hot-carrier",
             CheckKind::Tddb => "tddb",
+            CheckKind::Tool => "tool",
         };
         f.write_str(s)
     }
@@ -67,6 +90,9 @@ pub enum Subject {
     Net(NetId),
     /// A device.
     Device(DeviceId),
+    /// A verification scope unit (CCC partition index) — used when the
+    /// failure is the tool's, not a particular net's or device's.
+    Unit(u32),
 }
 
 /// How serious a reported finding is.
@@ -76,6 +102,10 @@ pub enum Severity {
     Review,
     /// Over the limit.
     Violation,
+    /// The check itself failed (panic, NaN): the subject is
+    /// *unverified*. Ordered above `Violation` — an unverified unit is
+    /// never signoff-clean.
+    ToolError,
 }
 
 /// One reported finding.
@@ -120,7 +150,11 @@ impl Report {
     }
 
     /// Records one measurement against its limit. Findings comfortably
-    /// inside the limit are filtered (counted only).
+    /// inside the limit are filtered (counted only). Infinite stress is
+    /// filtered too (a zero limit means "not applicable"), but a *NaN*
+    /// stress is a broken calculation — the subject is unverified, so it
+    /// surfaces as a [`Severity::ToolError`] finding rather than
+    /// silently passing.
     pub fn record(
         &mut self,
         check: CheckKind,
@@ -129,6 +163,16 @@ impl Report {
         message: impl FnOnce() -> String,
     ) {
         self.checked += 1;
+        if stress.is_nan() {
+            self.findings.push(Finding {
+                check,
+                subject,
+                severity: Severity::ToolError,
+                stress: f64::NAN,
+                message: format!("{check} produced NaN stress: {}", message()),
+            });
+            return;
+        }
         if !stress.is_finite() || stress < self.threshold {
             self.filtered += 1;
             return;
@@ -147,13 +191,29 @@ impl Report {
         });
     }
 
-    /// All surviving findings, violations first, highest stress first.
+    /// Records that a check *itself* failed over some scope unit — the
+    /// unit is unverified, which is never signoff-clean. Unlike
+    /// [`Report::record`] this does not bump the checked count: nothing
+    /// was actually examined.
+    pub fn tool_error(&mut self, check: CheckKind, unit: u32, message: impl Into<String>) {
+        self.findings.push(Finding {
+            check,
+            subject: Subject::Unit(unit),
+            severity: Severity::ToolError,
+            stress: f64::INFINITY,
+            message: message.into(),
+        });
+    }
+
+    /// All surviving findings, most severe first, highest stress first.
+    /// NaN stresses (tool errors) sort via [`f64::total_cmp`] — above
+    /// `+inf`, never a panic.
     pub fn findings(&self) -> Vec<&Finding> {
         let mut v: Vec<&Finding> = self.findings.iter().collect();
         v.sort_by(|a, b| {
             b.severity
                 .cmp(&a.severity)
-                .then(b.stress.partial_cmp(&a.stress).expect("finite stress"))
+                .then(b.stress.total_cmp(&a.stress))
         });
         v
     }
@@ -170,6 +230,13 @@ impl Report {
         self.findings
             .iter()
             .filter(|f| f.severity == Severity::Review)
+    }
+
+    /// Only the tool errors (panicked checks, NaN stresses).
+    pub fn tool_errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::ToolError)
     }
 
     /// Findings from one check.
@@ -271,7 +338,7 @@ mod tests {
     }
 
     #[test]
-    fn nan_is_filtered_not_crashing() {
+    fn nan_surfaces_as_tool_error_not_crash_or_silence() {
         let mut r = Report::new(0.6);
         r.record(
             CheckKind::EdgeRate,
@@ -279,8 +346,56 @@ mod tests {
             f64::NAN,
             || "x".into(),
         );
+        // A NaN stress means the calculation broke: it must neither
+        // panic nor silently pass as "filtered".
+        assert_eq!(r.filtered_count(), 0);
+        assert_eq!(r.tool_errors().count(), 1);
+        let f = r.findings();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::ToolError);
+        assert!(f[0].message.contains("NaN"), "{}", f[0].message);
+        // +inf still means "no limit applies" and stays filtered.
+        let mut r = Report::new(0.6);
+        r.record(
+            CheckKind::EdgeRate,
+            Subject::Net(NetId(1)),
+            f64::INFINITY,
+            || "y".into(),
+        );
         assert_eq!(r.filtered_count(), 1);
         assert!(r.findings().is_empty());
+    }
+
+    #[test]
+    fn nan_stress_sorts_without_panicking() {
+        let mut r = Report::new(0.5);
+        r.record(CheckKind::Leakage, Subject::Net(NetId(1)), f64::NAN, || {
+            "nan".into()
+        });
+        r.record(CheckKind::Leakage, Subject::Net(NetId(2)), 2.0, || {
+            "v".into()
+        });
+        r.record(CheckKind::Leakage, Subject::Net(NetId(3)), 0.9, || {
+            "rev".into()
+        });
+        let f = r.findings();
+        assert_eq!(f.len(), 3);
+        // ToolError outranks Violation outranks Review.
+        assert_eq!(f[0].message, "leakage produced NaN stress: nan");
+        assert_eq!(f[1].message, "v");
+        assert_eq!(f[2].message, "rev");
+    }
+
+    #[test]
+    fn tool_error_names_the_unit() {
+        let mut r = Report::new(0.6);
+        r.tool_error(CheckKind::Tool, 7, "unit 7 panicked: boom");
+        assert_eq!(r.checked_count(), 0);
+        let f = r.findings();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].subject, Subject::Unit(7));
+        assert_eq!(f[0].severity, Severity::ToolError);
+        assert!(Severity::ToolError > Severity::Violation);
     }
 
     #[test]

@@ -20,12 +20,47 @@
 //!   environment variable; [`Executor::threads`] pins a count
 //!   programmatically (the `FlowConfig::parallelism` knob feeds this).
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use cbv_obs::TraceCtx;
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "CBV_THREADS";
+
+/// A task handed to [`Executor::try_map_timed`] panicked. Carries the
+/// task's input index and the panic message so callers can convert the
+/// failure into a reviewable finding that *names the unit* instead of
+/// letting one bad check take down the whole battery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the panicking item in the input `Vec`.
+    pub task: usize,
+    /// Best-effort panic payload rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// A bounded scoped-thread worker pool.
 ///
@@ -93,14 +128,98 @@ impl Executor {
         T: Send,
         F: Fn(I) -> T + Sync,
     {
+        self.map_traced(TraceCtx::disabled(), items, f, |_| String::new())
+    }
+
+    /// [`map_timed`](Executor::map_timed) with per-task tracing: each
+    /// task gets a span named by `label(index)` under `ctx`'s parent, so
+    /// queue skew across workers is visible in the trace. `label` is
+    /// only invoked when the tracer is enabled — untraced runs pay
+    /// nothing for it. A panicking task re-panics *after* all workers
+    /// drain, with the [`TaskPanic`] message; use
+    /// [`try_map_traced`](Executor::try_map_traced) to convert panics
+    /// into values instead.
+    pub fn map_traced<I, T, F, L>(
+        &self,
+        ctx: TraceCtx<'_>,
+        items: Vec<I>,
+        f: F,
+        label: L,
+    ) -> (Vec<T>, Duration)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+        L: Fn(usize) -> String + Sync,
+    {
+        let (results, busy) = self.try_map_traced(ctx, items, f, label);
+        let out = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|p| panic!("{p}")))
+            .collect();
+        (out, busy)
+    }
+
+    /// [`map_timed`](Executor::map_timed) with per-task panic
+    /// isolation: each task runs under [`catch_unwind`], so one
+    /// panicking check cannot take down the battery. The result slot of
+    /// a panicking task carries a [`TaskPanic`] naming it; every other
+    /// task still completes and lands in order.
+    pub fn try_map_timed<I, T, F>(
+        &self,
+        items: Vec<I>,
+        f: F,
+    ) -> (Vec<Result<T, TaskPanic>>, Duration)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        self.try_map_traced(TraceCtx::disabled(), items, f, |_| String::new())
+    }
+
+    /// The full-featured map: per-task spans *and* per-task panic
+    /// isolation. All other `map` flavours delegate here. The span of a
+    /// panicking task still closes (and is recorded) before the
+    /// [`TaskPanic`] is returned, so the failure is visible in the
+    /// trace at the unit that caused it.
+    pub fn try_map_traced<I, T, F, L>(
+        &self,
+        ctx: TraceCtx<'_>,
+        items: Vec<I>,
+        f: F,
+        label: L,
+    ) -> (Vec<Result<T, TaskPanic>>, Duration)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+        L: Fn(usize) -> String + Sync,
+    {
+        let run_one = |index: usize, item: I| -> Result<T, TaskPanic> {
+            let _span = if ctx.is_enabled() {
+                Some(ctx.tracer.span_in(ctx.parent, &label(index)))
+            } else {
+                None
+            };
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| TaskPanic {
+                task: index,
+                message: panic_message(payload),
+            })
+        };
         let n = items.len();
         if self.threads <= 1 || n <= 1 {
             let start = Instant::now();
-            let out: Vec<T> = items.into_iter().map(f).collect();
+            let out: Vec<Result<T, TaskPanic>> = items
+                .into_iter()
+                .enumerate()
+                .map(|(index, item)| run_one(index, item))
+                .collect();
             return (out, start.elapsed());
         }
         let queue = Mutex::new(items.into_iter().enumerate());
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let busy = Mutex::new(Duration::ZERO);
         let workers = self.threads.min(n);
         thread::scope(|scope| {
@@ -112,7 +231,7 @@ impl Executor {
                         // work itself runs unlocked.
                         let next = queue.lock().expect("queue lock").next();
                         let Some((index, item)) = next else { break };
-                        let value = f(item);
+                        let value = run_one(index, item);
                         *slots[index].lock().expect("slot lock") = Some(value);
                     }
                     *busy.lock().expect("busy lock") += started.elapsed();
@@ -234,5 +353,112 @@ mod tests {
         let empty: Vec<u32> = exec.map(Vec::<u32>::new(), |x| x);
         assert!(empty.is_empty());
         assert_eq!(exec.map(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_per_task() {
+        for threads in [1, 2, 8] {
+            let exec = Executor::threads(threads);
+            let (out, _busy) = exec.try_map_timed((0u64..16).collect(), |x| {
+                if x == 5 {
+                    panic!("unit {x} exploded");
+                }
+                if x == 9 {
+                    // Non-&str payload path.
+                    std::panic::panic_any(format!("unit {x} exploded loudly"));
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                match (i, r) {
+                    (5, Err(p)) => {
+                        assert_eq!(p.task, 5);
+                        assert_eq!(p.message, "unit 5 exploded");
+                    }
+                    (9, Err(p)) => {
+                        assert_eq!(p.task, 9);
+                        assert_eq!(p.message, "unit 9 exploded loudly");
+                    }
+                    (_, Ok(v)) => assert_eq!(*v, i as u64 * 2),
+                    (i, r) => panic!("unexpected slot {i}: {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_traced_records_per_task_spans() {
+        for threads in [1, 4] {
+            let (tracer, collector) = cbv_obs::Tracer::collecting();
+            {
+                let root = tracer.span("map");
+                let ctx = TraceCtx::under(&tracer, &root);
+                let exec = Executor::threads(threads);
+                let (out, _busy) =
+                    exec.map_traced(ctx, (0u64..6).collect(), |x| x + 1, |i| format!("task:{i}"));
+                assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+            }
+            tracer.flush();
+            let sig = collector.trace().tree_signature();
+            for i in 0..6 {
+                assert!(
+                    sig.contains(&("map".into(), format!("task:{i}"))),
+                    "missing task:{i} at {threads} threads: {sig:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_task_still_records_its_span() {
+        let (tracer, collector) = cbv_obs::Tracer::collecting();
+        {
+            let root = tracer.span("map");
+            let ctx = TraceCtx::under(&tracer, &root);
+            let exec = Executor::threads(2);
+            let (out, _busy) = exec.try_map_traced(
+                ctx,
+                vec![0u64, 1, 2],
+                |x| {
+                    if x == 1 {
+                        panic!("boom");
+                    }
+                    x
+                },
+                |i| format!("task:{i}"),
+            );
+            assert!(out[1].is_err());
+        }
+        tracer.flush();
+        let trace = collector.trace();
+        assert!(
+            trace.spans_named("task:1").count() == 1,
+            "panicked task's span must still be recorded"
+        );
+    }
+
+    #[test]
+    fn map_traced_repanics_with_unit_name() {
+        let exec = Executor::serial();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.map_traced(
+                TraceCtx::disabled(),
+                vec![0u64, 1],
+                |x| {
+                    if x == 1 {
+                        panic!("bad check");
+                    }
+                    x
+                },
+                |_| String::new(),
+            )
+        }));
+        let payload = caught.expect_err("must propagate the panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("task 1 panicked: bad check"), "{message}");
     }
 }

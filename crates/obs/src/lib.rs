@@ -1,0 +1,703 @@
+//! `cbv-obs` — structured tracing and metrics for the verification flow.
+//!
+//! The paper's CBV tools are *probability filters*: their value is the
+//! feedback they hand the designer — what was discharged, what was
+//! flagged, and how long each filter spent (§4, Fig 2). DEC steered
+//! sizing and schedule from exactly this feedback. This crate is the
+//! reporting backbone that makes the flow's own behaviour inspectable:
+//!
+//! * [`Span`] — a nested, timed region (monotonic nanosecond timestamps
+//!   relative to the tracer's epoch, plus a small stable per-tracer
+//!   thread index), emitted to the sink when it closes;
+//! * counters ([`Tracer::add`]) and gauges ([`Tracer::gauge`]) — named
+//!   registries aggregated inside the tracer and flushed as final
+//!   totals, in sorted name order, by [`Tracer::flush`];
+//! * [`TraceSink`] — where finished spans and flushed metrics go, with
+//!   two built-ins: the in-memory [`Collector`] and the line-oriented
+//!   [`JsonlSink`].
+//!
+//! Like `cbv-exec`, the crate is zero-dependency, and the whole layer is
+//! free when disabled: [`Tracer::disabled`] carries no allocation, every
+//! operation on it is a branch on a `None`, and the flow's outputs are
+//! byte-identical with observability on or off (proven in
+//! `tests/obs.rs`).
+//!
+//! # Determinism contract
+//!
+//! Counters and the *shape* of the span tree (names and parent/child
+//! edges) depend only on the work performed, never on how it was
+//! scheduled: the same design traced at 1, 2 or 8 worker threads
+//! produces identical counter totals and an identical span tree modulo
+//! ids, timestamps and thread indices. Quantities that are inherently
+//! timing-dependent (busy times, wall-clocks) are recorded as *gauges*
+//! or span durations, never as counters.
+//!
+//! # JSONL schema (`cbv-trace/1`)
+//!
+//! [`JsonlSink`] writes one JSON object per line:
+//!
+//! ```text
+//! {"type":"meta","format":"cbv-trace/1"}                      — first line
+//! {"type":"span","id":2,"parent":1,"name":"everify",
+//!  "t0_ns":1200,"t1_ns":58100,"thread":0}                     — one per closed span
+//! {"type":"counter","name":"timing.arcs","value":421}         — at flush, sorted by name
+//! {"type":"gauge","name":"everify.busy_s","value":0.0521}     — at flush, sorted by name
+//! ```
+//!
+//! * `id` is unique and nonzero within one tracer; `parent` is `null`
+//!   for root spans, else the id of an emitted span.
+//! * `t0_ns`/`t1_ns` are monotonic nanoseconds since the tracer was
+//!   created, `t0_ns <= t1_ns`.
+//! * `thread` is a dense index (0, 1, ...) in order of first appearance,
+//!   not an OS thread id.
+//! * Span lines appear in completion order (concurrent spans may
+//!   interleave arbitrarily); counter and gauge lines are sorted.
+//! * Non-finite gauge values serialize as `null`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+pub mod render;
+
+pub use render::waterfall;
+
+/// One closed span, as delivered to a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique nonzero id within the tracer.
+    pub id: u64,
+    /// Parent span id (`None` for roots).
+    pub parent: Option<u64>,
+    /// Span name, e.g. `"everify"` or `"check:beta-ratio"`.
+    pub name: String,
+    /// Start, monotonic nanoseconds since the tracer's epoch.
+    pub t0_ns: u64,
+    /// End, monotonic nanoseconds since the tracer's epoch.
+    pub t1_ns: u64,
+    /// Dense per-tracer index of the thread the span closed on.
+    pub thread: u32,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.t1_ns.saturating_sub(self.t0_ns)
+    }
+}
+
+/// Destination for closed spans and flushed metrics.
+///
+/// `counter`/`gauge` receive *final totals* (the tracer aggregates
+/// increments internally), so a sink may simply overwrite by name; a
+/// second [`Tracer::flush`] re-emits current totals rather than deltas.
+pub trait TraceSink: Send {
+    /// A span closed.
+    fn span(&mut self, span: &SpanRecord);
+    /// Final total of one counter (called at flush, sorted by name).
+    fn counter(&mut self, name: &str, value: u64);
+    /// Final value of one gauge (called at flush, sorted by name).
+    fn gauge(&mut self, name: &str, value: f64);
+    /// Flush buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// Everything a tracer gathered: the [`Collector`]'s snapshot, also the
+/// input to [`render::waterfall`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Closed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl Trace {
+    /// The scheduling-independent shape of the span tree: a sorted list
+    /// of `(parent name, name)` edges (roots get an empty parent name).
+    /// Two runs of the same work at different worker counts produce
+    /// equal signatures — the determinism contract `tests/obs.rs`
+    /// checks.
+    pub fn tree_signature(&self) -> Vec<(String, String)> {
+        let name_of: BTreeMap<u64, &str> =
+            self.spans.iter().map(|s| (s.id, s.name.as_str())).collect();
+        let mut sig: Vec<(String, String)> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let parent = s
+                    .parent
+                    .and_then(|p| name_of.get(&p).copied())
+                    .unwrap_or("")
+                    .to_owned();
+                (parent, s.name.clone())
+            })
+            .collect();
+        sig.sort();
+        sig
+    }
+
+    /// Spans with a given name, in completion order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+/// In-memory [`TraceSink`]: accumulates everything into a shared
+/// [`Trace`]. Clones share the same storage, so keep one handle and
+/// read it after the traced work (and a [`Tracer::flush`]) completes.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    data: Arc<Mutex<Trace>>,
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Snapshot of everything collected so far.
+    pub fn trace(&self) -> Trace {
+        self.data.lock().expect("collector lock").clone()
+    }
+}
+
+impl TraceSink for Collector {
+    fn span(&mut self, span: &SpanRecord) {
+        self.data
+            .lock()
+            .expect("collector lock")
+            .spans
+            .push(span.clone());
+    }
+
+    fn counter(&mut self, name: &str, value: u64) {
+        self.data
+            .lock()
+            .expect("collector lock")
+            .counters
+            .insert(name.to_owned(), value);
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        self.data
+            .lock()
+            .expect("collector lock")
+            .gauges
+            .insert(name.to_owned(), value);
+    }
+}
+
+/// Minimal JSON string escaper (quotes, backslashes, control chars).
+fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Line-oriented JSONL [`TraceSink`] over any writer. See the crate
+/// docs for the `cbv-trace/1` schema. I/O errors are deliberately
+/// swallowed: tracing must never take down a verification run.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer and emits the meta header line.
+    pub fn new(mut out: W) -> JsonlSink<W> {
+        let _ = writeln!(out, "{{\"type\":\"meta\",\"format\":\"cbv-trace/1\"}}");
+        JsonlSink { out }
+    }
+
+    /// Consumes the sink, returning the writer (after a flush).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn span(&mut self, span: &SpanRecord) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"type\":\"span\",\"id\":");
+        line.push_str(&span.id.to_string());
+        line.push_str(",\"parent\":");
+        match span.parent {
+            Some(p) => line.push_str(&p.to_string()),
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"name\":");
+        write_json_str(&span.name, &mut line);
+        line.push_str(&format!(
+            ",\"t0_ns\":{},\"t1_ns\":{},\"thread\":{}}}",
+            span.t0_ns, span.t1_ns, span.thread
+        ));
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn counter(&mut self, name: &str, value: u64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"counter\",\"name\":");
+        write_json_str(name, &mut line);
+        line.push_str(&format!(",\"value\":{value}}}"));
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"gauge\",\"name\":");
+        write_json_str(name, &mut line);
+        if value.is_finite() {
+            line.push_str(&format!(",\"value\":{value}}}"));
+        } else {
+            line.push_str(",\"value\":null}");
+        }
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+struct State {
+    sink: Box<dyn TraceSink>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    threads: Vec<ThreadId>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    fn thread_index(state: &mut State) -> u32 {
+        let id = std::thread::current().id();
+        match state.threads.iter().position(|&t| t == id) {
+            Some(i) => i as u32,
+            None => {
+                state.threads.push(id);
+                (state.threads.len() - 1) as u32
+            }
+        }
+    }
+}
+
+/// Handle to one trace session. Cheap to clone (clones share the same
+/// sink and registries); a disabled tracer is two words and every
+/// operation on it is a no-op branch.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+/// A `const` disabled tracer, usable where a `&'static Tracer` default
+/// is needed (e.g. [`TraceCtx::disabled`]).
+pub const DISABLED: Tracer = Tracer { inner: None };
+
+impl Tracer {
+    /// A tracer that records nothing, at (almost) no cost.
+    pub fn disabled() -> Tracer {
+        DISABLED
+    }
+
+    /// A tracer writing to the given sink.
+    pub fn new(sink: impl TraceSink + 'static) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                state: Mutex::new(State {
+                    sink: Box::new(sink),
+                    counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
+                    threads: Vec::new(),
+                }),
+            })),
+        }
+    }
+
+    /// A tracer backed by an in-memory [`Collector`]; returns both. Read
+    /// the collector after the traced work and a [`Tracer::flush`].
+    pub fn collecting() -> (Tracer, Collector) {
+        let collector = Collector::new();
+        (Tracer::new(collector.clone()), collector)
+    }
+
+    /// Whether this tracer records anything. Use this to skip building
+    /// dynamic span names on hot paths.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root span.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.span_in(None, name)
+    }
+
+    /// Opens a span under an explicit parent id (how spans cross thread
+    /// boundaries: pass [`Span::id`] into the worker).
+    pub fn span_in(&self, parent: Option<u64>, name: &str) -> Span<'_> {
+        let data = self.inner.as_ref().map(|inner| SpanData {
+            id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name: name.to_owned(),
+            start: Instant::now(),
+        });
+        Span { tracer: self, data }
+    }
+
+    /// Adds to a named counter. Counters must be scheduling-independent
+    /// (finding counts, arcs, cache hits) — see the determinism
+    /// contract in the crate docs.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("tracer lock");
+            *state.counters.entry(name.to_owned()).or_insert(0) += delta;
+        }
+    }
+
+    /// Sets a named gauge (last write wins). The home for quantities
+    /// that legitimately vary run to run: busy times, sizes-of-the-day.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("tracer lock");
+            state.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Current total of a counter (0 if never incremented or disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|inner| {
+                inner
+                    .state
+                    .lock()
+                    .expect("tracer lock")
+                    .counters
+                    .get(name)
+                    .copied()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Emits every counter and gauge total to the sink (sorted by name)
+    /// and flushes it. Idempotent: sinks receive totals, not deltas.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("tracer lock");
+            let counters: Vec<(String, u64)> = state
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect();
+            let gauges: Vec<(String, f64)> =
+                state.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            for (name, value) in counters {
+                state.sink.counter(&name, value);
+            }
+            for (name, value) in gauges {
+                state.sink.gauge(&name, value);
+            }
+            state.sink.flush();
+        }
+    }
+
+    fn record(&self, data: SpanData) {
+        let Some(inner) = &self.inner else { return };
+        let t1_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let t0_ns = t1_ns.saturating_sub(data.start.elapsed().as_nanos() as u64);
+        let mut state = inner.state.lock().expect("tracer lock");
+        let thread = Inner::thread_index(&mut state);
+        let record = SpanRecord {
+            id: data.id,
+            parent: data.parent,
+            name: data.name,
+            t0_ns,
+            t1_ns,
+            thread,
+        };
+        state.sink.span(&record);
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+struct SpanData {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+}
+
+/// An open span; closing (dropping) it emits a [`SpanRecord`]. Inert
+/// when the tracer is disabled.
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    data: Option<SpanData>,
+}
+
+impl<'t> Span<'t> {
+    /// The span's id, for parenting work that crosses a thread boundary
+    /// (`None` when tracing is disabled).
+    pub fn id(&self) -> Option<u64> {
+        self.data.as_ref().map(|d| d.id)
+    }
+
+    /// Opens a child span on the same tracer.
+    pub fn child(&self, name: &str) -> Span<'t> {
+        self.tracer.span_in(self.id(), name)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            self.tracer.record(data);
+        }
+    }
+}
+
+/// A tracer plus a parent span id: the one-argument bundle layer
+/// boundaries pass around so deep callees can attach spans to the right
+/// place in the tree.
+#[derive(Clone, Copy)]
+pub struct TraceCtx<'a> {
+    /// The tracer (possibly disabled).
+    pub tracer: &'a Tracer,
+    /// Parent span id for anything the callee opens.
+    pub parent: Option<u64>,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Context under a tracer's root (no parent).
+    pub fn root(tracer: &'a Tracer) -> TraceCtx<'a> {
+        TraceCtx {
+            tracer,
+            parent: None,
+        }
+    }
+
+    /// Context under an open span.
+    pub fn under(tracer: &'a Tracer, span: &Span<'_>) -> TraceCtx<'a> {
+        TraceCtx {
+            tracer,
+            parent: span.id(),
+        }
+    }
+
+    /// The do-nothing context.
+    pub fn disabled() -> TraceCtx<'static> {
+        TraceCtx {
+            tracer: &DISABLED,
+            parent: None,
+        }
+    }
+
+    /// Opens a span at this context's position.
+    pub fn span(&self, name: &str) -> Span<'a> {
+        self.tracer.span_in(self.parent, name)
+    }
+
+    /// Whether anything is recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+}
+
+impl fmt::Debug for TraceCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCtx")
+            .field("enabled", &self.is_enabled())
+            .field("parent", &self.parent)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let s = t.span("root");
+        assert_eq!(s.id(), None);
+        let c = s.child("leaf");
+        assert_eq!(c.id(), None);
+        drop(c);
+        drop(s);
+        t.add("x", 5);
+        t.gauge("y", 1.0);
+        assert_eq!(t.counter_value("x"), 0);
+        t.flush();
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let (t, collector) = Tracer::collecting();
+        {
+            let root = t.span("flow");
+            {
+                let child = root.child("stage");
+                let _grandchild = child.child("task");
+            }
+        }
+        t.flush();
+        let trace = collector.trace();
+        assert_eq!(trace.spans.len(), 3);
+        // Children close before parents.
+        assert_eq!(trace.spans[0].name, "task");
+        assert_eq!(trace.spans[2].name, "flow");
+        assert_eq!(trace.spans[2].parent, None);
+        let sig = trace.tree_signature();
+        assert_eq!(
+            sig,
+            vec![
+                ("".into(), "flow".into()),
+                ("flow".into(), "stage".into()),
+                ("stage".into(), "task".into()),
+            ]
+        );
+        for s in &trace.spans {
+            assert!(s.id > 0);
+            assert!(s.t1_ns >= s.t0_ns);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite() {
+        let (t, collector) = Tracer::collecting();
+        t.add("findings", 3);
+        t.add("findings", 4);
+        t.gauge("busy_s", 1.0);
+        t.gauge("busy_s", 2.0);
+        assert_eq!(t.counter_value("findings"), 7);
+        t.flush();
+        let trace = collector.trace();
+        assert_eq!(trace.counters["findings"], 7);
+        assert_eq!(trace.gauges["busy_s"], 2.0);
+        // Flush is idempotent: totals, not deltas.
+        t.flush();
+        assert_eq!(collector.trace().counters["findings"], 7);
+    }
+
+    #[test]
+    fn cross_thread_spans_parent_correctly() {
+        let (t, collector) = Tracer::collecting();
+        {
+            let root = t.span("map");
+            let parent = root.id();
+            std::thread::scope(|scope| {
+                for i in 0..4 {
+                    let t = &t;
+                    scope.spawn(move || {
+                        let _s = t.span_in(parent, &format!("task:{i}"));
+                    });
+                }
+            });
+        }
+        t.flush();
+        let trace = collector.trace();
+        assert_eq!(trace.spans.len(), 5);
+        let sig = trace.tree_signature();
+        for i in 0..4 {
+            assert!(sig.contains(&("map".into(), format!("task:{i}"))));
+        }
+        // Thread indices are dense and small.
+        assert!(trace.spans.iter().all(|s| s.thread < 8));
+    }
+
+    #[test]
+    fn jsonl_sink_emits_schema_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = JsonlSink::new(buf);
+        let t = Tracer::new(sink);
+        {
+            let root = t.span("flow");
+            let _c = root.child("check:\"quoted\"");
+        }
+        t.add("everify.checked", 12);
+        t.gauge("busy_s", 0.5);
+        t.gauge("bad", f64::NAN);
+        t.flush();
+        // The sink is owned by the tracer; emit again to a local sink to
+        // check the raw encoding instead.
+        let mut out = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut out);
+            sink.span(&SpanRecord {
+                id: 1,
+                parent: None,
+                name: "a\"b\\c\n".into(),
+                t0_ns: 5,
+                t1_ns: 9,
+                thread: 0,
+            });
+            sink.counter("n", 3);
+            sink.gauge("g", f64::INFINITY);
+            sink.flush();
+        }
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "{\"type\":\"meta\",\"format\":\"cbv-trace/1\"}");
+        assert!(lines[1].contains("\"name\":\"a\\\"b\\\\c\\n\""));
+        assert!(lines[1].contains("\"parent\":null"));
+        assert!(lines[2].contains("\"value\":3"));
+        assert!(lines[3].contains("\"value\":null"), "{}", lines[3]);
+    }
+
+    #[test]
+    fn trace_ctx_routes_spans() {
+        let (t, collector) = Tracer::collecting();
+        {
+            let root = t.span("flow");
+            let ctx = TraceCtx::under(&t, &root);
+            let _child = ctx.span("stage");
+        }
+        t.flush();
+        let sig = collector.trace().tree_signature();
+        assert!(sig.contains(&("flow".into(), "stage".into())));
+        // Disabled context costs nothing and records nothing.
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        assert_eq!(ctx.span("x").id(), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Text rendering of a collected [`Trace`]: a waterfall of the span
+//! tree (total and self time per span) followed by the top-N hottest
+//! span names — the E15 report the designer reads to see where the
+//! flow's wall-clock went.
+
+use std::collections::BTreeMap;
+
+use crate::{SpanRecord, Trace};
+
+/// A span name with any trailing `:<digits>` instance suffix removed,
+/// so `"unit:17"` and `"unit:3"` aggregate as `"unit"` in the hot-spot
+/// table while `"check:beta-ratio"` stays itself.
+fn family(name: &str) -> &str {
+    match name.rfind(':') {
+        Some(i) if i + 1 < name.len() && name[i + 1..].bytes().all(|b| b.is_ascii_digit()) => {
+            &name[..i]
+        }
+        _ => name,
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+struct Node<'a> {
+    span: &'a SpanRecord,
+    children: Vec<usize>,
+    self_ns: u64,
+}
+
+fn build_nodes(trace: &Trace) -> (Vec<Node<'_>>, Vec<usize>) {
+    let mut nodes: Vec<Node<'_>> = trace
+        .spans
+        .iter()
+        .map(|span| Node {
+            span,
+            children: Vec::new(),
+            self_ns: span.duration_ns(),
+        })
+        .collect();
+    let index_of: BTreeMap<u64, usize> = trace
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i))
+        .collect();
+    let mut roots: Vec<usize> = Vec::new();
+    for i in 0..nodes.len() {
+        match nodes[i].span.parent.and_then(|p| index_of.get(&p).copied()) {
+            Some(p) => {
+                nodes[p].children.push(i);
+                let child_ns = nodes[i].span.duration_ns();
+                nodes[p].self_ns = nodes[p].self_ns.saturating_sub(child_ns);
+            }
+            None => roots.push(i),
+        }
+    }
+    // Children and roots in start order so the waterfall reads
+    // chronologically regardless of completion interleaving.
+    let by_start = |&a: &usize, &b: &usize| {
+        let (sa, sb) = (&trace.spans[a], &trace.spans[b]);
+        sa.t0_ns.cmp(&sb.t0_ns).then(sa.id.cmp(&sb.id))
+    };
+    for node in &mut nodes {
+        let mut children = std::mem::take(&mut node.children);
+        children.sort_by(by_start);
+        node.children = children;
+    }
+    roots.sort_by(by_start);
+    (nodes, roots)
+}
+
+fn render_node(nodes: &[Node<'_>], i: usize, depth: usize, out: &mut String) {
+    let node = &nodes[i];
+    let total = node.span.duration_ns();
+    out.push_str(&format!(
+        "{:indent$}{}  total {}  self {}  [t{}]\n",
+        "",
+        node.span.name,
+        fmt_ns(total),
+        fmt_ns(node.self_ns),
+        node.span.thread,
+        indent = depth * 2
+    ));
+    for &c in &node.children {
+        render_node(nodes, c, depth + 1, out);
+    }
+}
+
+/// Renders a trace as an indented waterfall (one line per span, in
+/// start order, `total` = span duration, `self` = duration minus direct
+/// children) followed by the `top_n` hottest span families by summed
+/// self time, and the counter/gauge registries.
+pub fn waterfall(trace: &Trace, top_n: usize) -> String {
+    let (nodes, roots) = build_nodes(trace);
+    let mut out = String::new();
+    out.push_str("== span waterfall ==\n");
+    if roots.is_empty() {
+        out.push_str("(no spans)\n");
+    }
+    for &r in &roots {
+        render_node(&nodes, r, 0, &mut out);
+    }
+
+    // Hot families by aggregate self time.
+    let mut hot: BTreeMap<&str, (u64, usize)> = BTreeMap::new();
+    for node in &nodes {
+        let entry = hot.entry(family(&node.span.name)).or_insert((0, 0));
+        entry.0 += node.self_ns;
+        entry.1 += 1;
+    }
+    let mut hot: Vec<(&str, u64, usize)> = hot.into_iter().map(|(k, (ns, n))| (k, ns, n)).collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    out.push_str(&format!("== top {top_n} hot spans (by self time) ==\n"));
+    for (name, ns, count) in hot.iter().take(top_n) {
+        out.push_str(&format!(
+            "{}  self {}  spans {}\n",
+            name,
+            fmt_ns(*ns),
+            count
+        ));
+    }
+
+    if !trace.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        for (name, value) in &trace.counters {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+    }
+    if !trace.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        for (name, value) in &trace.gauges {
+            out.push_str(&format!("{name} = {value:.6}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn family_strips_instance_suffixes() {
+        assert_eq!(family("unit:17"), "unit");
+        assert_eq!(family("cccs:0..64"), "cccs:0..64");
+        assert_eq!(family("check:beta-ratio"), "check:beta-ratio");
+        assert_eq!(family("flow"), "flow");
+        assert_eq!(family("x:"), "x:");
+    }
+
+    #[test]
+    fn waterfall_renders_tree_and_hotspots() {
+        let (t, collector) = Tracer::collecting();
+        {
+            let root = t.span("flow");
+            {
+                let stage = root.child("everify");
+                let _a = stage.child("unit:0");
+                let _b = stage.child("unit:1");
+            }
+            let _other = root.child("timing");
+        }
+        t.add("everify.findings", 2);
+        t.gauge("busy_s", 0.25);
+        t.flush();
+        let text = waterfall(&collector.trace(), 3);
+        assert!(text.contains("flow  total"), "{text}");
+        assert!(text.contains("  everify  total"), "{text}");
+        assert!(text.contains("    unit:0"), "{text}");
+        assert!(text.contains("unit  self"), "{text}"); // aggregated family
+        assert!(text.contains("everify.findings = 2"), "{text}");
+        assert!(text.contains("busy_s = 0.25"), "{text}");
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let trace = Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "child".into(),
+                    t0_ns: 100,
+                    t1_ns: 600,
+                    thread: 0,
+                },
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "root".into(),
+                    t0_ns: 0,
+                    t1_ns: 1000,
+                    thread: 0,
+                },
+            ],
+            ..Trace::default()
+        };
+        let text = waterfall(&trace, 5);
+        assert!(text.contains("root  total 1.0us  self 500ns"), "{text}");
+        assert!(text.contains("child  total 500ns  self 500ns"), "{text}");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::ast::Edge;
 use crate::design::{NodeId, RtlDesign, WordOp};
+use crate::lookup::LookupError;
 
 #[inline]
 fn mask(width: u32) -> u64 {
@@ -64,10 +65,25 @@ impl<'d> Interp<'d> {
     ///
     /// Panics if the input does not exist or the value does not fit.
     pub fn set_input(&mut self, name: &str, value: u64) {
-        let idx = self
-            .design
-            .input_index(name)
-            .unwrap_or_else(|| panic!("no input named `{name}`"));
+        self.try_set_input(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Sets a primary input by name, reporting an unknown name as a
+    /// [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the input does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the value does not fit the input's width — that
+    /// is a value contract, not a lookup failure.
+    pub fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), LookupError> {
+        let idx = self.design.input_index(name).ok_or_else(|| {
+            LookupError::new("input", name, self.design.inputs.iter().map(|(n, _)| &**n))
+        })?;
         let width = self.design.inputs[idx].1;
         assert!(
             value <= mask(width),
@@ -75,6 +91,7 @@ impl<'d> Interp<'d> {
         );
         self.inputs[idx] = value;
         self.dirty = true;
+        Ok(())
     }
 
     /// Evaluates the combinational network if inputs or state changed.
@@ -169,11 +186,22 @@ impl<'d> Interp<'d> {
     ///
     /// Panics if the clock does not exist.
     pub fn step(&mut self, clock: &str) {
-        let ck = self.clock_of(clock);
+        self.try_step(clock).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Interp::step`] that reports an unknown clock as a
+    /// [`LookupError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the clock does not exist.
+    pub fn try_step(&mut self, clock: &str) -> Result<(), LookupError> {
+        let ck = self.try_clock_of(clock)?;
         self.commit_edge(ck, Edge::Pos);
         if self.design.has_negedge(ck) {
             self.commit_edge(ck, Edge::Neg);
         }
+        Ok(())
     }
 
     /// One half-cycle: commits only the registers and CAM writes on the
@@ -184,14 +212,29 @@ impl<'d> Interp<'d> {
     ///
     /// Panics if the clock does not exist.
     pub fn step_edge(&mut self, clock: &str, edge: Edge) {
-        let ck = self.clock_of(clock);
-        self.commit_edge(ck, edge);
+        self.try_step_edge(clock, edge)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    fn clock_of(&self, clock: &str) -> u32 {
+    /// [`Interp::step_edge`] that reports an unknown clock as a
+    /// [`LookupError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the clock does not exist.
+    pub fn try_step_edge(&mut self, clock: &str, edge: Edge) -> Result<(), LookupError> {
+        let ck = self.try_clock_of(clock)?;
+        self.commit_edge(ck, edge);
+        Ok(())
+    }
+
+    fn try_clock_of(&self, clock: &str) -> Result<u32, LookupError> {
         self.design
             .clock_index(clock)
-            .unwrap_or_else(|| panic!("no clock named `{clock}`")) as u32
+            .map(|i| i as u32)
+            .ok_or_else(|| {
+                LookupError::new("clock", clock, self.design.clocks.iter().map(|c| &**c))
+            })
     }
 
     /// Evaluates the combinational network with pre-edge state, then
@@ -231,12 +274,25 @@ impl<'d> Interp<'d> {
     ///
     /// Panics if the output does not exist.
     pub fn output(&mut self, name: &str) -> u64 {
-        let id = self
-            .design
-            .output(name)
-            .unwrap_or_else(|| panic!("no output named `{name}`"));
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads a primary output, reporting an unknown name as a
+    /// [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the output does not exist.
+    pub fn try_output(&mut self, name: &str) -> Result<u64, LookupError> {
+        let id = self.design.output(name).ok_or_else(|| {
+            LookupError::new(
+                "output",
+                name,
+                self.design.outputs.iter().map(|(n, _)| &**n),
+            )
+        })?;
         self.settle();
-        self.values[id.index()]
+        Ok(self.values[id.index()])
     }
 
     /// Reads a register by its hierarchical name.
@@ -245,13 +301,25 @@ impl<'d> Interp<'d> {
     ///
     /// Panics if the register does not exist.
     pub fn reg(&self, name: &str) -> u64 {
+        self.try_reg(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads a register by its hierarchical name, reporting an unknown
+    /// name as a [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the register does not exist.
+    pub fn try_reg(&self, name: &str) -> Result<u64, LookupError> {
         let idx = self
             .design
             .regs
             .iter()
             .position(|r| r.name == name)
-            .unwrap_or_else(|| panic!("no register named `{name}`"));
-        self.regs[idx]
+            .ok_or_else(|| {
+                LookupError::new("register", name, self.design.regs.iter().map(|r| &*r.name))
+            })?;
+        Ok(self.regs[idx])
     }
 
     /// Reads a CAM entry directly (debug/verification access).
@@ -260,13 +328,30 @@ impl<'d> Interp<'d> {
     ///
     /// Panics if the CAM or entry does not exist.
     pub fn cam_entry(&self, name: &str, entry: usize) -> u64 {
+        self.try_cam_entry(name, entry)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads a CAM entry, reporting an unknown CAM name as a
+    /// [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the CAM does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `entry` is out of range for an existing CAM.
+    pub fn try_cam_entry(&self, name: &str, entry: usize) -> Result<u64, LookupError> {
         let idx = self
             .design
             .cams
             .iter()
             .position(|c| c.name == name)
-            .unwrap_or_else(|| panic!("no cam named `{name}`"));
-        self.cams[idx][entry]
+            .ok_or_else(|| {
+                LookupError::new("cam", name, self.design.cams.iter().map(|c| &*c.name))
+            })?;
+        Ok(self.cams[idx][entry])
     }
 
     /// The value of an arbitrary node after settling (for shadow-mode
@@ -463,6 +548,41 @@ mod tests {
         sim.set_input("v", 9);
         sim.step("ck");
         assert_eq!(sim.output("q"), 9);
+    }
+
+    #[test]
+    fn unknown_names_yield_typed_errors_with_suggestions() {
+        let d = compile(
+            "module c5(clock ck, in reset, out tick) {\n\
+               reg cnt[3];\n\
+               at posedge(ck) { if (reset) { cnt <= 0; } else { cnt <= cnt + 1; } }\n\
+               assign tick = cnt == 4;\n\
+             }",
+            "c5",
+        )
+        .unwrap();
+        let mut sim = Interp::new(&d);
+        let e = sim.try_set_input("rest", 1).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "no input named `rest`; did you mean `reset`?"
+        );
+        let e = sim.try_step("clk").unwrap_err();
+        assert_eq!(e.to_string(), "no clock named `clk`; did you mean `ck`?");
+        let e = sim.try_step_edge("kc", Edge::Pos).unwrap_err();
+        assert_eq!(e.kind, "clock");
+        let e = sim.try_output("tck").unwrap_err();
+        assert_eq!(e.suggestion.as_deref(), Some("tick"));
+        let e = sim.try_reg("cnt2").unwrap_err();
+        assert_eq!(e.suggestion.as_deref(), Some("cnt"));
+        let e = sim.try_cam_entry("tags", 0).unwrap_err();
+        assert_eq!(e.suggestion, None, "no cams to suggest");
+        // The panicking wrappers carry the same message.
+        let msg =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.set_input("rest", 1)))
+                .unwrap_err();
+        let msg = msg.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("did you mean `reset`?"), "{msg}");
     }
 
     #[test]

@@ -61,10 +61,12 @@ pub mod elab;
 pub mod error;
 pub mod interp;
 pub mod lexer;
+pub mod lookup;
 pub mod parser;
 
 pub use design::{NodeId, RtlDesign, WordOp};
 pub use error::RtlError;
+pub use lookup::LookupError;
 
 use ast::SourceFile;
 

@@ -6,6 +6,7 @@
 
 use cbv_rtl::ast::Edge;
 use cbv_rtl::boolnet::{BoolNet, Gate};
+use cbv_rtl::lookup::LookupError;
 
 /// Event-driven simulator state for one [`BoolNet`].
 #[derive(Debug, Clone)]
@@ -99,13 +100,27 @@ impl<'n> GateSim<'n> {
     ///
     /// Panics if the name is unknown.
     pub fn set_input_by_name(&mut self, name: &str, value: bool) {
+        self.try_set_input_by_name(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Sets an input bit by name, reporting an unknown name as a
+    /// [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the input bit does not exist.
+    pub fn try_set_input_by_name(&mut self, name: &str, value: bool) -> Result<(), LookupError> {
         let idx = self
             .net
             .inputs
             .iter()
             .position(|n| n == name)
-            .unwrap_or_else(|| panic!("no input bit named `{name}`"));
+            .ok_or_else(|| {
+                LookupError::new("input bit", name, self.net.inputs.iter().map(|n| &**n))
+            })?;
         self.set_input(idx, value);
+        Ok(())
     }
 
     fn propagate_from(&mut self, start: usize) {
@@ -162,14 +177,24 @@ impl<'n> GateSim<'n> {
     ///
     /// Panics if the output does not exist.
     pub fn output(&self, name: &str) -> u64 {
-        let bits = self
-            .net
-            .output(name)
-            .unwrap_or_else(|| panic!("no output named `{name}`"));
-        bits.iter()
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads a named output, reporting an unknown name as a
+    /// [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the output does not exist.
+    pub fn try_output(&self, name: &str) -> Result<u64, LookupError> {
+        let bits = self.net.output(name).ok_or_else(|| {
+            LookupError::new("output", name, self.net.outputs.iter().map(|(n, _)| &**n))
+        })?;
+        Ok(bits
+            .iter()
             .enumerate()
             .map(|(i, b)| (self.values[b.index()] as u64) << i)
-            .sum()
+            .sum())
     }
 }
 
@@ -258,6 +283,29 @@ mod tests {
             assert_eq!(sim.output("p"), ((a ^ b).count_ones() & 1) as u64);
         }
         assert!(sim.events > 0, "incremental events occurred");
+    }
+
+    #[test]
+    fn unknown_names_yield_typed_errors_with_suggestions() {
+        let d = compile(
+            "module m(in enable, out ready) { assign ready = ~enable; }",
+            "m",
+        )
+        .unwrap();
+        let net = blast(&d).unwrap();
+        let mut sim = GateSim::new(&net);
+        let e = sim.try_set_input_by_name("enable[1]", true).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "no input bit named `enable[1]`; did you mean `enable[0]`?"
+        );
+        let e = sim.try_output("redy").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "no output named `redy`; did you mean `ready`?"
+        );
+        assert!(sim.try_set_input_by_name("enable[0]", true).is_ok());
+        assert_eq!(sim.try_output("ready").unwrap(), 0);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! Divergence means the circuit implementation does not realize the
 //! designer's intent.
 
-use cbv_netlist::FlatNetlist;
-use cbv_rtl::{interp::Interp, RtlDesign};
+use cbv_netlist::{FlatNetlist, NetId};
+use cbv_rtl::{interp::Interp, lookup::LookupError, RtlDesign};
 
 use crate::switch::{Logic, SwitchSim};
 
@@ -53,6 +53,18 @@ pub struct Mismatch {
     pub circuit: Logic,
 }
 
+/// A [`BitBinding`] with its net name resolved to a [`NetId`] and the
+/// RTL-input test hoisted out of the per-cycle loops.
+#[derive(Debug, Clone)]
+struct ResolvedBinding {
+    signal: String,
+    bit: u32,
+    net: NetId,
+    /// Whether `signal` is an RTL primary input (driven by the
+    /// testbench, not readable back from the golden model).
+    is_input: bool,
+}
+
 /// The shadow-mode co-simulator.
 pub struct ShadowSim<'d, 'n> {
     /// The golden RTL model.
@@ -60,11 +72,22 @@ pub struct ShadowSim<'d, 'n> {
     /// The shadowing transistor block.
     pub circuit: SwitchSim<'n>,
     design: &'d RtlDesign,
-    inputs: Vec<BitBinding>,
-    outputs: Vec<BitBinding>,
-    clock_nets: Vec<String>,
+    inputs: Vec<ResolvedBinding>,
+    outputs: Vec<ResolvedBinding>,
+    clock_nets: Vec<NetId>,
     mismatches: Vec<Mismatch>,
     cycle: usize,
+}
+
+/// Reads bit `bit` of RTL signal `signal` from the golden model
+/// (outputs and registers work; inputs are testbench-driven).
+fn golden_bit(golden: &mut Interp<'_>, design: &RtlDesign, signal: &str, bit: u32) -> bool {
+    let word = if design.output(signal).is_some() {
+        golden.output(signal)
+    } else {
+        golden.reg(signal)
+    };
+    (word >> bit) & 1 == 1
 }
 
 impl<'d, 'n> ShadowSim<'d, 'n> {
@@ -73,6 +96,11 @@ impl<'d, 'n> ShadowSim<'d, 'n> {
     /// `inputs` bind RTL values → circuit input nets; `outputs` bind
     /// circuit output nets → RTL values for comparison; `clock_nets` are
     /// the circuit's clock nets, toggled around each golden step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a binding names an unknown net or RTL signal; use
+    /// [`ShadowSim::try_new`] for a recoverable error.
     pub fn new(
         design: &'d RtlDesign,
         netlist: &'n FlatNetlist,
@@ -80,33 +108,85 @@ impl<'d, 'n> ShadowSim<'d, 'n> {
         outputs: Vec<BitBinding>,
         clock_nets: Vec<String>,
     ) -> ShadowSim<'d, 'n> {
-        ShadowSim {
+        Self::try_new(design, netlist, inputs, outputs, clock_nets)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShadowSim::new`] with every binding validated up front: each
+    /// net name must exist in the netlist and each signal must be an
+    /// RTL output, input or register. Names resolve to ids *once* here,
+    /// so the per-cycle loops in [`ShadowSim::step`] do no string
+    /// lookups (or clones) at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LookupError`] (with a near-miss suggestion) naming
+    /// the first binding that does not resolve.
+    pub fn try_new(
+        design: &'d RtlDesign,
+        netlist: &'n FlatNetlist,
+        inputs: Vec<BitBinding>,
+        outputs: Vec<BitBinding>,
+        clock_nets: Vec<String>,
+    ) -> Result<ShadowSim<'d, 'n>, LookupError> {
+        let find_net = |name: &str| {
+            netlist.find_net(name).ok_or_else(|| {
+                LookupError::new(
+                    "net",
+                    name,
+                    netlist.net_ids().map(|id| netlist.net_name(id)),
+                )
+            })
+        };
+        // `allow_input`: input bindings may name an RTL primary input
+        // (the testbench drives it); output bindings must name something
+        // readable back from the golden model — an output or a register.
+        let resolve = |b: &BitBinding, allow_input: bool| -> Result<ResolvedBinding, LookupError> {
+            let is_input = design.input_index(&b.signal).is_some();
+            let readable = design.output(&b.signal).is_some()
+                || design.regs.iter().any(|r| r.name == b.signal);
+            let accepted = readable || (allow_input && is_input);
+            if !accepted {
+                let (kind, inputs_too) = if allow_input {
+                    ("rtl signal", &design.inputs[..])
+                } else {
+                    ("rtl output or register", &[][..])
+                };
+                let candidates: Vec<&str> = design
+                    .outputs
+                    .iter()
+                    .map(|(n, _)| &**n)
+                    .chain(design.regs.iter().map(|r| &*r.name))
+                    .chain(inputs_too.iter().map(|(n, _)| &**n))
+                    .collect();
+                return Err(LookupError::new(kind, &b.signal, candidates));
+            }
+            Ok(ResolvedBinding {
+                signal: b.signal.clone(),
+                bit: b.bit,
+                net: find_net(&b.net)?,
+                is_input,
+            })
+        };
+        Ok(ShadowSim {
             golden: Interp::new(design),
             circuit: SwitchSim::new(netlist),
             design,
-            inputs,
-            outputs,
-            clock_nets,
+            inputs: inputs
+                .iter()
+                .map(|b| resolve(b, true))
+                .collect::<Result<_, _>>()?,
+            outputs: outputs
+                .iter()
+                .map(|b| resolve(b, false))
+                .collect::<Result<_, _>>()?,
+            clock_nets: clock_nets
+                .iter()
+                .map(|n| find_net(n))
+                .collect::<Result<_, _>>()?,
             mismatches: Vec::new(),
             cycle: 0,
-        }
-    }
-
-    /// Reads bit `bit` of RTL signal `signal` from the golden model
-    /// (inputs, outputs and registers all work).
-    fn golden_bit(&mut self, signal: &str, bit: u32) -> bool {
-        let word = if self.design.output(signal).is_some() {
-            self.golden.output(signal)
-        } else if self.design.input_index(signal).is_some() {
-            // Inputs echo what the testbench set; read through a
-            // self-loop: inputs are visible via outputs only, so track
-            // from the design inputs vector is unavailable — require the
-            // testbench to bind inputs it knows. We read registers last.
-            panic!("bind circuit inputs to RTL *outputs* or registers, or drive them via set_input on the shadow");
-        } else {
-            self.golden.reg(signal)
-        };
-        (word >> bit) & 1 == 1
+        })
     }
 
     /// Sets an RTL primary input (propagated to bound circuit inputs on
@@ -114,10 +194,10 @@ impl<'d, 'n> ShadowSim<'d, 'n> {
     pub fn set_input(&mut self, name: &str, value: u64) {
         self.golden.set_input(name, value);
         // Mirror onto circuit nets bound to this signal immediately.
-        for b in self.inputs.clone() {
+        for b in &self.inputs {
             if b.signal == name {
                 let bit = (value >> b.bit) & 1 == 1;
-                self.circuit.set_by_name(&b.net, Logic::from_bool(bit));
+                self.circuit.set(b.net, Logic::from_bool(bit));
             }
         }
     }
@@ -129,20 +209,20 @@ impl<'d, 'n> ShadowSim<'d, 'n> {
     pub fn step(&mut self, rtl_clock: &str) -> usize {
         // Drive circuit inputs from golden pre-edge values where bound to
         // outputs/registers.
-        for b in self.inputs.clone() {
-            if self.design.input_index(&b.signal).is_none() {
-                let v = self.golden_bit(&b.signal, b.bit);
-                self.circuit.set_by_name(&b.net, Logic::from_bool(v));
+        for b in &self.inputs {
+            if !b.is_input {
+                let v = golden_bit(&mut self.golden, self.design, &b.signal, b.bit);
+                self.circuit.set(b.net, Logic::from_bool(v));
             }
         }
         // Clock low phase.
-        for ck in self.clock_nets.clone() {
-            self.circuit.set_by_name(&ck, Logic::Zero);
+        for &ck in &self.clock_nets {
+            self.circuit.set(ck, Logic::Zero);
         }
         let _ = self.circuit.settle();
         // Clock high phase (active edge).
-        for ck in self.clock_nets.clone() {
-            self.circuit.set_by_name(&ck, Logic::One);
+        for &ck in &self.clock_nets {
+            self.circuit.set(ck, Logic::One);
         }
         let _ = self.circuit.settle();
         // Golden takes its edge.
@@ -151,18 +231,18 @@ impl<'d, 'n> ShadowSim<'d, 'n> {
         // combinational shadow cones compare against the same cycle the
         // golden model now shows (sequential shadows already captured
         // the pre-edge data at the clock pulse above, matching golden).
-        for b in self.inputs.clone() {
-            if self.design.input_index(&b.signal).is_none() {
-                let v = self.golden_bit(&b.signal, b.bit);
-                self.circuit.set_by_name(&b.net, Logic::from_bool(v));
+        for b in &self.inputs {
+            if !b.is_input {
+                let v = golden_bit(&mut self.golden, self.design, &b.signal, b.bit);
+                self.circuit.set(b.net, Logic::from_bool(v));
             }
         }
         let _ = self.circuit.settle();
         // Compare outputs post-edge.
         let mut new = 0;
-        for b in self.outputs.clone() {
-            let golden = self.golden_bit(&b.signal, b.bit);
-            let circuit = self.circuit.value_by_name(&b.net);
+        for b in &self.outputs {
+            let golden = golden_bit(&mut self.golden, self.design, &b.signal, b.bit);
+            let circuit = self.circuit.value(b.net);
             if circuit != Logic::from_bool(golden) {
                 self.mismatches.push(Mismatch {
                     cycle: self.cycle,
@@ -257,6 +337,61 @@ mod tests {
         }
         assert_eq!(shadow.mismatches().len(), 0, "{:?}", shadow.mismatches());
         assert_eq!(shadow.cycles(), 8);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_bindings_with_suggestions() {
+        let d = rtl();
+        let n = inverter_netlist();
+        // Misspelled circuit net.
+        let e = ShadowSim::try_new(
+            &d,
+            &n,
+            vec![BitBinding::new("q", 0, "q_inn")],
+            vec![],
+            vec![],
+        )
+        .err()
+        .unwrap();
+        assert_eq!(e.to_string(), "no net named `q_inn`; did you mean `q_in`?");
+        // Misspelled RTL signal.
+        let e = ShadowSim::try_new(
+            &d,
+            &n,
+            vec![],
+            vec![BitBinding::new("qm", 0, "qn_out")],
+            vec![],
+        )
+        .err()
+        .unwrap();
+        assert_eq!(e.kind, "rtl output or register");
+        assert_eq!(e.suggestion.as_deref(), Some("q"));
+        // Output bindings may not name a primary input (nothing to read
+        // back from the golden model).
+        let e = ShadowSim::try_new(
+            &d,
+            &n,
+            vec![],
+            vec![BitBinding::new("d", 0, "qn_out")],
+            vec![],
+        )
+        .err()
+        .unwrap();
+        assert_eq!(e.kind, "rtl output or register");
+        // Misspelled clock net.
+        let e = ShadowSim::try_new(&d, &n, vec![], vec![], vec!["cck".into()])
+            .err()
+            .unwrap();
+        assert_eq!(e.suggestion.as_deref(), Some("ck"));
+        // And the valid setup still constructs.
+        assert!(ShadowSim::try_new(
+            &d,
+            &n,
+            vec![BitBinding::new("q", 0, "q_in")],
+            vec![BitBinding::new("qn", 0, "qn_out")],
+            vec!["ck".into()],
+        )
+        .is_ok());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! and keepers without a full strength lattice.
 
 use cbv_netlist::{DeviceId, FlatNetlist, NetId};
+use cbv_rtl::lookup::LookupError;
 use cbv_tech::MosKind;
 
 /// Three-valued signal level.
@@ -130,11 +131,30 @@ impl<'n> SwitchSim<'n> {
     ///
     /// Panics if the net does not exist.
     pub fn set_by_name(&mut self, name: &str, value: Logic) {
-        let net = self
-            .netlist
-            .find_net(name)
-            .unwrap_or_else(|| panic!("no net named `{name}`"));
+        self.try_set_by_name(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Set by net name, reporting an unknown name as a [`LookupError`]
+    /// with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the net does not exist.
+    pub fn try_set_by_name(&mut self, name: &str, value: Logic) -> Result<(), LookupError> {
+        let net = self.find_net(name)?;
         self.set(net, value);
+        Ok(())
+    }
+
+    fn find_net(&self, name: &str) -> Result<NetId, LookupError> {
+        self.netlist.find_net(name).ok_or_else(|| {
+            LookupError::new(
+                "net",
+                name,
+                self.netlist.net_ids().map(|id| self.netlist.net_name(id)),
+            )
+        })
     }
 
     /// Current value of a net.
@@ -148,11 +168,18 @@ impl<'n> SwitchSim<'n> {
     ///
     /// Panics if the net does not exist.
     pub fn value_by_name(&self, name: &str) -> Logic {
-        let net = self
-            .netlist
-            .find_net(name)
-            .unwrap_or_else(|| panic!("no net named `{name}`"));
-        self.value(net)
+        self.try_value_by_name(name)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Value by net name, reporting an unknown name as a
+    /// [`LookupError`] with a near-miss suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError`] when the net does not exist.
+    pub fn try_value_by_name(&self, name: &str) -> Result<Logic, LookupError> {
+        Ok(self.value(self.find_net(name)?))
     }
 
     /// Relaxes the network to a fixpoint. Returns the number of sweeps,
@@ -396,6 +423,27 @@ mod tests {
             2e-6,
             0.35e-6,
         ));
+    }
+
+    #[test]
+    fn unknown_net_yields_typed_error_with_suggestion() {
+        let mut f = FlatNetlist::new("inv");
+        let a = f.add_net("data_in", NetKind::Input);
+        let y = f.add_net("data_out", NetKind::Output);
+        let vdd = f.add_net("vdd", NetKind::Power);
+        let gnd = f.add_net("gnd", NetKind::Ground);
+        add_inverter(&mut f, "i", a, y, vdd, gnd);
+        let mut sim = SwitchSim::new(&f);
+        let e = sim.try_set_by_name("data_inn", Logic::One).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "no net named `data_inn`; did you mean `data_in`?"
+        );
+        let e = sim.try_value_by_name("dataout").unwrap_err();
+        assert_eq!(e.suggestion.as_deref(), Some("data_out"));
+        sim.try_set_by_name("data_in", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.try_value_by_name("data_out").unwrap(), Logic::One);
     }
 
     #[test]

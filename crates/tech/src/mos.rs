@@ -85,11 +85,19 @@ impl MosModel {
     ///
     /// Returns zero if the device is below threshold at full drive.
     ///
+    /// A NaN width or length is *not* rejected: it yields a NaN current,
+    /// which propagates through resistance, delay and stress arithmetic
+    /// until the verification layers (NaN-aware since they must report
+    /// poisoned data as findings, never crash mid-flow) surface it.
+    ///
     /// # Panics
     ///
-    /// Panics if `w` or `l` is not strictly positive.
+    /// Panics if `w` or `l` is zero or negative.
     pub fn saturation_current(&self, w: f64, l: f64, corner: &Corner) -> Amps {
-        assert!(w > 0.0 && l > 0.0, "device geometry must be positive");
+        assert!(
+            (w > 0.0 || w.is_nan()) && (l > 0.0 || l.is_nan()),
+            "device geometry must be positive"
+        );
         let vt = self.vt_effective(l, corner.vdd, corner);
         let vgt = corner.vdd.volts() - vt.volts();
         if vgt <= 0.0 {
@@ -108,8 +116,10 @@ impl MosModel {
     /// Panics if the device has no drive at this corner (Vdd below Vt).
     pub fn effective_resistance(&self, w: f64, l: f64, corner: &Corner) -> Ohms {
         let id = self.saturation_current(w, l, corner);
+        // NaN drive (poisoned geometry) passes through as NaN ohms; see
+        // [`MosModel::saturation_current`].
         assert!(
-            id.amps() > 0.0,
+            id.amps() > 0.0 || id.amps().is_nan(),
             "device has no drive at this corner (vdd {} below threshold)",
             corner.vdd
         );
@@ -140,7 +150,12 @@ impl MosModel {
     /// through the rolloff term, which is why a 0.045 µm stretch buys an
     /// order of magnitude.
     pub fn subthreshold_leakage(&self, w: f64, l: f64, corner: &Corner) -> Amps {
-        assert!(w > 0.0 && l > 0.0, "device geometry must be positive");
+        // NaN geometry propagates as NaN current, like
+        // [`MosModel::saturation_current`].
+        assert!(
+            (w > 0.0 || w.is_nan()) && (l > 0.0 || l.is_nan()),
+            "device geometry must be positive"
+        );
         let phi_t = PHI_T_300K * (corner.temperature.celsius() + 273.15) / 300.0;
         let vt = self.vt_effective(l, corner.vdd, corner);
         let swing = self.subthreshold_n * phi_t * std::f64::consts::LN_10;

@@ -3,6 +3,8 @@
 use std::time::Duration;
 
 use cbv_exec::Executor;
+use cbv_obs::TraceCtx;
+
 use cbv_extract::Extracted;
 use cbv_netlist::{CccId, FlatNetlist, NetId};
 use cbv_recognize::{NetRole, Recognition};
@@ -179,19 +181,49 @@ pub fn build_graph_parallel(
     calc: &DelayCalc<'_>,
     exec: &Executor,
 ) -> (TimingGraph, Duration) {
+    build_graph_traced(
+        netlist,
+        recognition,
+        extracted,
+        calc,
+        exec,
+        TraceCtx::disabled(),
+    )
+}
+
+/// [`build_graph_parallel`] with per-chunk tracing: each CCC chunk gets
+/// a `cccs:<start>..<end>` span under `ctx`, and the finished arc count
+/// lands in the `timing.arcs` counter. Chunk boundaries are independent
+/// of the worker count, so the span tree for a given design is
+/// identical at any `CBV_THREADS` (only thread indices and timestamps
+/// differ) — the obs determinism contract.
+pub fn build_graph_traced(
+    netlist: &FlatNetlist,
+    recognition: &Recognition,
+    extracted: &Extracted,
+    calc: &DelayCalc<'_>,
+    exec: &Executor,
+    ctx: TraceCtx<'_>,
+) -> (TimingGraph, Duration) {
     // Arcs: chunk the CCC index space so each queue pop hands a worker a
     // meaningful slice, then flatten in CCC order.
     let n = recognition.cccs.len();
-    let chunk = (n / (exec.thread_count() * 8)).max(1);
+    let chunk = (n / 64).max(1);
     let starts: Vec<usize> = (0..n).step_by(chunk).collect();
-    let (chunks, busy) = exec.map_timed(starts, |start| {
-        let mut arcs = Vec::new();
-        for i in start..(start + chunk).min(n) {
-            arcs.extend(ccc_arcs(netlist, recognition, extracted, calc, i));
-        }
-        arcs
-    });
-    let arcs = chunks.into_iter().flatten().collect();
+    let (chunks, busy) = exec.map_traced(
+        ctx,
+        starts,
+        |start| {
+            let mut arcs = Vec::new();
+            for i in start..(start + chunk).min(n) {
+                arcs.extend(ccc_arcs(netlist, recognition, extracted, calc, i));
+            }
+            arcs
+        },
+        |k| format!("cccs:{}..{}", k * chunk, ((k + 1) * chunk).min(n)),
+    );
+    let arcs: Vec<Arc> = chunks.into_iter().flatten().collect();
+    ctx.tracer.add("timing.arcs", arcs.len() as u64);
     (graph_from_arcs(netlist, recognition, arcs), busy)
 }
 

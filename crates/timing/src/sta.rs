@@ -70,10 +70,13 @@ impl StaReport {
     }
 
     /// The worst (most negative) setup slack, if any setup check exists.
+    /// NaN slacks (broken delay calculations surfaced as violations)
+    /// order *below* every real number via [`f64::total_cmp`], so a
+    /// NaN-poisoned report yields NaN here instead of panicking.
     pub fn worst_setup_slack(&self) -> Option<Seconds> {
         self.of_kind(ViolationKind::Setup)
             .map(|v| v.slack)
-            .min_by(|a, b| a.seconds().partial_cmp(&b.seconds()).expect("finite"))
+            .min_by(|a, b| a.seconds().total_cmp(&b.seconds()))
     }
 
     /// Arrival at a net.
@@ -322,8 +325,12 @@ pub fn analyze(
             (nominal_deadline + sk_min, nominal_floor + sk_max)
         };
 
+        // A NaN slack means the delay calculation broke (NaN parasitic,
+        // NaN device geometry). `NaN < 0.0` is false, so without the
+        // explicit test a broken path would silently pass setup — report
+        // it as a violation instead; the designer sees the path.
         let setup_slack = deadline - c.setup - arr.max;
-        if setup_slack.seconds() < 0.0 {
+        if setup_slack.seconds() < 0.0 || setup_slack.seconds().is_nan() {
             violations.push(Violation {
                 kind: ViolationKind::Setup,
                 net: c.net,
@@ -344,7 +351,10 @@ pub fn analyze(
         let same_edge = race_min
             .map(|m| m.seconds() >= nominal_floor.seconds() - 1e-15)
             .unwrap_or(false);
-        if same_edge && race_slack.seconds() < 0.0 && c.kind != CaptureKind::CrossCoupled {
+        if same_edge
+            && (race_slack.seconds() < 0.0 || race_slack.seconds().is_nan())
+            && c.kind != CaptureKind::CrossCoupled
+        {
             violations.push(Violation {
                 kind: ViolationKind::Race,
                 net: c.net,
@@ -354,12 +364,7 @@ pub fn analyze(
             });
         }
     }
-    violations.sort_by(|a, b| {
-        a.slack
-            .seconds()
-            .partial_cmp(&b.slack.seconds())
-            .expect("finite")
-    });
+    violations.sort_by(|a, b| a.slack.seconds().total_cmp(&b.slack.seconds()));
 
     StaReport {
         arrivals,
@@ -592,6 +597,24 @@ mod tests {
         .is_none());
     }
 
+    /// A NaN arc delay (broken delay calculation, e.g. NaN parasitic)
+    /// must surface as a reported setup violation — not silently pass
+    /// (`NaN < 0.0` is false) and not panic the sort.
+    #[test]
+    fn nan_delay_is_reported_not_silent_or_panicking() {
+        let (f, mut g, cons) = fixture(100.0);
+        g.arcs[1].max = Seconds::new(f64::NAN);
+        let r = run(&f, &g, &cons, 2.0, Pessimism::none(), &[]);
+        let v = r
+            .of_kind(ViolationKind::Setup)
+            .next()
+            .expect("NaN slack must be reported as a violation");
+        assert!(v.slack.seconds().is_nan());
+        assert_eq!(v.net, f.find_net("b").unwrap());
+        // worst_setup_slack must not panic on the NaN entry.
+        assert!(r.worst_setup_slack().is_some());
+    }
+
     #[test]
     fn violations_sorted_worst_first() {
         let (f, g, mut cons) = fixture(600.0);
@@ -604,7 +627,7 @@ mod tests {
         let r = run(&f, &g, &cons, 2.0, Pessimism::none(), &[]);
         let slacks: Vec<f64> = r.violations.iter().map(|v| v.slack.seconds()).collect();
         let mut sorted = slacks.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(slacks, sorted);
     }
 }

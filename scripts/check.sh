@@ -20,6 +20,10 @@ done
 echo "== E14 smoke (ECO walk soundness) =="
 cargo test -q -p cbv-bench e14_eco
 
+echo "== E15 smoke (trace waterfall + observer-effect contract) =="
+cargo test -q -p cbv-bench --lib e15
+cargo test -q -p cbv-core --test obs
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
