@@ -1,0 +1,53 @@
+//! Criterion bench for E16: the marginal cost of one mutant — apply +
+//! incremental verify + revert — against a campaign-primed cache, vs
+//! the site enumeration sweep itself.
+use cbv_core::cache::VerifyCache;
+use cbv_core::flow::{run_flow_incremental, FlowConfig};
+use cbv_core::gen::datapath::alu_slice;
+use cbv_core::mutate::{apply, default_ops, sites, MutationOp};
+use cbv_core::recognize::recognize;
+use cbv_core::tech::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let process = Process::strongarm_035();
+    let base = alu_slice(16, &process).netlist;
+    let config = FlowConfig::default();
+    let mut recognized = base.clone();
+    let recognition = recognize(&mut recognized);
+
+    let mut g = c.benchmark_group("e16_mutation");
+    g.sample_size(10);
+
+    g.bench_function("enumerate_all_default_op_sites", |b| {
+        b.iter(|| {
+            let total: usize = default_ops()
+                .iter()
+                .map(|op| sites(op, &recognized, &recognition).len())
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+
+    let op = MutationOp::WidthScale { factor: 12.0 };
+    let site = sites(&op, &recognized, &recognition)[0];
+    g.bench_function("one_mutant_as_eco", |b| {
+        b.iter_with_setup(
+            || {
+                let mut cache = VerifyCache::new();
+                run_flow_incremental(base.clone(), &process, &config, &mut cache);
+                cache
+            },
+            |mut cache| {
+                let mut nl = base.clone();
+                let m = apply(&mut nl, &op, site).expect("applies");
+                let report = run_flow_incremental(nl.clone(), &process, &config, &mut cache);
+                m.revert(&mut nl);
+                std::hint::black_box((report.signoff.clean(), nl))
+            },
+        )
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+fn main() {
+    cbv_bench::e16_mutation::print();
+}

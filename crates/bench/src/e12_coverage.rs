@@ -34,7 +34,7 @@ fn violations_of(mut netlist: FlatNetlist, p: &Process, cfg: &EverifyConfig) -> 
     let ex = extract(&layout, &netlist, p);
     let report = run_all(&netlist, &rec, &ex, Some(&layout), p, cfg);
     let mut fired: Vec<CheckKind> = report.violations().map(|f| f.check).collect();
-    fired.sort_by_key(|k| format!("{k}"));
+    fired.sort_unstable();
     fired.dedup();
     fired
 }

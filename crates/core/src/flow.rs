@@ -103,6 +103,12 @@ pub struct FlowReport {
     pub recognition: Recognition,
     /// The aggregated signoff.
     pub signoff: Signoff,
+    /// The merged §4.2 electrical report — kept whole (not just the
+    /// signoff roll-up) so downstream consumers like the mutation
+    /// campaign can ask *which* check moved, not merely whether one did.
+    pub everify: cbv_everify::Report,
+    /// The §4.3 static timing report, for the same reason.
+    pub sta: cbv_timing::StaReport,
     /// The final netlist (flow takes ownership).
     pub netlist: FlatNetlist,
 }
@@ -310,6 +316,8 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
         stages,
         recognition,
         signoff,
+        everify: ereport,
+        sta,
         netlist,
     }
 }
@@ -633,6 +641,8 @@ pub fn run_flow_incremental(
         stages,
         recognition,
         signoff,
+        everify: ereport,
+        sta,
         netlist,
     }
 }

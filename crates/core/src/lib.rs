@@ -30,6 +30,7 @@
 //! ```
 
 pub mod flow;
+pub mod oracle;
 pub mod signoff;
 pub mod views;
 
@@ -80,3 +81,6 @@ pub use cbv_obs as obs;
 
 /// Synthetic design generators and fault injectors.
 pub use cbv_gen as gen;
+
+/// Mutation-operator taxonomy and campaign runner (E16).
+pub use cbv_mutate as mutate;

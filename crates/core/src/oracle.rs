@@ -1,0 +1,175 @@
+//! Flow-backed [`FlowOracle`] adapters for the E16 mutation campaign.
+//!
+//! `cbv-mutate` deliberately knows nothing about the flow (the
+//! dependency runs the other way: this crate and `cbv-gen` build on the
+//! operator taxonomy). These adapters close the loop: they run the full
+//! Fig 2 pipeline over each mutant and reduce the [`FlowReport`] to the
+//! detector counts the campaign compares.
+//!
+//! Two oracles exist so the campaign itself can measure the claim that
+//! incremental verification makes mutation testing affordable:
+//!
+//! * [`IncrementalOracle`] owns a [`VerifyCache`]; the campaign's
+//!   baseline run primes it, and every mutant then re-verifies only its
+//!   dirty closure (the one-device ECO path of `run_flow_incremental`).
+//! * [`ColdOracle`] runs the full flow from scratch every time — the
+//!   reference cost, and the cross-check that caching never changes a
+//!   verdict.
+
+use cbv_cache::VerifyCache;
+use cbv_everify::{CheckKind, Severity};
+use cbv_mutate::{FlowObservation, FlowOracle};
+use cbv_netlist::FlatNetlist;
+use cbv_tech::Process;
+
+use crate::flow::{run_flow, run_flow_incremental, FlowConfig, FlowReport};
+
+/// Reduces one flow run to the campaign's detector counts.
+///
+/// `ToolError` findings count as violations — a check that panicked or
+/// produced NaN leaves its unit *unverified*, which a mutation campaign
+/// must treat as detection, not silence.
+pub fn observe(report: &FlowReport) -> FlowObservation {
+    let check_violations = CheckKind::ALL
+        .iter()
+        .map(|&k| {
+            report
+                .everify
+                .of_check(k)
+                .filter(|f| f.severity >= Severity::Violation)
+                .count()
+        })
+        .collect();
+    // Worst stress per check so the campaign can see a mutant worsening
+    // an already-violating subject (count stays flat, stress escalates).
+    let check_max_stress = CheckKind::ALL
+        .iter()
+        .map(|&k| {
+            report
+                .everify
+                .of_check(k)
+                .filter(|f| f.severity >= Severity::Violation)
+                .map(|f| f.stress)
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let verify_cpu = report
+        .stages
+        .iter()
+        .filter(|s| s.stage == "everify" || s.stage == "timing")
+        .map(|s| s.cpu_time.seconds())
+        .sum();
+    let (cache_hits, cache_misses) = report
+        .stages
+        .iter()
+        .filter_map(|s| s.cache)
+        .fold((0, 0), |(h, m), c| (h + c.hits, m + c.misses));
+    FlowObservation {
+        check_violations,
+        check_max_stress,
+        timing_violations: report.sta.violations.len(),
+        verify_cpu,
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// The production campaign oracle: `run_flow_incremental` over a cache
+/// that persists across calls, so every mutant after the first (the
+/// baseline) is verified as a one-site ECO.
+#[derive(Debug)]
+pub struct IncrementalOracle {
+    process: Process,
+    config: FlowConfig,
+    cache: VerifyCache,
+}
+
+impl IncrementalOracle {
+    /// A fresh oracle with an empty cache; the campaign's baseline call
+    /// primes it.
+    pub fn new(process: &Process, config: FlowConfig) -> IncrementalOracle {
+        IncrementalOracle {
+            process: process.clone(),
+            config,
+            cache: VerifyCache::new(),
+        }
+    }
+}
+
+impl FlowOracle for IncrementalOracle {
+    fn verify(&mut self, netlist: &FlatNetlist) -> FlowObservation {
+        let report = run_flow_incremental(
+            netlist.clone(),
+            &self.process,
+            &self.config,
+            &mut self.cache,
+        );
+        observe(&report)
+    }
+}
+
+/// The reference oracle: a cold full flow per mutant. Expensive — it
+/// exists to price the incremental path and to confirm verdicts match.
+#[derive(Debug)]
+pub struct ColdOracle {
+    process: Process,
+    config: FlowConfig,
+}
+
+impl ColdOracle {
+    /// A cold-flow oracle.
+    pub fn new(process: &Process, config: FlowConfig) -> ColdOracle {
+        ColdOracle {
+            process: process.clone(),
+            config,
+        }
+    }
+}
+
+impl FlowOracle for ColdOracle {
+    fn verify(&mut self, netlist: &FlatNetlist) -> FlowObservation {
+        let report = run_flow(netlist.clone(), &self.process, &self.config);
+        observe(&report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_mutate::{apply, MutationOp, Site};
+
+    #[test]
+    fn cold_and_incremental_oracles_agree_on_the_domino_cell() {
+        let p = Process::strongarm_035();
+        let base = crate::gen::latches::keeper_domino(&p, 1e-6).netlist;
+        let mut cold = ColdOracle::new(&p, FlowConfig::default());
+        let mut inc = IncrementalOracle::new(&p, FlowConfig::default());
+        let cold_base = cold.verify(&base);
+        let inc_base = inc.verify(&base);
+        assert_eq!(cold_base.check_violations, inc_base.check_violations);
+        assert_eq!(cold_base.timing_violations, inc_base.timing_violations);
+        assert_eq!(
+            inc_base.cache_hits, 0,
+            "first incremental run is all misses"
+        );
+
+        // A gross mutant moves both oracles identically, and the
+        // incremental one reuses at least one cached unit.
+        let mut mutant = base.clone();
+        let victim = mutant.device_ids().next().unwrap();
+        apply(
+            &mut mutant,
+            &MutationOp::WidthScale { factor: 12.0 },
+            Site::Device(victim),
+        )
+        .unwrap();
+        let cold_obs = cold.verify(&mutant);
+        let inc_obs = inc.verify(&mutant);
+        assert_eq!(cold_obs.check_violations, inc_obs.check_violations);
+        assert_eq!(cold_obs.timing_violations, inc_obs.timing_violations);
+        assert_eq!(
+            inc_obs.fired_against(&inc_base),
+            cold_obs.fired_against(&cold_base)
+        );
+    }
+}

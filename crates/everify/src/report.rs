@@ -17,8 +17,10 @@ use std::fmt;
 
 use cbv_netlist::{DeviceId, NetId};
 
-/// Which check produced a finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Which check produced a finding. `Ord` follows declaration order —
+/// the same canonical order as [`CheckKind::ALL`] — so check lists can
+/// be sorted without allocating display strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CheckKind {
     /// Beta ratio / device size / transistor configuration.
     BetaRatio,

@@ -4,7 +4,15 @@
 //! can: seed the electrical bugs the paper's checks exist to catch and
 //! verify the corresponding verifier fires (experiment E12's detection
 //! matrix) while the others stay quiet.
+//!
+//! Since the mutation campaign (E16) generalized these seven classes
+//! into the parametric operator taxonomy of `cbv-mutate`, each injector
+//! here is a thin shim: it keeps its legacy victim heuristic and
+//! description string, but performs the actual edit through
+//! [`cbv_mutate::apply`] so there is exactly one mutation mechanism in
+//! the tree.
 
+use cbv_mutate::{apply, stack_internal_nmos, MutationOp, Site};
 use cbv_netlist::{DeviceId, FlatNetlist};
 use cbv_tech::MosKind;
 
@@ -39,6 +47,23 @@ impl FaultKind {
         FaultKind::WeakDriver,
         FaultKind::WrongPolarity,
     ];
+
+    /// The equivalent `cbv-mutate` operator at this fault's legacy
+    /// magnitude — the mapping E16 generalizes.
+    pub fn operator(self) -> MutationOp {
+        match self {
+            FaultKind::BetaSkew => MutationOp::BetaSkew { factor: 12.0 },
+            FaultKind::SubMinLength => MutationOp::LengthScale { factor: 0.6 },
+            FaultKind::MonsterKeeper => MutationOp::KeeperResize {
+                w_factor: 25.0,
+                l_factor: 0.5,
+            },
+            FaultKind::LeakyDynamic => MutationOp::WidthScale { factor: 15.0 },
+            FaultKind::ChargeShare => MutationOp::WidthScale { factor: 10.0 },
+            FaultKind::WeakDriver => MutationOp::WidthScale { factor: 1.0 / 10.0 },
+            FaultKind::WrongPolarity => MutationOp::PolaritySwap,
+        }
+    }
 }
 
 /// Injects `kind` into the netlist, using name heuristics to find an
@@ -48,55 +73,56 @@ pub fn inject(netlist: &mut FlatNetlist, kind: FaultKind) -> Option<String> {
     let find = |netlist: &FlatNetlist,
                 pred: &dyn Fn(&cbv_netlist::Device) -> bool|
      -> Option<DeviceId> { netlist.device_ids().find(|&d| pred(netlist.device(d))) };
+    // Apply the equivalent operator at the victim, then report in the
+    // legacy phrasing (E12 goldens predate the operator taxonomy).
+    let mutate = |netlist: &mut FlatNetlist, kind: FaultKind, id: DeviceId| {
+        apply(netlist, &kind.operator(), Site::Device(id)).expect("device site always applies")
+    };
     match kind {
         FaultKind::BetaSkew => {
             let id = find(netlist, &|d| d.kind == MosKind::Pmos)?;
-            let dev = netlist.device_mut(id);
-            dev.w *= 12.0;
-            Some(format!("beta skew: widened PMOS `{}` 12x", dev.name))
+            mutate(netlist, kind, id);
+            Some(format!(
+                "beta skew: widened PMOS `{}` 12x",
+                netlist.device(id).name
+            ))
         }
         FaultKind::SubMinLength => {
             let id = find(netlist, &|d| d.kind == MosKind::Nmos)?;
-            let dev = netlist.device_mut(id);
-            dev.l *= 0.6;
-            Some(format!("sub-min length: shrank `{}` to 0.6 L", dev.name))
+            mutate(netlist, kind, id);
+            Some(format!(
+                "sub-min length: shrank `{}` to 0.6 L",
+                netlist.device(id).name
+            ))
         }
         FaultKind::MonsterKeeper => {
             let id = find(netlist, &|d| d.name.contains("keep"))?;
-            let dev = netlist.device_mut(id);
-            dev.w *= 25.0;
-            dev.l /= 2.0;
-            Some(format!("monster keeper: `{}` now 25x wide", dev.name))
+            mutate(netlist, kind, id);
+            Some(format!(
+                "monster keeper: `{}` now 25x wide",
+                netlist.device(id).name
+            ))
         }
         FaultKind::LeakyDynamic => {
             let id = find(netlist, &|d| {
                 d.kind == MosKind::Nmos && (d.name.contains("eval") || d.name.contains("gen_"))
             })?;
-            let dev = netlist.device_mut(id);
-            dev.w *= 15.0;
+            mutate(netlist, kind, id);
             Some(format!(
                 "leaky dynamic: widened eval device `{}` 15x",
-                dev.name
+                netlist.device(id).name
             ))
         }
         FaultKind::ChargeShare => {
-            // Widen every internal stack device (heuristic: NMOS whose
-            // channel touches no rail on either side).
-            let victims: Vec<DeviceId> = netlist
-                .device_ids()
-                .filter(|&id| {
-                    let d = netlist.device(id);
-                    d.kind == MosKind::Nmos
-                        && !netlist.net_kind(d.source).is_rail()
-                        && !netlist.net_kind(d.drain).is_rail()
-                })
-                .collect();
+            // Widen every internal stack device (NMOS whose channel
+            // touches no rail on either side).
+            let victims = stack_internal_nmos(netlist);
             if victims.is_empty() {
                 return None;
             }
             let n = victims.len();
             for id in victims {
-                netlist.device_mut(id).w *= 10.0;
+                mutate(netlist, kind, id);
             }
             Some(format!("charge share: widened {n} stack devices 10x"))
         }
@@ -116,15 +142,19 @@ pub fn inject(netlist: &mut FlatNetlist, kind: FaultKind) -> Option<String> {
                 }
             }
             let (id, _) = best?;
-            let dev = netlist.device_mut(id);
-            dev.w /= 10.0;
-            Some(format!("weak driver: shrank `{}` 10x", dev.name))
+            mutate(netlist, kind, id);
+            Some(format!(
+                "weak driver: shrank `{}` 10x",
+                netlist.device(id).name
+            ))
         }
         FaultKind::WrongPolarity => {
             let id = find(netlist, &|d| d.kind == MosKind::Nmos)?;
-            let dev = netlist.device_mut(id);
-            dev.kind = MosKind::Pmos;
-            Some(format!("wrong polarity: `{}` NMOS -> PMOS", dev.name))
+            mutate(netlist, kind, id);
+            Some(format!(
+                "wrong polarity: `{}` NMOS -> PMOS",
+                netlist.device(id).name
+            ))
         }
     }
 }
@@ -174,5 +204,34 @@ mod tests {
         ));
         assert!(inject(&mut f, FaultKind::BetaSkew).is_none());
         assert!(inject(&mut f, FaultKind::MonsterKeeper).is_none());
+    }
+
+    #[test]
+    fn legacy_faults_map_onto_mutation_operators() {
+        // The descriptions and magnitudes of the legacy injectors are
+        // pinned by E12 goldens; the operator mapping must preserve them.
+        assert_eq!(
+            FaultKind::BetaSkew.operator(),
+            MutationOp::BetaSkew { factor: 12.0 }
+        );
+        assert_eq!(
+            FaultKind::WeakDriver.operator().magnitude(),
+            Some(1.0 / 10.0)
+        );
+        let p = Process::strongarm_035();
+        let mut g = keeper_domino(&p, 1e-6);
+        let keeper = g
+            .netlist
+            .device_ids()
+            .find(|&d| g.netlist.device(d).name.contains("keep"))
+            .unwrap();
+        let (w0, l0) = {
+            let d = g.netlist.device(keeper);
+            (d.w, d.l)
+        };
+        inject(&mut g.netlist, FaultKind::MonsterKeeper).unwrap();
+        let d = g.netlist.device(keeper);
+        assert_eq!(d.w, w0 * 25.0);
+        assert_eq!(d.l, l0 * 0.5);
     }
 }

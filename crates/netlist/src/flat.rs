@@ -25,6 +25,24 @@ impl NetUse {
     }
 }
 
+/// Names one terminal of a MOS device — the address a rewire edit needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// The gate terminal.
+    Gate,
+    /// The source terminal.
+    Source,
+    /// The drain terminal.
+    Drain,
+    /// The bulk/well tie.
+    Bulk,
+}
+
+impl Term {
+    /// All four terminals in declaration order.
+    pub const ALL: [Term; 4] = [Term::Gate, Term::Source, Term::Drain, Term::Bulk];
+}
+
 /// A flattened design: plain vectors of nets and devices plus connectivity
 /// indices. Construction is append-only; the connectivity index is
 /// maintained incrementally on every append, so all connectivity queries
@@ -173,6 +191,108 @@ impl FlatNetlist {
     /// Panics if out of range.
     pub fn device_mut(&mut self, id: DeviceId) -> &mut Device {
         &mut self.devices[id.index()]
+    }
+
+    /// Moves one terminal of a device to another net, keeping the
+    /// connectivity index current. Returns the net the terminal was on.
+    ///
+    /// This is the connectivity edit a mutation/ECO needs: unlike
+    /// [`FlatNetlist::device_mut`] (which only the geometry fields may be
+    /// edited through), rewiring updates the `uses` index so every
+    /// `net_uses`-based query stays correct afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device or the target net is out of range.
+    pub fn rewire(&mut self, id: DeviceId, term: Term, net: NetId) -> NetId {
+        assert!(
+            net.0 < self.net_names.len() as u32,
+            "rewire target net out of range"
+        );
+        let d = &self.devices[id.index()];
+        let (gate, source, drain, bulk) = (d.gate, d.source, d.drain, d.bulk);
+        let old = match term {
+            Term::Gate => gate,
+            Term::Source => source,
+            Term::Drain => drain,
+            Term::Bulk => bulk,
+        };
+        if old == net {
+            return old;
+        }
+        // Detach every index entry of this device, update the terminal,
+        // then re-attach using the same dedup rule as `add_device` (one
+        // Channel entry when source == drain).
+        for n in [gate, source, drain, bulk] {
+            self.uses[n.index()].retain(|u| u.device() != id);
+        }
+        {
+            let d = &mut self.devices[id.index()];
+            match term {
+                Term::Gate => d.gate = net,
+                Term::Source => d.source = net,
+                Term::Drain => d.drain = net,
+                Term::Bulk => d.bulk = net,
+            }
+        }
+        let d = &self.devices[id.index()];
+        let (gate, source, drain, bulk) = (d.gate, d.source, d.drain, d.bulk);
+        self.uses[gate.index()].push(NetUse::Gate(id));
+        self.uses[source.index()].push(NetUse::Channel(id));
+        if drain != source {
+            self.uses[drain.index()].push(NetUse::Channel(id));
+        }
+        self.uses[bulk.index()].push(NetUse::Bulk(id));
+        old
+    }
+
+    /// Removes the most recently appended device, unwinding its index
+    /// entries — the undo for a mutation that added a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no devices.
+    pub fn pop_device(&mut self) -> Device {
+        let d = self.devices.pop().expect("pop_device on empty netlist");
+        let id = DeviceId(self.devices.len() as u32);
+        for n in [d.gate, d.source, d.drain, d.bulk] {
+            self.uses[n.index()].retain(|u| u.device() != id);
+        }
+        d
+    }
+
+    /// Removes the most recently appended net — the undo for a mutation
+    /// that introduced a scratch net (e.g. the floating net of an "open"
+    /// fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no nets, if anything still uses the net, or if
+    /// a passive terminal references it.
+    pub fn pop_net(&mut self) -> String {
+        let id = NetId(self.net_names.len() as u32 - 1);
+        assert!(
+            self.uses[id.index()].is_empty(),
+            "pop_net: net `{}` still has attached devices",
+            self.net_names[id.index()]
+        );
+        assert!(
+            self.passives.iter().all(|p| p.a != id && p.b != id),
+            "pop_net: net `{}` still has attached passives",
+            self.net_names[id.index()]
+        );
+        self.uses.pop();
+        self.net_kinds.pop();
+        let name = self.net_names.pop().expect("pop_net on empty netlist");
+        if self.by_name.get(&name) == Some(&id) {
+            self.by_name.remove(&name);
+            // An earlier net may share the name; restore the first match
+            // so `find_net` keeps its "first declaration wins" contract.
+            if let Some(first) = self.net_names.iter().position(|n| n == &name) {
+                self.by_name.insert(name.clone(), NetId(first as u32));
+            }
+        }
+        name
     }
 
     /// The passive elements.
@@ -371,6 +491,107 @@ mod tests {
             1e-6,
             1e-6,
         ));
+    }
+
+    #[test]
+    fn rewire_moves_one_terminal_and_updates_index() {
+        let mut f = nand2();
+        let a = f.find_net("a").unwrap();
+        let b = f.find_net("b").unwrap();
+        let mna = f.device_ids().find(|&d| f.device(d).name == "mna").unwrap();
+        let old = f.rewire(mna, Term::Gate, b);
+        assert_eq!(old, a);
+        assert_eq!(f.device(mna).gate, b);
+        assert_eq!(f.gate_loads(a).len(), 1, "a keeps only mpa's gate");
+        assert_eq!(f.gate_loads(b).len(), 3, "b gains mna's gate");
+        // Channel attachments were re-added untouched.
+        let y = f.find_net("y").unwrap();
+        assert!(f.channel_devices(y).contains(&mna));
+        // Rewiring back restores the original attachment sets.
+        f.rewire(mna, Term::Gate, a);
+        assert_eq!(f.gate_loads(a).len(), 2);
+        assert_eq!(f.gate_loads(b).len(), 2);
+    }
+
+    #[test]
+    fn rewire_handles_merged_channel_terminals() {
+        let mut f = nand2();
+        let y = f.find_net("y").unwrap();
+        let x = f.find_net("x").unwrap();
+        let mna = f.device_ids().find(|&d| f.device(d).name == "mna").unwrap();
+        // Collapse mna's channel onto one net: exactly one Channel entry.
+        f.rewire(mna, Term::Drain, x);
+        assert_eq!(f.device(mna).source, x);
+        assert_eq!(f.device(mna).drain, x);
+        let entries = f
+            .net_uses(x)
+            .iter()
+            .filter(|u| matches!(u, NetUse::Channel(d) if *d == mna))
+            .count();
+        assert_eq!(entries, 1, "merged channel indexes once, like add_device");
+        assert!(!f.channel_devices(y).contains(&mna));
+        // Split it back out.
+        f.rewire(mna, Term::Drain, y);
+        assert!(f.channel_devices(y).contains(&mna));
+        assert_eq!(
+            f.net_uses(x)
+                .iter()
+                .filter(|u| matches!(u, NetUse::Channel(d) if *d == mna))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn pop_device_unwinds_the_index() {
+        let mut f = nand2();
+        let a = f.find_net("a").unwrap();
+        let y = f.find_net("y").unwrap();
+        let gnd = f.find_net("gnd").unwrap();
+        let before_gates = f.gate_loads(a).len();
+        f.add_device(Device::mos(
+            MosKind::Nmos,
+            "extra",
+            a,
+            y,
+            gnd,
+            gnd,
+            1e-6,
+            0.35e-6,
+        ));
+        assert_eq!(f.gate_loads(a).len(), before_gates + 1);
+        let d = f.pop_device();
+        assert_eq!(d.name, "extra");
+        assert_eq!(f.gate_loads(a).len(), before_gates);
+        assert_eq!(f.devices().len(), 4);
+    }
+
+    #[test]
+    fn pop_net_removes_an_unused_scratch_net() {
+        let mut f = nand2();
+        let n = f.net_count();
+        let scratch = f.add_net("scratch", NetKind::Signal);
+        assert_eq!(f.find_net("scratch"), Some(scratch));
+        let name = f.pop_net();
+        assert_eq!(name, "scratch");
+        assert_eq!(f.net_count(), n);
+        assert_eq!(f.find_net("scratch"), None);
+    }
+
+    #[test]
+    fn pop_net_restores_earlier_duplicate_name() {
+        let mut f = FlatNetlist::new("dup");
+        let first = f.add_net("n", NetKind::Signal);
+        let _second = f.add_net("n", NetKind::Signal);
+        f.pop_net();
+        assert_eq!(f.find_net("n"), Some(first));
+    }
+
+    #[test]
+    #[should_panic(expected = "still has attached devices")]
+    fn pop_net_refuses_a_used_net() {
+        let mut f = nand2();
+        f.pop_net(); // "gnd" is a bulk/channel net of mna/mnb
     }
 
     #[test]

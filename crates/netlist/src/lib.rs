@@ -52,7 +52,7 @@ pub use ccc::{partition_cccs, Ccc, CccId};
 pub use cell::{Cell, CellId, Instance, Library};
 pub use device::{Device, Passive, PassiveKind};
 pub use error::NetlistError;
-pub use flat::{FlatNetlist, NetUse};
+pub use flat::{FlatNetlist, NetUse, Term};
 
 /// Index of a net within one [`Cell`] or one [`FlatNetlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

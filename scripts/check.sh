@@ -24,6 +24,17 @@ echo "== E15 smoke (trace waterfall + observer-effect contract) =="
 cargo test -q -p cbv-bench --lib e15
 cargo test -q -p cbv-core --test obs
 
+# The mutation matrix must be byte-identical across worker counts (the
+# in-test assertions cover explicit parallelism; these two runs cover
+# the CBV_THREADS auto-default path in separate processes).
+for threads in 1 8; do
+  echo "== mutation-campaign regression (CBV_THREADS=$threads) =="
+  CBV_THREADS=$threads cargo test -q -p cbv-core --test mutation
+done
+
+echo "== E16 smoke (campaign detects, amortizes, and round-trips JSON) =="
+cargo test -q -p cbv-bench --lib e16
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -245,6 +245,144 @@ fn transistor_adder_shadows_rtl_adder() {
 }
 
 #[test]
+fn pure_sizing_mutants_leave_logic_bit_identical() {
+    // The mutation taxonomy splits into electrical-class operators
+    // (geometry only) and functional-class operators. The electrical
+    // ones must be invisible to every logic engine: a resized transistor
+    // changes delays and margins, never truth tables.
+    use cbv_core::mutate::{apply, MutationOp, Site};
+
+    let p = Process::strongarm_035();
+    let base = static_ripple_adder(4, &p);
+    let design = compile(ADDER_RTL, "add4").expect("rtl compiles");
+    let mut interp = Interp::new(&design);
+
+    let sizing_ops = [
+        MutationOp::WidthScale { factor: 12.0 },
+        MutationOp::WidthScale { factor: 0.1 },
+        MutationOp::LengthScale { factor: 0.6 },
+        MutationOp::BetaSkew { factor: 12.0 },
+    ];
+    for (k, op) in sizing_ops.iter().enumerate() {
+        let mut mutant = base.netlist.clone();
+        // Spread victims across the design: one device per operator.
+        let victim = mutant
+            .device_ids()
+            .nth(k * 7 % mutant.devices().len())
+            .unwrap();
+        apply(&mut mutant, op, Site::Device(victim)).expect("applies");
+        let mut switch = SwitchSim::new(&mutant);
+        for (a, b, cin) in [(3u64, 9u64, 0u64), (15, 15, 1), (0, 0, 1), (7, 8, 1)] {
+            interp.set_input("a", a);
+            interp.set_input("b", b);
+            interp.set_input("cin", cin);
+            for i in 0..4 {
+                switch.set_by_name(&format!("a[{i}]"), Logic::from_bool((a >> i) & 1 == 1));
+                switch.set_by_name(&format!("b[{i}]"), Logic::from_bool((b >> i) & 1 == 1));
+            }
+            switch.set_by_name("cin", Logic::from_bool(cin == 1));
+            switch.settle().expect("stable");
+            assert_eq!(
+                switch.read_bus("s", 4).expect("no X"),
+                interp.output("s"),
+                "{op} on device {victim:?} changed s (a={a} b={b} cin={cin})"
+            );
+            assert_eq!(
+                switch.value_by_name("cout"),
+                Logic::from_bool(interp.output("cout") == 1),
+                "{op} on device {victim:?} changed cout"
+            );
+        }
+    }
+}
+
+#[test]
+fn polarity_and_bridge_mutants_fail_equivalence() {
+    // The functional-class operators must NOT survive §4.1: a polarity
+    // swap or a net bridge in a verified cone has to break equivalence.
+    use cbv_core::mutate::{apply, MutationOp, Site};
+
+    let p = Process::strongarm_035();
+    let base = static_ripple_adder(2, &p).netlist;
+
+    let mut mgr = Bdd::new();
+    let mut vars = VarTable::default();
+    let spec_an = {
+        let v = vars.var("a[0]");
+        let a_ref = mgr.var(v);
+        mgr.not(a_ref)
+    };
+    let spec_bn = {
+        let v = vars.var("b[0]");
+        let b_ref = mgr.var(v);
+        mgr.not(b_ref)
+    };
+    let specs = |mgr: &mut Bdd| {
+        let _ = mgr;
+        [
+            OutputSpec {
+                net: "xp0_an".into(),
+                golden: spec_an,
+                complemented: false,
+            },
+            OutputSpec {
+                net: "xp0_bn".into(),
+                golden: spec_bn,
+                complemented: false,
+            },
+        ]
+    };
+
+    // Sanity: the unmutated rails verify.
+    let mut clean = base.clone();
+    let rec = recognize(&mut clean);
+    let s = specs(&mut mgr);
+    let results = check_circuit_outputs(&clean, &rec, &s, &mut mgr, &mut vars).expect("runs");
+    assert!(results.iter().all(|(_, r)| *r == CombResult::Equivalent));
+
+    // Polarity swap inside the an-complement cone: the inverter driving
+    // `xp0_an` no longer computes NOT.
+    let an = base.find_net("xp0_an").expect("an rail");
+    let mut swapped = base.clone();
+    let victim = swapped
+        .device_ids()
+        .find(|&d| {
+            let dev = swapped.device(d);
+            dev.source == an || dev.drain == an
+        })
+        .expect("a device drives the rail");
+    apply(
+        &mut swapped,
+        &MutationOp::PolaritySwap,
+        Site::Device(victim),
+    )
+    .expect("applies");
+    let rec = recognize(&mut swapped);
+    let s = specs(&mut mgr);
+    let caught = match check_circuit_outputs(&swapped, &rec, &s, &mut mgr, &mut vars) {
+        // Either the check disproves equivalence...
+        Ok(results) => results.iter().any(|(_, r)| *r != CombResult::Equivalent),
+        // ...or the mangled cone no longer even recognizes as a
+        // checkable gate — also a detection, not a silent pass.
+        Err(_) => true,
+    };
+    assert!(caught, "polarity swap must not verify as equivalent");
+
+    // Bridge between the two complement rails: at least one side of the
+    // short must stop being its spec.
+    let bn = base.find_net("xp0_bn").expect("bn rail");
+    let mut bridged = base.clone();
+    apply(&mut bridged, &MutationOp::NetBridge, Site::Bridge(an, bn)).expect("applies");
+    let rec = recognize(&mut bridged);
+    let s = specs(&mut mgr);
+    let caught = match check_circuit_outputs(&bridged, &rec, &s, &mut mgr, &mut vars) {
+        Ok(results) => results.iter().any(|(_, r)| *r != CombResult::Equivalent),
+        Err(_) => true,
+    };
+    assert!(caught, "net bridge must not verify as equivalent");
+}
+
+#[test]
 fn shadow_catches_injected_functional_bug() {
     use cbv_core::gen::{inject, FaultKind};
     use cbv_core::sim::{BitBinding, ShadowSim};

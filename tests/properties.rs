@@ -443,3 +443,126 @@ proptest! {
         prop_assert_eq!(fa.residue().content, fb.residue().content);
     }
 }
+
+proptest! {
+    /// A sizing mutation (the electrical-class operators of E16) dirties
+    /// *exactly* the owning CCC's content fingerprint plus the
+    /// whole-design residue — no more, no less. This is what makes
+    /// campaign mutants cheap: the incremental flow re-verifies only the
+    /// dirty closure around one component.
+    #[test]
+    fn sizing_mutation_dirties_exactly_the_owning_ccc(
+        bits in 2u32..4,
+        dev_sel in any::<u64>(),
+        op_kind in 0u8..5,
+        factor in 1.1f64..4.0,
+    ) {
+        use cbv_core::cache::fingerprint_design;
+        use cbv_core::extract::Extracted;
+        use cbv_core::mutate::{apply, MutationOp, Site};
+        use cbv_core::recognize::recognize;
+
+        let p = Process::strongarm_035();
+        let mut base = cbv_core::gen::adders::static_ripple_adder(bits, &p).netlist;
+        let rec = recognize(&mut base);
+        let before = fingerprint_design(&base, &rec, &Extracted::default());
+
+        let d = cbv_core::netlist::DeviceId((dev_sel % base.devices().len() as u64) as u32);
+        let owner = rec.device_ccc[d.index()].index();
+        let op = match op_kind {
+            0 => MutationOp::WidthScale { factor },
+            1 => MutationOp::WidthScale { factor: 1.0 / factor },
+            2 => MutationOp::LengthScale { factor: 1.0 / factor },
+            3 => MutationOp::BetaSkew { factor },
+            _ => MutationOp::KeeperResize { w_factor: factor, l_factor: 0.5 },
+        };
+
+        let mut work = base.clone();
+        let m = apply(&mut work, &op, Site::Device(d)).expect("device site applies");
+        let rec1 = recognize(&mut work);
+        prop_assert_eq!(rec.cccs.len(), rec1.cccs.len(), "sizing keeps the partition");
+        let after = fingerprint_design(&work, &rec1, &Extracted::default());
+
+        let residue = before.units.len() - 1;
+        for i in 0..before.units.len() {
+            let changed = before.units[i].content != after.units[i].content;
+            if i == owner || i == residue {
+                prop_assert!(changed, "{op} on {d:?} must dirty unit {i} (owner {owner})");
+            } else if rec.roles == rec1.roles {
+                // A pure sizing edit that moves no recognition role must
+                // stay contained. (When resizing flips a role — a shrunk
+                // device starts reading as a weak keeper, say — the role
+                // is part of the neighbours' content by design, so their
+                // fingerprints legitimately move too.)
+                prop_assert!(!changed, "{op} on {d:?} must NOT dirty unit {i} (owner {owner})");
+            }
+        }
+
+        // Un-applying restores every fingerprint bit-exactly.
+        m.revert(&mut work);
+        let rec2 = recognize(&mut work);
+        let restored = fingerprint_design(&work, &rec2, &Extracted::default());
+        for i in 0..before.units.len() {
+            prop_assert_eq!(before.units[i].content, restored.units[i].content);
+            prop_assert_eq!(before.units[i].binding, restored.units[i].binding);
+        }
+    }
+
+    /// Every E16 operator — including the structural ones that add or
+    /// rewire devices and nets — round-trips: apply then revert restores
+    /// every content *and* binding fingerprint of the design.
+    #[test]
+    fn every_mutation_operator_round_trips_fingerprints(
+        op_sel in 0usize..11,
+        site_sel in any::<u64>(),
+    ) {
+        use cbv_core::cache::fingerprint_design;
+        use cbv_core::extract::Extracted;
+        use cbv_core::mutate::{apply, default_ops, sites};
+        use cbv_core::recognize::recognize;
+
+        let p = Process::strongarm_035();
+        // The domino cell has keepers, precharges and clocked devices, so
+        // every operator class enumerates at least one site (except
+        // clock-phase-swap when the cell has a single clock — skipped).
+        let mut base = cbv_core::gen::latches::keeper_domino(&p, 1e-6).netlist;
+        let rec = recognize(&mut base);
+        let before = fingerprint_design(&base, &rec, &Extracted::default());
+
+        let op = default_ops()[op_sel];
+        let ss = sites(&op, &base, &rec);
+        if ss.is_empty() {
+            // clock-phase-swap on a single-clock cell: nothing to test.
+            continue;
+        }
+        let site = ss[(site_sel % ss.len() as u64) as usize];
+
+        // Mutate a pristine clone; fingerprint the mutant on a *separate*
+        // clone so recognize's in-place net promotion never leaks into
+        // the netlist we revert.
+        let mut work = base.clone();
+        let m = apply(&mut work, &op, site).expect("enumerated site applies");
+        let mut mutant_view = work.clone();
+        let rec1 = recognize(&mut mutant_view);
+        let after = fingerprint_design(&mutant_view, &rec1, &Extracted::default());
+        prop_assert!(
+            before.residue().content != after.residue().content,
+            "{op} must dirty the residue"
+        );
+
+        m.revert(&mut work);
+        let rec2 = recognize(&mut work);
+        let restored = fingerprint_design(&work, &rec2, &Extracted::default());
+        prop_assert_eq!(before.units.len(), restored.units.len());
+        for i in 0..before.units.len() {
+            prop_assert_eq!(
+                before.units[i].content, restored.units[i].content,
+                "{} at {:?}: unit {} content must restore", op, site, i
+            );
+            prop_assert_eq!(
+                before.units[i].binding, restored.units[i].binding,
+                "{} at {:?}: unit {} binding must restore", op, site, i
+            );
+        }
+    }
+}
