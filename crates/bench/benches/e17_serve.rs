@@ -1,0 +1,39 @@
+//! Criterion bench for E17: one ECO round-trip (frame → queue → verify
+//! → signoff reply) against a warm loopback daemon, vs the in-process
+//! service call it wraps — the protocol + queue overhead.
+use cbv_core::flow::FlowConfig;
+use cbv_core::service::FlowService;
+use cbv_core::tech::Process;
+use cbv_serve::{serve, Client, ServerConfig, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let server = serve(ServerConfig::default()).expect("bind loopback daemon");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.open("dcvsl").expect("open");
+    client.signoff(None).expect("warm the shared cache");
+    let edit = cbv_bench::e17_serve::eco_step(0, 8);
+
+    let process = Process::strongarm_035();
+    let session = Session::open("dcvsl", &process).expect("open");
+    let service = FlowService::new(process, FlowConfig::default());
+    service.verify(session.netlist().clone(), None, None);
+
+    let mut g = c.benchmark_group("e17_serve_roundtrip");
+    g.sample_size(10);
+    g.bench_function("remote_eco_signoff", |b| {
+        b.iter(|| {
+            let v = client.eco(&edit, None).expect("eco");
+            client.rollback(0).expect("rollback");
+            std::hint::black_box(v)
+        })
+    });
+    g.bench_function("in_process_verify", |b| {
+        b.iter(|| std::hint::black_box(service.verify(session.netlist().clone(), None, None)))
+    });
+    g.finish();
+    drop(client);
+    server.shutdown();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

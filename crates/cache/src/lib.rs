@@ -22,6 +22,7 @@
 //! save/load round-trip is *exact* — a reloaded cache produces the same
 //! bytes of signoff as the live one.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -83,6 +84,9 @@ pub struct CacheStats {
     pub hits: usize,
     /// Units re-verified (fingerprint miss or dirty neighbour).
     pub misses: usize,
+    /// Entries evicted from the cache while this stage's fresh results
+    /// were stored (nonzero only on a capacity-bounded cache).
+    pub evictions: usize,
 }
 
 impl CacheStats {
@@ -92,21 +96,68 @@ impl CacheStats {
     }
 }
 
+/// One stored unit result plus its recency stamp (interior-mutable so a
+/// shared-reference lookup can refresh it).
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    result: UnitResult,
+    used: Cell<u64>,
+}
+
 /// The verification result store.
 ///
-/// A plain fingerprint-keyed map. Entries are never invalidated in
-/// place — a stale entry simply stops being hit once its key no longer
-/// matches anything — so the store only grows; call
-/// [`VerifyCache::retain_env`] to drop entries from dead environments.
+/// A fingerprint-keyed map. Entries are never invalidated in place — a
+/// stale entry simply stops being hit once its key no longer matches
+/// anything — so an unbounded store only grows; call
+/// [`VerifyCache::retain_env`] to drop entries from dead environments,
+/// or give the cache a [capacity](VerifyCache::with_capacity) and let
+/// least-recently-used eviction bound it (what a long-running daemon
+/// does). Every [`get`](VerifyCache::get) refreshes the entry's recency;
+/// an insert past capacity evicts the stalest entry and bumps the
+/// [eviction counter](VerifyCache::evictions).
 #[derive(Debug, Clone, Default)]
 pub struct VerifyCache {
-    entries: HashMap<CacheKey, UnitResult>,
+    entries: HashMap<CacheKey, Entry>,
+    tick: Cell<u64>,
+    capacity: Option<usize>,
+    evictions: usize,
 }
 
 impl VerifyCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> VerifyCache {
         VerifyCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (LRU beyond).
+    pub fn with_capacity(capacity: usize) -> VerifyCache {
+        VerifyCache {
+            capacity: Some(capacity.max(1)),
+            ..VerifyCache::default()
+        }
+    }
+
+    /// The entry cap, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Re-bounds the cache. Shrinking below the current population
+    /// evicts least-recently-used entries immediately; `None` removes
+    /// the cap.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity.map(|c| c.max(1));
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// Entries evicted over the cache's lifetime (a cumulative counter;
+    /// stage reports carry per-run deltas).
+    pub fn evictions(&self) -> usize {
+        self.evictions
     }
 
     /// Number of stored unit results.
@@ -119,17 +170,67 @@ impl VerifyCache {
         self.entries.is_empty()
     }
 
-    /// Looks up a unit result.
+    fn next_tick(&self) -> u64 {
+        let t = self.tick.get() + 1;
+        self.tick.set(t);
+        t
+    }
+
+    /// Looks up a unit result, refreshing its LRU recency.
     pub fn get(&self, key: &CacheKey) -> Option<&UnitResult> {
-        self.entries.get(key)
+        let entry = self.entries.get(key)?;
+        entry.used.set(self.next_tick());
+        Some(&entry.result)
     }
 
-    /// Stores a unit result.
+    /// Stores a unit result. On a bounded cache, storing a *new* key at
+    /// capacity first evicts the least-recently-used entry (stamp ties
+    /// cannot occur: stamps are unique).
     pub fn insert(&mut self, key: CacheKey, result: UnitResult) {
-        self.entries.insert(key, result);
+        let used = Cell::new(self.next_tick());
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = Entry { result, used };
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            while self.entries.len() >= cap {
+                self.evict_lru();
+            }
+        }
+        self.entries.insert(key, Entry { result, used });
     }
 
-    /// Drops everything.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.used.get())
+            .map(|(&k, _)| k);
+        if let Some(k) = victim {
+            self.entries.remove(&k);
+            self.evictions += 1;
+        }
+    }
+
+    /// Merges entries this cache lacks from `other` (a snapshot another
+    /// flow run populated), respecting this cache's capacity. Existing
+    /// entries win — two runs of the same unit produce the same payload,
+    /// so freshness is irrelevant; keys are merged in sorted order so
+    /// any evictions are deterministic. This is the write-back half of
+    /// the daemon's shared-cache discipline: snapshot under the lock,
+    /// verify unlocked, absorb the additions under the lock.
+    pub fn absorb(&mut self, other: &VerifyCache) {
+        let mut keys: Vec<&CacheKey> = other.entries.keys().collect();
+        keys.sort_unstable();
+        for &key in &keys {
+            if !self.entries.contains_key(key) {
+                self.insert(*key, other.entries[key].result.clone());
+            }
+        }
+    }
+
+    /// Drops everything (the eviction counter survives: it is a
+    /// lifetime tally, not a population count).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -142,7 +243,9 @@ impl VerifyCache {
 
     /// Serializes the cache to JSON. Entries are emitted in sorted key
     /// order, so equal caches serialize to equal bytes. Floats are
-    /// stored as `to_bits()` integers for exact round-tripping.
+    /// stored as `to_bits()` integers for exact round-tripping. Recency
+    /// stamps, capacity and the eviction counter are *not* persisted: a
+    /// reloaded cache starts a fresh LRU history.
     pub fn to_json(&self) -> String {
         let mut keys: Vec<&CacheKey> = self.entries.keys().collect();
         keys.sort_unstable();
@@ -152,7 +255,7 @@ impl VerifyCache {
             if i > 0 {
                 out.push(',');
             }
-            write_entry(key, &self.entries[key], &mut out);
+            write_entry(key, &self.entries[key].result, &mut out);
         }
         out.push_str("]}");
         out
@@ -419,7 +522,7 @@ mod tests {
         let json = c.to_json();
         let back = VerifyCache::from_json(&json).unwrap();
         assert_eq!(back.len(), c.len());
-        for (k, v) in &c.entries {
+        for (k, v) in c.entries.iter().map(|(k, e)| (k, &e.result)) {
             let r = back.get(k).expect("entry survives");
             // Bit-exact comparison finding by finding (PartialEq on the
             // whole struct would reject the NaN-stress tool error even
@@ -442,6 +545,72 @@ mod tests {
         }
         // Deterministic serialization: reserialize equals original.
         assert_eq!(back.to_json(), json);
+    }
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey {
+            env: 1,
+            content: i,
+            binding: i,
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c = VerifyCache::with_capacity(3);
+        assert_eq!(c.capacity(), Some(3));
+        for i in 0..3 {
+            c.insert(key(i), sample_result());
+        }
+        assert_eq!(c.evictions(), 0);
+        // Refresh 0 so 1 is now the stalest entry.
+        assert!(c.get(&key(0)).is_some());
+        c.insert(key(3), sample_result());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&key(1)).is_none(), "LRU entry 1 evicted");
+        assert!(c.get(&key(0)).is_some(), "refreshed entry survives");
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        // Replacing an existing key never evicts.
+        c.insert(key(3), sample_result());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut c = VerifyCache::new();
+        for i in 0..5 {
+            c.insert(key(i), sample_result());
+        }
+        // Recency order is insertion order; refresh 0 before shrinking.
+        assert!(c.get(&key(0)).is_some());
+        c.set_capacity(Some(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 3);
+        assert!(c.get(&key(0)).is_some());
+        assert!(c.get(&key(4)).is_some());
+        c.set_capacity(None);
+        assert_eq!(c.capacity(), None);
+    }
+
+    #[test]
+    fn absorb_merges_missing_entries_deterministically() {
+        let mut shared = VerifyCache::with_capacity(4);
+        shared.insert(key(0), sample_result());
+        let mut snapshot = shared.clone();
+        snapshot.insert(key(1), sample_result());
+        snapshot.insert(key(2), sample_result());
+        shared.insert(key(3), sample_result());
+        shared.absorb(&snapshot);
+        assert_eq!(shared.len(), 4);
+        for i in 0..4 {
+            assert!(shared.get(&key(i)).is_some(), "entry {i} present");
+        }
+        // Absorbing the same snapshot again changes nothing.
+        shared.absorb(&snapshot);
+        assert_eq!(shared.len(), 4);
+        assert_eq!(shared.evictions(), 0);
     }
 
     #[test]

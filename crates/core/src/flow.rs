@@ -56,6 +56,18 @@ pub struct FlowConfig {
     /// stages) and the flow's counters and gauges. Disabled by default;
     /// the flow's outputs are byte-identical either way.
     pub tracer: Tracer,
+    /// Cooperative deadline for the incremental flow's per-unit work.
+    /// Each dirty unit checks the clock before its battery / arc
+    /// computation starts; past the deadline the unit aborts through the
+    /// existing panic-isolation path and is reported as a `ToolError`
+    /// finding (and left uncached), so a timed-out request can never
+    /// produce a clean signoff. The serial stages are not interrupted —
+    /// this is a verification-work bound, not a hard wall clock.
+    pub deadline: Option<Instant>,
+    /// Parent span id for the flow's `flow` root span, letting a caller
+    /// (the verification daemon) nest an entire flow run under its own
+    /// per-request span. `None` emits `flow` as a trace root, as before.
+    pub trace_parent: Option<u64>,
 }
 
 impl Default for FlowConfig {
@@ -68,6 +80,8 @@ impl Default for FlowConfig {
             check_drc: false,
             parallelism: 0,
             tracer: Tracer::disabled(),
+            deadline: None,
+            trace_parent: None,
         }
     }
 }
@@ -130,6 +144,20 @@ impl FlowReport {
     }
 }
 
+/// Cooperative deadline check run at the top of each per-unit closure.
+/// Panicking (rather than returning an error) rides the executor's
+/// `catch_unwind` isolation: the unit surfaces as a `ToolError` finding
+/// naming it, is marked poisoned, and is never cached — exactly the
+/// path a genuine tool crash takes, so no new plumbing is needed and a
+/// deadline can never silently drop findings.
+fn check_deadline(deadline: Option<Instant>) {
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            panic!("flow deadline exceeded");
+        }
+    }
+}
+
 /// Times one stage under one span of the flow's trace. The closure
 /// receives a [`TraceCtx`] positioned at the stage's span (so parallel
 /// inner work can attach child spans) and reports `(value, artifacts,
@@ -175,7 +203,7 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
     let mut drc_violations = 0usize;
     let exec = Executor::threads(config.parallelism);
     let tracer = &config.tracer;
-    let root = tracer.span("flow");
+    let root = tracer.span_in(config.trace_parent, "flow");
     let flow = TraceCtx::under(tracer, &root);
 
     // 1. Circuit recognition (§2.3).
@@ -350,7 +378,7 @@ pub fn run_flow_incremental(
     let mut drc_violations = 0usize;
     let exec = Executor::threads(config.parallelism);
     let tracer = &config.tracer;
-    let root = tracer.span("flow");
+    let root = tracer.span_in(config.trace_parent, "flow");
     let flow = TraceCtx::under(tracer, &root);
 
     // 1–3. Recognition, layout, extraction: identical to the cold flow.
@@ -424,6 +452,7 @@ pub fn run_flow_incremental(
     let everify_stats = CacheStats {
         hits: scopes.len() - dirty_units.len(),
         misses: dirty_units.len(),
+        evictions: 0,
     };
     let mut poisoned = vec![false; scopes.len()];
     let (ereport, mut per_unit) = timed(&mut stages, flow, "everify", |ctx| {
@@ -431,6 +460,7 @@ pub fn run_flow_incremental(
             ctx,
             dirty_units.clone(),
             |i| {
+                check_deadline(config.deadline);
                 cbv_everify::run_scoped(
                     &netlist,
                     &recognition,
@@ -509,6 +539,7 @@ pub fn run_flow_incremental(
     let timing_stats = CacheStats {
         hits: n_cccs - dirty_cccs.len(),
         misses: dirty_cccs.len(),
+        evictions: 0,
     };
     // Arc computations that panicked: the CCC's arcs are dropped (its
     // timing is unverified), the unit is poisoned, and a ToolError
@@ -519,7 +550,10 @@ pub fn run_flow_incremental(
         let (fresh_arcs, graph_busy) = exec.try_map_traced(
             ctx,
             dirty_cccs.clone(),
-            |i| cbv_timing::graph::ccc_arcs(&netlist, &recognition, &extracted, &calc, i),
+            |i| {
+                check_deadline(config.deadline);
+                cbv_timing::graph::ccc_arcs(&netlist, &recognition, &extracted, &calc, i)
+            },
             |k| format!("arcs:{}", dirty_cccs[k]),
         );
         let serial_start = Instant::now();
@@ -592,7 +626,10 @@ pub fn run_flow_incremental(
     // Prime the cache with the re-verified units, now that both their
     // findings and arcs are known. Poisoned units (battery or arc panic)
     // are *not* cached: their stored payload would be the failure
-    // artifact, and a later run must re-attempt them.
+    // artifact, and a later run must re-attempt them. On a bounded
+    // cache these inserts may evict; the delta lands in the everify
+    // stage's stats so a daemon's flow summaries show cache pressure.
+    let evictions_before = cache.evictions();
     for i in 0..per_unit.len() {
         if dirty[i] && !poisoned[i] {
             cache.insert(
@@ -601,6 +638,15 @@ pub fn run_flow_incremental(
             );
         }
     }
+    let evicted = cache.evictions() - evictions_before;
+    if let Some(stats) = stages
+        .iter_mut()
+        .find(|s| s.stage == "everify")
+        .and_then(|s| s.cache.as_mut())
+    {
+        stats.evictions = evicted;
+    }
+    tracer.add("cache.evictions", evicted as u64);
 
     // 7. Power estimation (§3) — cheap, always recomputed.
     let power = timed(&mut stages, flow, "power", |_| {
@@ -722,6 +768,45 @@ mod tests {
             7,
             "incremental adds a fingerprint stage"
         );
+    }
+
+    #[test]
+    fn expired_deadline_poisons_every_dirty_unit() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig {
+            // Already expired when the first unit closure runs: every
+            // dirty unit deterministically takes the timeout path.
+            deadline: Some(Instant::now()),
+            ..FlowConfig::default()
+        };
+        let mut cache = VerifyCache::new();
+        let r = run_flow_incremental(static_ripple_adder(4, &p).netlist, &p, &cfg, &mut cache);
+        assert!(!r.signoff.clean(), "timed-out flow must not sign off");
+        let tool_errors = r
+            .everify
+            .raw_findings()
+            .iter()
+            .filter(|f| f.severity == Severity::ToolError)
+            .count();
+        // Battery pass: every unit (CCCs + residue). Arc pass: CCCs only.
+        let n_cccs = r.recognition.cccs.len();
+        assert_eq!(
+            tool_errors,
+            2 * n_cccs + 1,
+            "every unit times out in the battery, every CCC in the arc pass"
+        );
+        assert!(cache.is_empty(), "poisoned units are never cached");
+
+        // The same design without a deadline signs off and fills the
+        // cache: the timeout path left no residue behind.
+        let clean = run_flow_incremental(
+            static_ripple_adder(4, &p).netlist,
+            &p,
+            &FlowConfig::default(),
+            &mut cache,
+        );
+        assert!(clean.signoff.clean(), "{}", clean.signoff);
+        assert!(!cache.is_empty());
     }
 
     #[test]

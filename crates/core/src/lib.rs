@@ -31,6 +31,7 @@
 
 pub mod flow;
 pub mod oracle;
+pub mod service;
 pub mod signoff;
 pub mod views;
 

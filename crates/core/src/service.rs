@@ -1,0 +1,228 @@
+//! `FlowService` — the shareable facade over the incremental flow.
+//!
+//! The paper's methodology only pays off as a *service*: many designers
+//! stream ECOs at one verification system that keeps the accumulated
+//! unit results warm (§2, §4). This module packages exactly that for
+//! in-process callers (the `cbv-serve` daemon's workers, the E17
+//! harness, tests): one [`FlowService`] owns the process, a
+//! [`FlowConfig`] template, and a mutex-guarded [`VerifyCache`] shared
+//! by every request.
+//!
+//! # Concurrency discipline
+//!
+//! A verification run can take arbitrarily long, so the shared cache is
+//! never held across one. [`FlowService::verify`] instead:
+//!
+//! 1. **snapshots** the shared cache under the lock (a clone — unit
+//!    results are plain data);
+//! 2. runs [`run_flow_incremental`] against the snapshot, unlocked, so
+//!    concurrent requests verify in parallel;
+//! 3. **absorbs** the snapshot's additions back under the lock
+//!    ([`VerifyCache::absorb`] merges in sorted key order and keeps
+//!    existing entries, so two racing requests that verified the same
+//!    unit converge on one entry deterministically).
+//!
+//! Because the signoff is cache-state-independent (the PR 2 soundness
+//! contract: hits replay exactly what a fresh run would compute), racing
+//! requests can never observe different verdicts for the same netlist —
+//! the byte-identity guarantee the daemon's wire protocol exposes.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cbv_cache::{CacheStats, VerifyCache};
+use cbv_netlist::FlatNetlist;
+use cbv_tech::Process;
+
+use crate::flow::{run_flow_incremental, FlowConfig, FlowReport};
+
+/// A shareable, cache-backed verification endpoint. `&FlowService` is
+/// `Send + Sync`; workers call [`verify`](FlowService::verify)
+/// concurrently.
+pub struct FlowService {
+    process: Process,
+    config: FlowConfig,
+    cache: Mutex<VerifyCache>,
+}
+
+/// What one verification request came back with: the signoff both as
+/// JSON (the bytes a remote client must receive verbatim) and as
+/// extracted facts, plus the cache economics of the run.
+#[derive(Debug, Clone)]
+pub struct ServiceVerdict {
+    /// The serialized [`Signoff`](crate::signoff::Signoff) — byte-for-
+    /// byte what `serde_json::to_string` of an in-process run produces.
+    pub signoff_json: String,
+    /// Whether the design signed off clean.
+    pub clean: bool,
+    /// Total violations across categories.
+    pub violations: usize,
+    /// Hit/miss/eviction tally of the everify stage against the shared
+    /// cache snapshot.
+    pub cache: CacheStats,
+    /// Flow wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+impl FlowService {
+    /// A service over one process corner with a config template. The
+    /// template's `deadline`/`trace_parent` are ignored — those are
+    /// per-request and passed to [`verify`](FlowService::verify).
+    pub fn new(process: Process, config: FlowConfig) -> FlowService {
+        FlowService {
+            process,
+            config,
+            cache: Mutex::new(VerifyCache::new()),
+        }
+    }
+
+    /// Bounds the shared cache (LRU eviction past `capacity` entries) —
+    /// what a long-running daemon does so memory stays flat.
+    pub fn with_cache_capacity(self, capacity: usize) -> FlowService {
+        self.cache
+            .lock()
+            .expect("service cache lock")
+            .set_capacity(Some(capacity));
+        self
+    }
+
+    /// The process corner this service verifies against.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Current entry count of the shared cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("service cache lock").len()
+    }
+
+    /// Total LRU evictions from the shared cache since construction.
+    pub fn cache_evictions(&self) -> usize {
+        self.cache.lock().expect("service cache lock").evictions()
+    }
+
+    /// Verifies one netlist revision and returns the full [`FlowReport`]
+    /// with its serialized signoff. `deadline` bounds the per-unit
+    /// verification work cooperatively (see [`FlowConfig::deadline`]);
+    /// `trace_parent` nests the run's `flow` span under a caller span.
+    pub fn verify_report(
+        &self,
+        netlist: FlatNetlist,
+        deadline: Option<Instant>,
+        trace_parent: Option<u64>,
+    ) -> (FlowReport, ServiceVerdict) {
+        let mut snapshot = self.cache.lock().expect("service cache lock").clone();
+        let mut config = self.config.clone();
+        config.deadline = deadline;
+        config.trace_parent = trace_parent;
+        let report = run_flow_incremental(netlist, &self.process, &config, &mut snapshot);
+        self.cache
+            .lock()
+            .expect("service cache lock")
+            .absorb(&snapshot);
+        let verdict = ServiceVerdict {
+            signoff_json: serde_json::to_string(&report.signoff)
+                .expect("signoff serialization is infallible"),
+            clean: report.signoff.clean(),
+            violations: report.signoff.violation_count(),
+            cache: report
+                .stages
+                .iter()
+                .find(|s| s.stage == "everify")
+                .and_then(|s| s.cache)
+                .unwrap_or_default(),
+            runtime_s: report.total_runtime().seconds(),
+        };
+        (report, verdict)
+    }
+
+    /// Verifies one netlist revision; the common entry point when only
+    /// the verdict is needed.
+    pub fn verify(
+        &self,
+        netlist: FlatNetlist,
+        deadline: Option<Instant>,
+        trace_parent: Option<u64>,
+    ) -> ServiceVerdict {
+        self.verify_report(netlist, deadline, trace_parent).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_gen::adders::static_ripple_adder;
+
+    #[test]
+    fn verdict_matches_in_process_flow_and_warms_the_cache() {
+        let p = Process::strongarm_035();
+        let reference = {
+            let mut cache = VerifyCache::new();
+            let r = run_flow_incremental(
+                static_ripple_adder(4, &p).netlist,
+                &p,
+                &FlowConfig::default(),
+                &mut cache,
+            );
+            serde_json::to_string(&r.signoff).unwrap()
+        };
+
+        let service = FlowService::new(p.clone(), FlowConfig::default());
+        let first = service.verify(static_ripple_adder(4, &p).netlist, None, None);
+        assert_eq!(first.signoff_json, reference);
+        assert!(first.clean);
+        assert_eq!(first.cache.hits, 0, "cold shared cache");
+        assert!(service.cache_len() > 0, "run primed the shared cache");
+
+        let second = service.verify(static_ripple_adder(4, &p).netlist, None, None);
+        assert_eq!(second.signoff_json, reference);
+        assert_eq!(second.cache.misses, 0, "warm rerun is all hits");
+    }
+
+    #[test]
+    fn racing_requests_agree_byte_for_byte() {
+        let p = Process::strongarm_035();
+        let service = FlowService::new(p.clone(), FlowConfig::default());
+        let verdicts: Vec<ServiceVerdict> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let service = &service;
+                    let p = &p;
+                    s.spawn(move || service.verify(static_ripple_adder(4, p).netlist, None, None))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let first = &verdicts[0].signoff_json;
+        for v in &verdicts[1..] {
+            assert_eq!(&v.signoff_json, first);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_the_verdict_without_poisoning_the_cache() {
+        let p = Process::strongarm_035();
+        let service = FlowService::new(p.clone(), FlowConfig::default());
+        let timed_out = service.verify(
+            static_ripple_adder(4, &p).netlist,
+            Some(Instant::now()),
+            None,
+        );
+        assert!(!timed_out.clean);
+        assert_eq!(service.cache_len(), 0, "timed-out units are not cached");
+
+        let retry = service.verify(static_ripple_adder(4, &p).netlist, None, None);
+        assert!(retry.clean, "a later request re-verifies cleanly");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let p = Process::strongarm_035();
+        let service = FlowService::new(p.clone(), FlowConfig::default()).with_cache_capacity(2);
+        let v = service.verify(static_ripple_adder(4, &p).netlist, None, None);
+        assert!(service.cache_len() <= 2, "shared cache stays bounded");
+        // The run's inserts overflowed its cache snapshot (the adder has
+        // more than two units); the verdict's stage stats carry that.
+        assert!(v.cache.evictions > 0, "adder has >2 units");
+    }
+}

@@ -62,6 +62,19 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// Runs one closure under the same panic isolation the mapped tasks
+/// get: `catch_unwind` plus best-effort payload rendering into a
+/// [`TaskPanic`]. Long-lived consumers of a job queue (the `cbv-serve`
+/// daemon's workers) wrap each dequeued job with this so a poisoned job
+/// kills neither the worker thread nor the daemon; `task` is whatever
+/// index identifies the job to the caller.
+pub fn run_isolated<T>(task: usize, f: impl FnOnce() -> T) -> Result<T, TaskPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| TaskPanic {
+        task,
+        message: panic_message(payload),
+    })
+}
+
 /// A bounded scoped-thread worker pool.
 ///
 /// Cheap to construct (two words, no threads until [`map`] runs) and

@@ -29,9 +29,11 @@
 pub mod campaign;
 pub mod op;
 pub mod report;
+pub mod wire;
 
 pub use campaign::{
     default_ops, default_sensitivity, run_campaign, CampaignConfig, CampaignReport, Detector,
     FlowObservation, FlowOracle, MutantRecord, OpSummary, SensitivityCurve,
 };
 pub use op::{apply, sites, stack_internal_nmos, Mutation, MutationOp, Site};
+pub use wire::{op_from_json, parse_term, site_from_json, term_name, WireError};

@@ -56,6 +56,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -217,21 +218,52 @@ fn write_json_str(s: &str, out: &mut String) {
 /// Line-oriented JSONL [`TraceSink`] over any writer. See the crate
 /// docs for the `cbv-trace/1` schema. I/O errors are deliberately
 /// swallowed: tracing must never take down a verification run.
+///
+/// The sink is **line-atomic under concurrent writers**: every record
+/// is rendered into a complete line (newline included) first, then
+/// written with a single `write_all` while holding the writer's lock.
+/// Clones share the same locked writer, so several tracers — e.g. the
+/// daemon's interleaved sessions — can stream into one `cbv-trace/1`
+/// file without ever tearing a line (regression-tested with racing
+/// spans in `tests/obs.rs`).
 pub struct JsonlSink<W: Write + Send> {
-    out: W,
+    out: Arc<Mutex<W>>,
+}
+
+impl<W: Write + Send> Clone for JsonlSink<W> {
+    fn clone(&self) -> JsonlSink<W> {
+        JsonlSink {
+            out: Arc::clone(&self.out),
+        }
+    }
 }
 
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wraps a writer and emits the meta header line.
+    /// Wraps a writer and emits the meta header line (once — clones
+    /// share the header).
     pub fn new(mut out: W) -> JsonlSink<W> {
-        let _ = writeln!(out, "{{\"type\":\"meta\",\"format\":\"cbv-trace/1\"}}");
-        JsonlSink { out }
+        let _ = out.write_all(b"{\"type\":\"meta\",\"format\":\"cbv-trace/1\"}\n");
+        JsonlSink {
+            out: Arc::new(Mutex::new(out)),
+        }
     }
 
-    /// Consumes the sink, returning the writer (after a flush).
-    pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+    fn emit(&self, mut line: String) {
+        line.push('\n');
+        let mut out = self.out.lock().expect("jsonl writer lock");
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    /// Consumes the sink, returning the writer (after a flush) — or
+    /// `None` while clones of this sink are still alive.
+    pub fn into_inner(self) -> Option<W> {
+        if let Ok(mutex) = Arc::try_unwrap(self.out) {
+            let mut out = mutex.into_inner().expect("jsonl writer lock");
+            let _ = out.flush();
+            Some(out)
+        } else {
+            None
+        }
     }
 }
 
@@ -247,19 +279,20 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         }
         line.push_str(",\"name\":");
         write_json_str(&span.name, &mut line);
-        line.push_str(&format!(
+        let _ = write!(
+            line,
             ",\"t0_ns\":{},\"t1_ns\":{},\"thread\":{}}}",
             span.t0_ns, span.t1_ns, span.thread
-        ));
-        let _ = writeln!(self.out, "{line}");
+        );
+        self.emit(line);
     }
 
     fn counter(&mut self, name: &str, value: u64) {
         let mut line = String::with_capacity(64);
         line.push_str("{\"type\":\"counter\",\"name\":");
         write_json_str(name, &mut line);
-        line.push_str(&format!(",\"value\":{value}}}"));
-        let _ = writeln!(self.out, "{line}");
+        let _ = write!(line, ",\"value\":{value}}}");
+        self.emit(line);
     }
 
     fn gauge(&mut self, name: &str, value: f64) {
@@ -267,15 +300,15 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         line.push_str("{\"type\":\"gauge\",\"name\":");
         write_json_str(name, &mut line);
         if value.is_finite() {
-            line.push_str(&format!(",\"value\":{value}}}"));
+            let _ = write!(line, ",\"value\":{value}}}");
         } else {
             line.push_str(",\"value\":null}");
         }
-        let _ = writeln!(self.out, "{line}");
+        self.emit(line);
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        let _ = self.out.lock().expect("jsonl writer lock").flush();
     }
 }
 
@@ -682,6 +715,44 @@ mod tests {
         assert!(lines[1].contains("\"parent\":null"));
         assert!(lines[2].contains("\"value\":3"));
         assert!(lines[3].contains("\"value\":null"), "{}", lines[3]);
+    }
+
+    #[test]
+    fn racing_tracers_share_a_sink_without_tearing_lines() {
+        // Two tracers (two "sessions") stream concurrently into one
+        // shared JSONL sink; line atomicity means every emitted line is
+        // a complete record no matter how the threads interleave.
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        let spans_per_tracer = 200;
+        let tracers: Vec<Tracer> = (0..2).map(|_| Tracer::new(sink.clone())).collect();
+        std::thread::scope(|scope| {
+            for (t, tracer) in tracers.iter().enumerate() {
+                scope.spawn(move || {
+                    for i in 0..spans_per_tracer {
+                        let _s = tracer.span(&format!(
+                            "session:{t}:span:{i}:padded-to-make-torn-writes-likely"
+                        ));
+                    }
+                    tracer.add("done", 1);
+                    tracer.flush();
+                });
+            }
+        });
+        drop(tracers);
+        let bytes = sink.into_inner().expect("no clones remain");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        // 1 meta + 2×200 spans + 2 counter flushes.
+        assert_eq!(lines.len(), 1 + 2 * spans_per_tracer + 2);
+        assert_eq!(lines[0], "{\"type\":\"meta\",\"format\":\"cbv-trace/1\"}");
+        for line in &lines {
+            assert!(
+                line.starts_with("{\"type\":\"") && line.ends_with('}'),
+                "torn line: {line:?}"
+            );
+        }
+        let spans = lines.iter().filter(|l| l.contains("\"type\":\"span\""));
+        assert_eq!(spans.count(), 2 * spans_per_tracer);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! `cbv` — the verification service client.
+//!
+//! ```text
+//! cbv open     ADDR DESIGN                 open a session, report the seed
+//! cbv signoff  ADDR DESIGN                 open + signoff, print signoff JSON
+//! cbv eco      ADDR DESIGN EDIT... [--deadline-ms N]
+//!                                          open, stream one ECO per EDIT,
+//!                                          print the final signoff JSON
+//! cbv rollback ADDR DESIGN --to REV EDIT...
+//!                                          open, stream EDITs, roll back to
+//!                                          REV, re-signoff, print it
+//! cbv stats    ADDR                        print the daemon's stats JSON
+//! cbv shutdown ADDR                        gracefully drain the daemon
+//! cbv replay   DESIGN EDIT...              run the same stream in-process,
+//!                                          print the final signoff JSON
+//! ```
+//!
+//! Each `EDIT` is one ECO step: inline JSON (an edit object or an array
+//! batch) or `@path` to a file containing it. Signoff JSON goes to
+//! stdout (nothing else does), progress to stderr — so
+//! `cbv eco ... > remote.json` and `cbv replay ... > local.json`
+//! followed by `cmp remote.json local.json` is the byte-identity check
+//! `scripts/check.sh` runs.
+
+use std::process::ExitCode;
+
+use cbv_serve::client::Client;
+use cbv_serve::session::{edits_from_json, Session};
+use serde_json::Value;
+
+use cbv_core::flow::FlowConfig;
+use cbv_core::service::FlowService;
+use cbv_core::tech::Process;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cbv open|signoff ADDR DESIGN\n\
+         \x20      cbv eco ADDR DESIGN EDIT... [--deadline-ms N]\n\
+         \x20      cbv rollback ADDR DESIGN --to REV EDIT...\n\
+         \x20      cbv stats|shutdown ADDR\n\
+         \x20      cbv replay DESIGN EDIT..."
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(context: &str, e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("cbv: {context}: {e}");
+    ExitCode::FAILURE
+}
+
+/// Resolves an EDIT argument: `@path` reads the file, anything else is
+/// inline JSON.
+fn edit_text(arg: &str) -> Result<String, String> {
+    if let Some(path) = arg.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Ok(arg.to_owned())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match command {
+        "open" | "signoff" => {
+            let [addr, design] = &args[1..] else {
+                return usage();
+            };
+            let mut client = match Client::connect(addr.as_str()) {
+                Ok(c) => c,
+                Err(e) => return fail("connect", e),
+            };
+            let devices = match client.open(design) {
+                Ok(n) => n,
+                Err(e) => return fail("open", e),
+            };
+            eprintln!("opened {design}: {devices} devices, revision 0");
+            if command == "signoff" {
+                match client.signoff(None) {
+                    Ok(v) => {
+                        eprintln!("clean: {} (violations: {})", v.clean, v.violations);
+                        println!("{}", v.signoff_raw);
+                    }
+                    Err(e) => return fail("signoff", e),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "eco" => {
+            if args.len() < 4 {
+                return usage();
+            }
+            let (addr, design) = (&args[1], &args[2]);
+            let mut deadline_ms = None;
+            let mut edits = Vec::new();
+            let mut rest = args[3..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--deadline-ms" {
+                    let Some(ms) = rest.next().and_then(|v| v.parse().ok()) else {
+                        return usage();
+                    };
+                    deadline_ms = Some(ms);
+                } else {
+                    edits.push(a.clone());
+                }
+            }
+            run_stream(addr, design, &edits, deadline_ms, None)
+        }
+        "rollback" => {
+            if args.len() < 5 {
+                return usage();
+            }
+            let (addr, design) = (&args[1], &args[2]);
+            let mut to = None;
+            let mut edits = Vec::new();
+            let mut rest = args[3..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--to" {
+                    let Some(rev) = rest.next().and_then(|v| v.parse().ok()) else {
+                        return usage();
+                    };
+                    to = Some(rev);
+                } else {
+                    edits.push(a.clone());
+                }
+            }
+            let Some(to) = to else { return usage() };
+            run_stream(addr, design, &edits, None, Some(to))
+        }
+        "stats" => {
+            let [addr] = &args[1..] else { return usage() };
+            let mut client = match Client::connect(addr.as_str()) {
+                Ok(c) => c,
+                Err(e) => return fail("connect", e),
+            };
+            match client.stats() {
+                Ok(stats) => {
+                    println!("{stats}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail("stats", e),
+            }
+        }
+        "shutdown" => {
+            let [addr] = &args[1..] else { return usage() };
+            let mut client = match Client::connect(addr.as_str()) {
+                Ok(c) => c,
+                Err(e) => return fail("connect", e),
+            };
+            match client.shutdown() {
+                Ok(()) => {
+                    eprintln!("daemon draining");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail("shutdown", e),
+            }
+        }
+        "replay" => {
+            if args.len() < 2 {
+                return usage();
+            }
+            replay(&args[1], &args[2..])
+        }
+        _ => usage(),
+    }
+}
+
+/// Opens a session, streams one ECO per edit argument, optionally rolls
+/// back, and prints the final signoff.
+fn run_stream(
+    addr: &str,
+    design: &str,
+    edit_args: &[String],
+    deadline_ms: Option<u64>,
+    rollback_to: Option<u64>,
+) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail("connect", e),
+    };
+    if let Err(e) = client.open(design) {
+        return fail("open", e);
+    }
+    let mut last = None;
+    for (step, arg) in edit_args.iter().enumerate() {
+        let text = match edit_text(arg) {
+            Ok(t) => t,
+            Err(e) => return fail("edit", e),
+        };
+        match client.eco(&text, deadline_ms) {
+            Ok(v) => {
+                eprintln!(
+                    "step {step}: revision {}, clean {}, cache {}/{}",
+                    v.revision,
+                    v.clean,
+                    v.cache_hits,
+                    v.cache_hits + v.cache_misses
+                );
+                last = Some(v);
+            }
+            Err(e) => return fail(&format!("eco step {step}"), e),
+        }
+    }
+    if let Some(to) = rollback_to {
+        match client.rollback(to) {
+            Ok(r) => eprintln!("rolled back to revision {r}"),
+            Err(e) => return fail("rollback", e),
+        }
+        match client.signoff(deadline_ms) {
+            Ok(v) => last = Some(v),
+            Err(e) => return fail("signoff", e),
+        }
+    }
+    match last {
+        Some(v) => {
+            println!("{}", v.signoff_raw);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("cbv: no steps run");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The in-process reference: the same session/edit code path the daemon
+/// runs, against a private `FlowService`. Byte-identical output to the
+/// remote stream is the protocol's core guarantee.
+fn replay(design: &str, edit_args: &[String]) -> ExitCode {
+    let process = Process::strongarm_035();
+    let mut session = match Session::open(design, &process) {
+        Ok(s) => s,
+        Err(e) => return fail("open", e),
+    };
+    for (step, arg) in edit_args.iter().enumerate() {
+        let text = match edit_text(arg) {
+            Ok(t) => t,
+            Err(e) => return fail("edit", e),
+        };
+        let value: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("edit step {step}"), e),
+        };
+        let edits = match edits_from_json(&value) {
+            Ok(e) => e,
+            Err(e) => return fail(&format!("edit step {step}"), e),
+        };
+        if let Err(e) = session.apply_batch(&edits) {
+            return fail(&format!("eco step {step}"), e);
+        }
+        eprintln!("step {step}: revision {}", session.revision());
+    }
+    let service = FlowService::new(process, FlowConfig::default());
+    let verdict = service.verify(session.netlist().clone(), None, None);
+    eprintln!(
+        "clean: {} (violations: {})",
+        verdict.clean, verdict.violations
+    );
+    println!("{}", verdict.signoff_json);
+    ExitCode::SUCCESS
+}

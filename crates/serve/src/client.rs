@@ -1,0 +1,277 @@
+//! Blocking protocol client, shared by the `cbv` binary, the E17
+//! harness, and `tests/serve.rs`.
+//!
+//! One [`Client`] is one connection — and therefore one session on the
+//! daemon. Requests are issued in lockstep (write frame, read frame);
+//! correlation ids are generated per request and checked on the reply.
+//! Verdict replies keep the signoff **raw** ([`Verdict::signoff_raw`]):
+//! the exact bytes the server spliced in, never reparsed, so callers
+//! can compare against an in-process run with `==`.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use serde::write_json_string;
+use serde_json::Value;
+
+use crate::protocol::{extract_raw_field, read_frame, write_frame};
+
+/// Anything that can go wrong on a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, framing).
+    Io(io::Error),
+    /// The server replied but the reply was not protocol-shaped.
+    Protocol(String),
+    /// The server rejected the request. `retry_after_ms` is set on
+    /// queue-full backpressure rejections.
+    Rejected {
+        /// Server-reported reason.
+        error: String,
+        /// Back-off hint, when the rejection is retryable.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Rejected {
+                error,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "rejected: {error} (retry after {ms} ms)"),
+                None => write!(f, "rejected: {error}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True for queue-full rejections the caller should retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                retry_after_ms: Some(_),
+                ..
+            }
+        )
+    }
+}
+
+/// A verification verdict as received over the wire.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Session revision the verdict is for.
+    pub revision: u64,
+    /// Clean signoff?
+    pub clean: bool,
+    /// Total violations.
+    pub violations: usize,
+    /// Shared-cache hits for this run.
+    pub cache_hits: usize,
+    /// Shared-cache misses for this run.
+    pub cache_misses: usize,
+    /// The raw signoff JSON, byte-identical to the in-process
+    /// serialization.
+    pub signoff_raw: String,
+}
+
+/// One connection = one session.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one raw request body (the `"id"` field is appended) and
+    /// returns the raw reply after checking `ok`/`id`. `body` must be a
+    /// JSON object WITHOUT the closing brace's `id`, e.g.
+    /// `{"req":"stats"}`.
+    pub fn request_raw(&mut self, body: &str) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let framed = match body.strip_suffix('}') {
+            Some(prefix) if body.starts_with('{') => {
+                let sep = if prefix.trim_end().ends_with('{') {
+                    ""
+                } else {
+                    ","
+                };
+                format!("{prefix}{sep}\"id\":{id}}}")
+            }
+            _ => {
+                return Err(ClientError::Protocol(
+                    "request body must be an object".into(),
+                ))
+            }
+        };
+        write_frame(&mut self.stream, &framed)?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let v: Value = serde_json::from_str(&reply)
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
+        let got_id = v.get("id").and_then(Value::as_u64);
+        if got_id != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "reply id {got_id:?} does not match request id {id}"
+            )));
+        }
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(reply),
+            Some(false) => Err(ClientError::Rejected {
+                error: v
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified")
+                    .to_owned(),
+                retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
+            }),
+            None => Err(ClientError::Protocol("reply missing \"ok\"".into())),
+        }
+    }
+
+    /// Opens a session on a registry design; returns the seed's device
+    /// count.
+    pub fn open(&mut self, design: &str) -> Result<usize, ClientError> {
+        let reply = self.request_raw(&format!(
+            "{{\"req\":\"open\",\"design\":{}}}",
+            json_escaped(design)
+        ))?;
+        let v: Value =
+            serde_json::from_str(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        v.get("devices")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| ClientError::Protocol("open reply missing \"devices\"".into()))
+    }
+
+    /// Opens a session on an uploaded SPICE deck.
+    pub fn upload(&mut self, name: &str, spice: &str, top: &str) -> Result<usize, ClientError> {
+        let reply = self.request_raw(&format!(
+            "{{\"req\":\"upload\",\"design\":{},\"spice\":{},\"top\":{}}}",
+            json_escaped(name),
+            json_escaped(spice),
+            json_escaped(top)
+        ))?;
+        let v: Value =
+            serde_json::from_str(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        v.get("devices")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| ClientError::Protocol("upload reply missing \"devices\"".into()))
+    }
+
+    /// Streams one ECO batch (`edits_json` is one edit object or an
+    /// array of them) and waits for the incremental signoff.
+    pub fn eco(
+        &mut self,
+        edits_json: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<Verdict, ClientError> {
+        let deadline = deadline_field(deadline_ms);
+        let reply = self.request_raw(&format!(
+            "{{\"req\":\"eco\",\"edits\":{edits_json}{deadline}}}"
+        ))?;
+        parse_verdict(&reply)
+    }
+
+    /// Requests a signoff of the session's current revision.
+    pub fn signoff(&mut self, deadline_ms: Option<u64>) -> Result<Verdict, ClientError> {
+        let deadline = deadline_field(deadline_ms);
+        let reply = self.request_raw(&format!("{{\"req\":\"signoff\"{deadline}}}"))?;
+        parse_verdict(&reply)
+    }
+
+    /// Rolls the session back to `revision`; returns the new revision.
+    pub fn rollback(&mut self, revision: u64) -> Result<u64, ClientError> {
+        let reply =
+            self.request_raw(&format!("{{\"req\":\"rollback\",\"revision\":{revision}}}"))?;
+        let v: Value =
+            serde_json::from_str(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        v.get("revision")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("rollback reply missing \"revision\"".into()))
+    }
+
+    /// Fetches the daemon's stats object (raw JSON).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let reply = self.request_raw("{\"req\":\"stats\"}")?;
+        extract_raw_field(&reply, "stats")
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("stats reply missing \"stats\"".into()))
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request_raw("{\"req\":\"shutdown\"}")?;
+        Ok(())
+    }
+}
+
+fn json_escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_string(s, &mut out);
+    out
+}
+
+fn deadline_field(deadline_ms: Option<u64>) -> String {
+    deadline_ms
+        .map(|ms| format!(",\"deadline_ms\":{ms}"))
+        .unwrap_or_default()
+}
+
+fn parse_verdict(reply: &str) -> Result<Verdict, ClientError> {
+    let signoff_raw = extract_raw_field(reply, "signoff")
+        .ok_or_else(|| ClientError::Protocol("verdict reply missing \"signoff\"".into()))?
+        .to_owned();
+    let v: Value = serde_json::from_str(reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+    let field_u64 = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("verdict reply missing {name:?}")))
+    };
+    let cache = v
+        .get("cache")
+        .ok_or_else(|| ClientError::Protocol("verdict reply missing \"cache\"".into()))?;
+    let cache_u64 = |name: &str| {
+        cache
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("cache stats missing {name:?}")))
+    };
+    Ok(Verdict {
+        revision: field_u64("revision")?,
+        clean: v
+            .get("clean")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| ClientError::Protocol("verdict reply missing \"clean\"".into()))?,
+        violations: field_u64("violations")? as usize,
+        cache_hits: cache_u64("hits")? as usize,
+        cache_misses: cache_u64("misses")? as usize,
+        signoff_raw,
+    })
+}

@@ -1,0 +1,231 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message in either direction is one **frame**: a 4-byte
+//! big-endian `u32` byte length followed by exactly that many bytes of
+//! UTF-8 JSON (one object, no trailing newline — the length prefix is
+//! the delimiter, so payloads may contain anything, including embedded
+//! newlines in uploaded SPICE text). Frames longer than [`MAX_FRAME`]
+//! are rejected before any allocation happens: a hostile length prefix
+//! cannot make the daemon reserve gigabytes.
+//!
+//! Requests carry a client-chosen correlation `id`; every response
+//! echoes it. Responses are `{"ok":true,...}` or
+//! `{"ok":false,"id":N,"error":"...","retry_after_ms":M?}` — the
+//! `retry_after_ms` hint appears only on queue-full backpressure
+//! rejections.
+//!
+//! # Byte-identity of signoffs
+//!
+//! Verification responses embed the signoff JSON **verbatim**: the
+//! server splices the exact string `serde_json::to_string(&signoff)`
+//! produced into the response text, and clients recover it with
+//! [`extract_raw_field`] — a token scanner that returns the raw
+//! balanced-JSON substring without reparsing. A remote signoff is
+//! therefore byte-for-byte the in-process one, which is the contract
+//! `tests/serve.rs` and the `scripts/check.sh` loopback smoke enforce
+//! with a literal string compare.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload length, bytes. Large enough for a
+/// sizeable SPICE upload, small enough that a hostile prefix cannot
+/// balloon memory.
+pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
+
+/// Writes one frame: length prefix and payload in a single `write_all`
+/// (one syscall in the common case, and no interleaving point for a
+/// second writer on a shared stream).
+pub fn write_frame(w: &mut impl Write, text: &str) -> io::Result<()> {
+    let len = u32::try_from(text.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds MAX_FRAME", text.len()),
+            )
+        })?;
+    let mut buf = Vec::with_capacity(4 + text.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(text.as_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at
+/// a frame boundary — how a client says goodbye); EOF inside a frame,
+/// an oversized length prefix, or non-UTF-8 payload are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut prefix = [0u8; 4];
+    match r.read(&mut prefix) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut prefix[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut prefix)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// Returns the raw text of a top-level field of a serialized JSON
+/// object, exactly as it appears in `text` — no reparse, no
+/// re-serialization. This is how clients recover a verbatim-embedded
+/// signoff for byte-identical comparison. Only top-level fields are
+/// found (nesting depth 1); `None` if absent or `text` is not an
+/// object.
+pub fn extract_raw_field<'a>(text: &'a str, field: &str) -> Option<&'a str> {
+    let bytes = text.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    if bytes.get(pos) != Some(&b'{') {
+        return None;
+    }
+    pos += 1;
+    loop {
+        pos = skip_ws(bytes, pos);
+        match bytes.get(pos)? {
+            b'}' => return None,
+            b',' => {
+                pos += 1;
+                continue;
+            }
+            b'"' => {}
+            _ => return None,
+        }
+        let key_end = scan_string(bytes, pos)?;
+        let key = &text[pos + 1..key_end - 1];
+        pos = skip_ws(bytes, key_end);
+        if bytes.get(pos) != Some(&b':') {
+            return None;
+        }
+        pos = skip_ws(bytes, pos + 1);
+        let value_end = scan_value(bytes, pos)?;
+        if key == field {
+            return Some(&text[pos..value_end]);
+        }
+        pos = value_end;
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut pos: usize) -> usize {
+    while matches!(bytes.get(pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        pos += 1;
+    }
+    pos
+}
+
+/// Scans a JSON string starting at its opening quote; returns the index
+/// one past the closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> Option<usize> {
+    debug_assert_eq!(bytes.get(start), Some(&b'"'));
+    let mut pos = start + 1;
+    loop {
+        match bytes.get(pos)? {
+            b'\\' => pos += 2,
+            b'"' => return Some(pos + 1),
+            _ => pos += 1,
+        }
+    }
+}
+
+/// Scans one JSON value (any kind) starting at `start`; returns the
+/// index one past its end. Strings inside containers are honoured, so
+/// braces in string contents never confuse the balance count.
+fn scan_value(bytes: &[u8], start: usize) -> Option<usize> {
+    match bytes.get(start)? {
+        b'"' => scan_string(bytes, start),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut pos = start;
+            loop {
+                match bytes.get(pos)? {
+                    b'"' => pos = scan_string(bytes, pos)?,
+                    b'{' | b'[' => {
+                        depth += 1;
+                        pos += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        pos += 1;
+                        if depth == 0 {
+                            return Some(pos);
+                        }
+                    }
+                    _ => pos += 1,
+                }
+            }
+        }
+        _ => {
+            // Number, true/false/null: runs to the next delimiter.
+            let mut pos = start;
+            while let Some(b) = bytes.get(pos) {
+                if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                    break;
+                }
+                pos += 1;
+            }
+            (pos > start).then_some(pos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error() {
+        // EOF mid-prefix.
+        let mut r = io::Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+        // EOF mid-payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+        // Hostile length prefix: rejected without allocating.
+        let huge = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        assert!(read_frame(&mut io::Cursor::new(huge)).is_err());
+        // Non-UTF-8 payload.
+        let mut bad = 2u32.to_be_bytes().to_vec();
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(read_frame(&mut io::Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn extracts_raw_fields_verbatim() {
+        let text = "{\"ok\":true,\"id\":7,\"signoff\":{\"categories\":[{\"x\":\"}{\"}],\"power\":1.5e-3},\"tail\":null}";
+        assert_eq!(extract_raw_field(text, "ok"), Some("true"));
+        assert_eq!(extract_raw_field(text, "id"), Some("7"));
+        assert_eq!(
+            extract_raw_field(text, "signoff"),
+            Some("{\"categories\":[{\"x\":\"}{\"}],\"power\":1.5e-3}"),
+            "brace inside a string must not unbalance the scan"
+        );
+        assert_eq!(extract_raw_field(text, "tail"), Some("null"));
+        assert_eq!(extract_raw_field(text, "missing"), None);
+        assert_eq!(extract_raw_field("[1,2]", "x"), None, "not an object");
+        assert_eq!(extract_raw_field("{\"a\":", "a"), None, "truncated");
+    }
+}

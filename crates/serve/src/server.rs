@@ -1,0 +1,568 @@
+//! The daemon: accept loop, connection handlers, worker pool, drain.
+//!
+//! Thread shape: one **accept** thread, one **handler** thread per
+//! connection, and a fixed pool of **worker** threads consuming the
+//! bounded [`JobQueue`]. A handler owns its connection's [`Session`]
+//! outright (requests on one connection are processed in order, so no
+//! lock is needed); verification never runs on the handler — the
+//! handler clones the session netlist into a [`Job`], admits it with
+//! `try_push` (full queue → immediate `retry_after_ms` rejection, the
+//! accept path never blocks on verification), and waits for the
+//! worker's reply on a per-job channel.
+//!
+//! Workers wrap every job in [`cbv_core::exec::run_isolated`], so a job
+//! that panics outside the flow's own per-unit isolation still kills
+//! neither the worker nor the daemon — the client gets an error reply
+//! naming the panic.
+//!
+//! Graceful drain: a `shutdown` request (or [`ServerHandle::shutdown`])
+//! atomically flips the drain flag, closes the queue (accepted jobs
+//! still complete and reply), wakes the accept loop with a self-
+//! connect, and shuts every live connection's socket down so blocked
+//! readers unwind. [`ServerHandle::join`] then reaps every thread.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cbv_core::exec::run_isolated;
+use cbv_core::flow::FlowConfig;
+use cbv_core::netlist::FlatNetlist;
+use cbv_core::obs::{JsonlSink, SpanRecord, TraceSink, Tracer};
+use cbv_core::service::{FlowService, ServiceVerdict};
+use cbv_core::tech::Process;
+use serde::write_json_string;
+use serde_json::Value;
+
+use crate::protocol::{read_frame, write_frame};
+use crate::queue::{JobQueue, PushError};
+use crate::session::{edits_from_json, Session};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests, check.sh).
+    pub addr: String,
+    /// Worker threads consuming the job queue (min 1 — a queue nobody
+    /// drains would deadlock admitted requests).
+    pub workers: usize,
+    /// Job queue capacity. `0` is legal: every verification request is
+    /// rejected with `retry_after_ms`, which pins the backpressure path
+    /// for deterministic tests.
+    pub queue_capacity: usize,
+    /// Shared verification cache entry cap (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// `FlowConfig::parallelism` for each verification job (0 = auto,
+    /// honouring `CBV_THREADS`).
+    pub parallelism: usize,
+    /// Write a `cbv-trace/1` JSONL trace of every request/flow span to
+    /// this path (the line-atomic shared sink).
+    pub trace_path: Option<String>,
+    /// Suggested client back-off, milliseconds, attached to queue-full
+    /// rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: None,
+            parallelism: 0,
+            trace_path: None,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// One admitted verification job.
+struct Job {
+    netlist: FlatNetlist,
+    deadline: Option<Instant>,
+    trace_parent: Option<u64>,
+    reply: mpsc::Sender<Result<ServiceVerdict, String>>,
+}
+
+/// Span-discarding sink: the daemon's tracer always exists (its
+/// counters feed the `stats` request via `Tracer::counter_value`), but
+/// without a `trace_path` nothing should accumulate per-span memory
+/// over a long-running process.
+struct Discard;
+
+impl TraceSink for Discard {
+    fn span(&mut self, _span: &SpanRecord) {}
+    fn counter(&mut self, _name: &str, _value: u64) {}
+    fn gauge(&mut self, _name: &str, _value: f64) {}
+}
+
+struct Shared {
+    service: FlowService,
+    queue: JobQueue<Job>,
+    tracer: Tracer,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    retry_after_ms: u64,
+    workers: usize,
+    /// Live connection streams (clones), shut down on drain so blocked
+    /// readers unwind.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Handler threads, reaped by `ServerHandle::join`.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Flips the daemon into drain mode. Idempotent; safe from any
+    /// thread (including a handler reacting to a `shutdown` request).
+    fn stop(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon. Dropping the handle drains and joins it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates drain and reaps every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop();
+        self.reap();
+    }
+
+    /// Blocks until the daemon exits (e.g. a remote `shutdown` request
+    /// drains it), then reaps every thread.
+    pub fn join(mut self) {
+        self.reap();
+    }
+
+    fn reap(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // stop() ran (accept exits only after it); workers drain the
+        // closed queue — every admitted job still replies — then exit.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Unblock handlers waiting in read_frame, then reap them.
+        for s in self.shared.conns.lock().expect("conns lock").drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<_> = self
+            .shared
+            .handlers
+            .lock()
+            .expect("handlers lock")
+            .drain(..)
+            .collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared.tracer.flush();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.stop();
+        self.reap();
+    }
+}
+
+/// Binds, spawns the worker pool and accept loop, and returns
+/// immediately. The daemon serves until a `shutdown` request or
+/// [`ServerHandle::shutdown`].
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let tracer = match &config.trace_path {
+        Some(path) => Tracer::new(JsonlSink::new(std::fs::File::create(path)?)),
+        None => Tracer::new(Discard),
+    };
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let flow = FlowConfig {
+        parallelism: config.parallelism,
+        tracer: tracer.clone(),
+        ..FlowConfig::default()
+    };
+    let mut service = FlowService::new(Process::strongarm_035(), flow);
+    if let Some(cap) = config.cache_capacity {
+        service = service.with_cache_capacity(cap);
+    }
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        service,
+        queue: JobQueue::new(config.queue_capacity),
+        tracer,
+        shutting_down: AtomicBool::new(false),
+        addr,
+        retry_after_ms: config.retry_after_ms,
+        workers,
+        conns: Mutex::new(Vec::new()),
+        handlers: Mutex::new(Vec::new()),
+    });
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let clone = match stream.try_clone() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        shared.conns.lock().expect("conns lock").push(clone);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || handle_connection(stream, &conn_shared));
+        shared.handlers.lock().expect("handlers lock").push(handle);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let Job {
+            netlist,
+            deadline,
+            trace_parent,
+            reply,
+        } = job;
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                shared.tracer.add("serve.reject.deadline", 1);
+                let _ = reply.send(Err("deadline exceeded before verification started".into()));
+                continue;
+            }
+        }
+        shared.tracer.add("serve.jobs", 1);
+        let service = &shared.service;
+        let result = run_isolated(0, move || service.verify(netlist, deadline, trace_parent));
+        if result.is_err() {
+            shared.tracer.add("serve.job_panics", 1);
+        }
+        // The client may have disconnected mid-job; a dead channel is
+        // not an error.
+        let _ = reply.send(result.map_err(|p| format!("verification job panicked: {}", p.message)));
+    }
+}
+
+/// JSON-escapes into a fresh string (for error messages and names).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_string(s, &mut out);
+    out
+}
+
+fn error_reply(id: u64, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"id\":{id},\"error\":{}}}",
+        json_str(message)
+    )
+}
+
+fn busy_reply(id: u64, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\":false,\"id\":{id},\"error\":\"queue full\",\"retry_after_ms\":{retry_after_ms}}}"
+    )
+}
+
+/// A verification response. The `signoff` field is spliced in verbatim
+/// — these are the exact bytes `serde_json::to_string(&signoff)`
+/// produced, the byte-identity contract of the protocol.
+fn verdict_reply(id: u64, revision: u64, v: &ServiceVerdict) -> String {
+    format!(
+        "{{\"ok\":true,\"id\":{id},\"revision\":{revision},\"clean\":{clean},\
+         \"violations\":{violations},\
+         \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions}}},\
+         \"signoff\":{signoff}}}",
+        clean = v.clean,
+        violations = v.violations,
+        hits = v.cache.hits,
+        misses = v.cache.misses,
+        evictions = v.cache.evictions,
+        signoff = v.signoff_json,
+    )
+}
+
+enum Submit {
+    Done(ServiceVerdict),
+    Busy,
+    Draining,
+    Failed(String),
+}
+
+/// Clones the session netlist into a job, admits it, and waits for the
+/// verdict. Never blocks on a full queue — that is the backpressure
+/// contract.
+fn submit_and_wait(
+    shared: &Shared,
+    session: &Session,
+    deadline: Option<Instant>,
+    trace_parent: Option<u64>,
+) -> Submit {
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        netlist: session.netlist().clone(),
+        deadline,
+        trace_parent,
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.tracer.add("serve.reject.queue_full", 1);
+            return Submit::Busy;
+        }
+        Err(PushError::Closed) => return Submit::Draining,
+    }
+    match rx.recv() {
+        Ok(Ok(verdict)) => Submit::Done(verdict),
+        Ok(Err(message)) => Submit::Failed(message),
+        // Workers only exit after draining every admitted job, so a
+        // dropped channel means the daemon is being torn down.
+        Err(_) => Submit::Draining,
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut session: Option<Session> = None;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF: the client said goodbye.
+            Ok(None) => break,
+            // Framing violation (oversized, truncated, non-UTF-8):
+            // best-effort error reply, then teardown — the stream
+            // position is unrecoverable.
+            Err(e) => {
+                let _ = write_frame(&mut writer, &error_reply(0, &format!("bad frame: {e}")));
+                break;
+            }
+        };
+        shared.tracer.add("serve.requests", 1);
+        let reply = handle_request(shared, &mut session, &frame);
+        let stop_after = matches!(&reply, Reply::Shutdown(_));
+        let text = match reply {
+            Reply::Text(t) | Reply::Shutdown(t) => t,
+        };
+        if write_frame(&mut writer, &text).is_err() {
+            break;
+        }
+        if stop_after {
+            let _ = writer.flush();
+            shared.stop();
+            break;
+        }
+    }
+}
+
+enum Reply {
+    Text(String),
+    /// Reply, then initiate drain and close this connection.
+    Shutdown(String),
+}
+
+fn handle_request(shared: &Shared, session: &mut Option<Session>, frame: &str) -> Reply {
+    let value = match serde_json::from_str(frame) {
+        Ok(v) => v,
+        Err(e) => return Reply::Text(error_reply(0, &format!("bad json: {e}"))),
+    };
+    let id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let Some(req) = value.get("req").and_then(Value::as_str) else {
+        return Reply::Text(error_reply(id, "missing \"req\" field"));
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) && req != "stats" {
+        return Reply::Text(error_reply(id, "daemon is draining"));
+    }
+    let span = shared.tracer.span_in(None, &format!("req:{req}"));
+    let span_id = span.id();
+    match req {
+        "open" => Reply::Text(open_session(shared, session, &value, id, false)),
+        "upload" => Reply::Text(open_session(shared, session, &value, id, true)),
+        "eco" => Reply::Text(eco(shared, session, &value, id, span_id)),
+        "signoff" => Reply::Text(signoff(shared, session, &value, id, span_id)),
+        "rollback" => Reply::Text(rollback(session, &value, id)),
+        "stats" => Reply::Text(stats(shared, id)),
+        "shutdown" => Reply::Shutdown(format!("{{\"ok\":true,\"id\":{id},\"draining\":true}}")),
+        other => Reply::Text(error_reply(id, &format!("unknown request {other:?}"))),
+    }
+}
+
+fn open_session(
+    shared: &Shared,
+    session: &mut Option<Session>,
+    value: &Value,
+    id: u64,
+    upload: bool,
+) -> String {
+    let Some(design) = value.get("design").and_then(Value::as_str) else {
+        return error_reply(id, "missing \"design\" field");
+    };
+    let opened = if upload {
+        let (Some(spice), Some(top)) = (
+            value.get("spice").and_then(Value::as_str),
+            value.get("top").and_then(Value::as_str),
+        ) else {
+            return error_reply(id, "upload needs \"spice\" and \"top\" fields");
+        };
+        Session::from_spice(design, spice, top)
+    } else {
+        Session::open(design, shared.service.process())
+    };
+    match opened {
+        Ok(s) => {
+            shared.tracer.add("serve.sessions", 1);
+            let reply = format!(
+                "{{\"ok\":true,\"id\":{id},\"design\":{},\"revision\":{},\
+                 \"devices\":{},\"nets\":{}}}",
+                json_str(s.design()),
+                s.revision(),
+                s.netlist().devices().len(),
+                s.netlist().net_count(),
+            );
+            *session = Some(s);
+            reply
+        }
+        Err(e) => error_reply(id, &e),
+    }
+}
+
+fn request_deadline(value: &Value) -> Option<Instant> {
+    value
+        .get("deadline_ms")
+        .and_then(Value::as_u64)
+        .map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
+fn eco(
+    shared: &Shared,
+    session: &mut Option<Session>,
+    value: &Value,
+    id: u64,
+    span: Option<u64>,
+) -> String {
+    let Some(session) = session.as_mut() else {
+        return error_reply(id, "no session: send \"open\" first");
+    };
+    let Some(edits_value) = value.get("edits") else {
+        return error_reply(id, "missing \"edits\" field");
+    };
+    let edits = match edits_from_json(edits_value) {
+        Ok(e) => e,
+        Err(e) => return error_reply(id, &e),
+    };
+    let before = session.revision();
+    let revision = match session.apply_batch(&edits) {
+        Ok(r) => r,
+        Err(e) => return error_reply(id, &e),
+    };
+    shared.tracer.add("serve.eco", 1);
+    match submit_and_wait(shared, session, request_deadline(value), span) {
+        Submit::Done(v) => verdict_reply(id, revision, &v),
+        Submit::Busy => {
+            // Undo the batch so a client retry replays the identical
+            // edit stream against the identical revision.
+            let _ = session.rollback_to(before);
+            busy_reply(id, shared.retry_after_ms)
+        }
+        Submit::Draining => {
+            let _ = session.rollback_to(before);
+            error_reply(id, "daemon is draining")
+        }
+        Submit::Failed(e) => error_reply(id, &e),
+    }
+}
+
+fn signoff(
+    shared: &Shared,
+    session: &mut Option<Session>,
+    value: &Value,
+    id: u64,
+    span: Option<u64>,
+) -> String {
+    let Some(session) = session.as_ref() else {
+        return error_reply(id, "no session: send \"open\" first");
+    };
+    match submit_and_wait(shared, session, request_deadline(value), span) {
+        Submit::Done(v) => verdict_reply(id, session.revision(), &v),
+        Submit::Busy => busy_reply(id, shared.retry_after_ms),
+        Submit::Draining => error_reply(id, "daemon is draining"),
+        Submit::Failed(e) => error_reply(id, &e),
+    }
+}
+
+fn rollback(session: &mut Option<Session>, value: &Value, id: u64) -> String {
+    let Some(session) = session.as_mut() else {
+        return error_reply(id, "no session: send \"open\" first");
+    };
+    let Some(revision) = value.get("revision").and_then(Value::as_u64) else {
+        return error_reply(id, "missing \"revision\" field");
+    };
+    match session.rollback_to(revision) {
+        Ok(r) => format!("{{\"ok\":true,\"id\":{id},\"revision\":{r}}}"),
+        Err(e) => error_reply(id, &e),
+    }
+}
+
+fn stats(shared: &Shared, id: u64) -> String {
+    let t = &shared.tracer;
+    format!(
+        "{{\"ok\":true,\"id\":{id},\"stats\":{{\
+         \"sessions\":{sessions},\"requests\":{requests},\"eco\":{eco},\"jobs\":{jobs},\
+         \"rejected_queue_full\":{full},\"rejected_deadline\":{deadline},\
+         \"job_panics\":{panics},\
+         \"queue_capacity\":{qcap},\"queue_depth\":{qdepth},\"workers\":{workers},\
+         \"cache_entries\":{entries},\"cache_evictions\":{evictions}}}}}",
+        sessions = t.counter_value("serve.sessions"),
+        requests = t.counter_value("serve.requests"),
+        eco = t.counter_value("serve.eco"),
+        jobs = t.counter_value("serve.jobs"),
+        full = t.counter_value("serve.reject.queue_full"),
+        deadline = t.counter_value("serve.reject.deadline"),
+        panics = t.counter_value("serve.job_panics"),
+        qcap = shared.queue.capacity(),
+        qdepth = shared.queue.depth(),
+        workers = shared.workers,
+        entries = shared.service.cache_len(),
+        evictions = shared.service.cache_evictions(),
+    )
+}

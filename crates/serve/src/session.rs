@@ -1,0 +1,615 @@
+//! Sessions: named design seeds, the ECO edit vocabulary, and an
+//! exactly-reversible revision history.
+//!
+//! A session is one client's private working copy of a design. It is
+//! seeded either from the **registry** of `cbv-gen` generators
+//! ([`design_from_name`]) or from an uploaded SPICE deck
+//! ([`Session::from_spice`]), and then advances one **revision** per
+//! accepted ECO batch. Every edit records its exact inverse
+//! ([`UndoAction`]), so [`Session::rollback_to`] reproduces any earlier
+//! revision's netlist *exactly* — same device order, same net table —
+//! which makes a rollback-then-reverify hit the verification cache the
+//! original revision primed (the PR 4 reversibility property, now a
+//! service feature).
+//!
+//! Batches are atomic: if edit *k* of a batch fails validation, edits
+//! `0..k` are reverted and the revision counter does not move. All ids
+//! arriving off the wire are validated against the current netlist
+//! before any panicking netlist API is called — a malformed ECO gets an
+//! error reply, never a daemon panic.
+
+use cbv_core::gen;
+use cbv_core::mutate::{self, Mutation, MutationOp, Site};
+use cbv_core::netlist::{spice, Device, DeviceId, FlatNetlist, NetId, NetKind, Term};
+use cbv_core::tech::{MosKind, Process};
+use serde_json::Value;
+
+/// One reversible edit, as parsed off the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// A `cbv-mutate` operator applied at an explicit site — the same
+    /// single-site vocabulary the mutation campaign enumerates.
+    Op {
+        /// The operator.
+        op: MutationOp,
+        /// Where to apply it.
+        site: Site,
+    },
+    /// Appends a fresh net.
+    AddNet {
+        /// Net name.
+        name: String,
+        /// Net kind (wire name, e.g. `"signal"`).
+        kind: NetKind,
+    },
+    /// Appends a fresh MOS device.
+    AddDevice {
+        /// Instance name.
+        name: String,
+        /// Polarity.
+        kind: MosKind,
+        /// Gate net.
+        gate: NetId,
+        /// Drain net.
+        drain: NetId,
+        /// Source net.
+        source: NetId,
+        /// Bulk net.
+        bulk: NetId,
+        /// Drawn width, meters.
+        w: f64,
+        /// Drawn length, meters.
+        l: f64,
+    },
+    /// Sets a device's drawn geometry.
+    Resize {
+        /// Target device.
+        device: DeviceId,
+        /// New width, meters.
+        w: f64,
+        /// New length, meters.
+        l: f64,
+    },
+    /// Moves one device terminal to another net.
+    Rewire {
+        /// Target device.
+        device: DeviceId,
+        /// Which terminal.
+        term: Term,
+        /// Destination net.
+        net: NetId,
+    },
+}
+
+/// The exact inverse of one applied edit.
+enum UndoAction {
+    Mutation(Mutation),
+    PopNet,
+    PopDevice,
+    Resize {
+        device: DeviceId,
+        w: f64,
+        l: f64,
+    },
+    Rewire {
+        device: DeviceId,
+        term: Term,
+        net: NetId,
+    },
+}
+
+impl UndoAction {
+    fn revert(self, netlist: &mut FlatNetlist) {
+        match self {
+            UndoAction::Mutation(m) => m.revert(netlist),
+            UndoAction::PopNet => {
+                netlist.pop_net();
+            }
+            UndoAction::PopDevice => {
+                netlist.pop_device();
+            }
+            UndoAction::Resize { device, w, l } => {
+                let d = netlist.device_mut(device);
+                d.w = w;
+                d.l = l;
+            }
+            UndoAction::Rewire { device, term, net } => {
+                netlist.rewire(device, term, net);
+            }
+        }
+    }
+}
+
+/// Seeds a netlist from the registry of generator designs. Names are
+/// stable protocol vocabulary: a client and an in-process replay that
+/// name the same design get identical netlists.
+pub fn design_from_name(name: &str, process: &Process) -> Option<FlatNetlist> {
+    let g = match name {
+        "ripple2" => gen::adders::static_ripple_adder(2, process),
+        "ripple4" => gen::adders::static_ripple_adder(4, process),
+        "ripple8" => gen::adders::static_ripple_adder(8, process),
+        "domino4" => gen::adders::manchester_domino_adder(4, process),
+        "alu4" => gen::datapath::alu_slice(4, process),
+        "cam8" => gen::cam::cam_match_line(8, process),
+        "dcvsl" => gen::dcvsl::dcvsl_and2(process),
+        "sr-latch" => gen::latches::sr_latch(process),
+        _ => return None,
+    };
+    Some(g.netlist)
+}
+
+/// Names accepted by [`design_from_name`], for error messages and docs.
+pub const DESIGN_NAMES: &[&str] = &[
+    "ripple2", "ripple4", "ripple8", "domino4", "alu4", "cam8", "dcvsl", "sr-latch",
+];
+
+/// One client's working copy: the current netlist plus the undo stack
+/// that can walk it back to any earlier revision.
+pub struct Session {
+    design: String,
+    netlist: FlatNetlist,
+    undo: Vec<Vec<UndoAction>>,
+}
+
+impl Session {
+    /// Opens a session on a registry design.
+    pub fn open(design: &str, process: &Process) -> Result<Session, String> {
+        let netlist = design_from_name(design, process).ok_or_else(|| {
+            format!(
+                "unknown design {design:?} (have: {})",
+                DESIGN_NAMES.join(", ")
+            )
+        })?;
+        Ok(Session {
+            design: design.to_owned(),
+            netlist,
+            undo: Vec::new(),
+        })
+    }
+
+    /// Opens a session on an uploaded SPICE deck, flattened at `top`.
+    pub fn from_spice(name: &str, text: &str, top: &str) -> Result<Session, String> {
+        let lib = spice::parse(text).map_err(|e| format!("spice parse: {e}"))?;
+        let top_id = lib
+            .find_cell(top)
+            .ok_or_else(|| format!("no subcircuit named {top:?} in upload"))?;
+        let netlist = lib.flatten(top_id).map_err(|e| format!("flatten: {e}"))?;
+        Ok(Session {
+            design: name.to_owned(),
+            netlist,
+            undo: Vec::new(),
+        })
+    }
+
+    /// The design name this session was opened on.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Current revision: 0 is the seed, +1 per accepted ECO batch.
+    pub fn revision(&self) -> u64 {
+        self.undo.len() as u64
+    }
+
+    /// The current netlist (cloned by the caller for verification).
+    pub fn netlist(&self) -> &FlatNetlist {
+        &self.netlist
+    }
+
+    /// Applies one ECO batch atomically and returns the new revision.
+    /// On error the netlist is exactly as before and the revision does
+    /// not advance.
+    pub fn apply_batch(&mut self, edits: &[Edit]) -> Result<u64, String> {
+        let mut applied: Vec<UndoAction> = Vec::with_capacity(edits.len());
+        for (k, edit) in edits.iter().enumerate() {
+            match self.apply_one(edit) {
+                Ok(undo) => applied.push(undo),
+                Err(e) => {
+                    while let Some(u) = applied.pop() {
+                        u.revert(&mut self.netlist);
+                    }
+                    return Err(format!("edit {k}: {e}"));
+                }
+            }
+        }
+        self.undo.push(applied);
+        Ok(self.revision())
+    }
+
+    /// Rolls the netlist back to an earlier (or the current) revision.
+    pub fn rollback_to(&mut self, revision: u64) -> Result<u64, String> {
+        if revision > self.revision() {
+            return Err(format!(
+                "cannot roll forward to revision {revision} (current is {})",
+                self.revision()
+            ));
+        }
+        while self.revision() > revision {
+            let batch = self.undo.pop().expect("revision > 0 has a batch");
+            for u in batch.into_iter().rev() {
+                u.revert(&mut self.netlist);
+            }
+        }
+        Ok(self.revision())
+    }
+
+    fn check_device(&self, d: DeviceId) -> Result<(), String> {
+        if d.index() < self.netlist.devices().len() {
+            Ok(())
+        } else {
+            Err(format!("device {} out of range", d.index()))
+        }
+    }
+
+    fn check_net(&self, n: NetId) -> Result<(), String> {
+        if n.index() < self.netlist.net_count() {
+            Ok(())
+        } else {
+            Err(format!("net {} out of range", n.index()))
+        }
+    }
+
+    fn check_site(&self, site: Site) -> Result<(), String> {
+        match site {
+            Site::Device(d) => self.check_device(d),
+            Site::Rewire(d, _, n) => self.check_device(d).and_then(|()| self.check_net(n)),
+            Site::Bridge(a, b) => self.check_net(a).and_then(|()| self.check_net(b)),
+            Site::Open(d, _) => self.check_device(d),
+        }
+    }
+
+    fn apply_one(&mut self, edit: &Edit) -> Result<UndoAction, String> {
+        match edit {
+            Edit::Op { op, site } => {
+                self.check_site(*site)?;
+                mutate::apply(&mut self.netlist, op, *site)
+                    .map(UndoAction::Mutation)
+                    .ok_or_else(|| format!("operator {} not applicable at site", op.name()))
+            }
+            Edit::AddNet { name, kind } => {
+                self.netlist.add_net(name, *kind);
+                Ok(UndoAction::PopNet)
+            }
+            Edit::AddDevice {
+                name,
+                kind,
+                gate,
+                drain,
+                source,
+                bulk,
+                w,
+                l,
+            } => {
+                for n in [gate, drain, source, bulk] {
+                    self.check_net(*n)?;
+                }
+                if !(*w > 0.0 && *l > 0.0) {
+                    return Err("device geometry must be positive".into());
+                }
+                self.netlist.add_device(Device::mos(
+                    *kind,
+                    name.clone(),
+                    *gate,
+                    *drain,
+                    *source,
+                    *bulk,
+                    *w,
+                    *l,
+                ));
+                Ok(UndoAction::PopDevice)
+            }
+            Edit::Resize { device, w, l } => {
+                self.check_device(*device)?;
+                if !(*w > 0.0 && *l > 0.0) {
+                    return Err("device geometry must be positive".into());
+                }
+                let d = self.netlist.device_mut(*device);
+                let undo = UndoAction::Resize {
+                    device: *device,
+                    w: d.w,
+                    l: d.l,
+                };
+                d.w = *w;
+                d.l = *l;
+                Ok(undo)
+            }
+            Edit::Rewire { device, term, net } => {
+                self.check_device(*device)?;
+                self.check_net(*net)?;
+                let old = self.netlist.rewire(*device, *term, *net);
+                Ok(UndoAction::Rewire {
+                    device: *device,
+                    term: *term,
+                    net: old,
+                })
+            }
+        }
+    }
+}
+
+fn f64_field(v: &Value, name: &str) -> Result<f64, String> {
+    let x = v
+        .get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {name:?}"))?;
+    if !x.is_finite() {
+        return Err(format!("non-finite value in {name:?}"));
+    }
+    Ok(x)
+}
+
+fn id_field(v: &Value, name: &str) -> Result<u32, String> {
+    let raw = v
+        .get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {name:?}"))?;
+    u32::try_from(raw).map_err(|_| format!("field {name:?} out of range"))
+}
+
+fn str_field<'a>(v: &'a Value, name: &str) -> Result<&'a str, String> {
+    v.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field {name:?}"))
+}
+
+fn parse_net_kind(name: &str) -> Result<NetKind, String> {
+    Ok(match name {
+        "signal" => NetKind::Signal,
+        "power" => NetKind::Power,
+        "ground" => NetKind::Ground,
+        "input" => NetKind::Input,
+        "output" => NetKind::Output,
+        "inout" => NetKind::Inout,
+        "clock" => NetKind::Clock,
+        other => return Err(format!("unknown net kind {other:?}")),
+    })
+}
+
+fn parse_mos_kind(name: &str) -> Result<MosKind, String> {
+    Ok(match name {
+        "nmos" => MosKind::Nmos,
+        "pmos" => MosKind::Pmos,
+        other => return Err(format!("unknown device kind {other:?}")),
+    })
+}
+
+/// Parses one edit object off the wire. The `"edit"` field
+/// discriminates; `"op"` edits nest the `cbv-mutate` wire encodings.
+pub fn edit_from_json(v: &Value) -> Result<Edit, String> {
+    match str_field(v, "edit")? {
+        "op" => {
+            let op = v.get("op").ok_or("missing field \"op\"")?;
+            let site = v.get("site").ok_or("missing field \"site\"")?;
+            Ok(Edit::Op {
+                op: mutate::op_from_json(op).map_err(|e| e.to_string())?,
+                site: mutate::site_from_json(site).map_err(|e| e.to_string())?,
+            })
+        }
+        "add-net" => Ok(Edit::AddNet {
+            name: str_field(v, "name")?.to_owned(),
+            kind: parse_net_kind(str_field(v, "kind")?)?,
+        }),
+        "add-device" => Ok(Edit::AddDevice {
+            name: str_field(v, "name")?.to_owned(),
+            kind: parse_mos_kind(str_field(v, "kind")?)?,
+            gate: NetId(id_field(v, "gate")?),
+            drain: NetId(id_field(v, "drain")?),
+            source: NetId(id_field(v, "source")?),
+            bulk: NetId(id_field(v, "bulk")?),
+            w: f64_field(v, "w")?,
+            l: f64_field(v, "l")?,
+        }),
+        "resize" => Ok(Edit::Resize {
+            device: DeviceId(id_field(v, "device")?),
+            w: f64_field(v, "w")?,
+            l: f64_field(v, "l")?,
+        }),
+        "rewire" => Ok(Edit::Rewire {
+            device: DeviceId(id_field(v, "device")?),
+            term: mutate::parse_term(str_field(v, "term")?).map_err(|e| e.to_string())?,
+            net: NetId(id_field(v, "net")?),
+        }),
+        other => Err(format!("unknown edit kind {other:?}")),
+    }
+}
+
+/// Parses an ECO payload: a single edit object or an array of them
+/// (one batch either way).
+pub fn edits_from_json(v: &Value) -> Result<Vec<Edit>, String> {
+    match v.as_array() {
+        Some(items) => items.iter().map(edit_from_json).collect(),
+        None => Ok(vec![edit_from_json(v)?]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process() -> Process {
+        Process::strongarm_035()
+    }
+
+    /// Structural equality (FlatNetlist has no PartialEq): same device
+    /// table and same net table, which is exactly what "exactly
+    /// reversible" must restore.
+    fn same_netlist(a: &FlatNetlist, b: &FlatNetlist) -> bool {
+        a.devices() == b.devices()
+            && a.net_count() == b.net_count()
+            && a.net_ids()
+                .all(|n| a.net_name(n) == b.net_name(n) && a.net_kind(n) == b.net_kind(n))
+    }
+
+    #[test]
+    fn registry_designs_open_and_unknown_names_fail() {
+        for &name in DESIGN_NAMES {
+            let s = Session::open(name, &process()).unwrap();
+            assert_eq!(s.design(), name);
+            assert_eq!(s.revision(), 0);
+            assert!(!s.netlist().devices().is_empty(), "{name} is non-trivial");
+        }
+        assert!(Session::open("no-such-design", &process()).is_err());
+    }
+
+    #[test]
+    fn batches_are_atomic_and_exactly_reversible() {
+        let mut s = Session::open("ripple4", &process()).unwrap();
+        let seed = s.netlist().clone();
+
+        let r1 = s
+            .apply_batch(&[
+                Edit::Op {
+                    op: MutationOp::WidthScale { factor: 1.5 },
+                    site: Site::Device(DeviceId(0)),
+                },
+                Edit::Resize {
+                    device: DeviceId(1),
+                    w: 2e-6,
+                    l: 4e-7,
+                },
+            ])
+            .unwrap();
+        assert_eq!(r1, 1);
+        let rev1 = s.netlist().clone();
+
+        let r2 = s
+            .apply_batch(&[Edit::AddNet {
+                name: "scratch".into(),
+                kind: NetKind::Signal,
+            }])
+            .unwrap();
+        assert_eq!(r2, 2);
+
+        // A failing batch leaves the netlist untouched mid-way: the
+        // second edit names an out-of-range device, so the first must
+        // be reverted.
+        let before = s.netlist().clone();
+        let err = s
+            .apply_batch(&[
+                Edit::Resize {
+                    device: DeviceId(0),
+                    w: 9e-6,
+                    l: 9e-7,
+                },
+                Edit::Rewire {
+                    device: DeviceId(10_000),
+                    term: Term::Gate,
+                    net: NetId(0),
+                },
+            ])
+            .unwrap_err();
+        assert!(err.starts_with("edit 1:"), "{err}");
+        assert!(
+            same_netlist(s.netlist(), &before),
+            "failed batch fully reverted"
+        );
+        assert_eq!(s.revision(), 2);
+
+        assert_eq!(s.rollback_to(1).unwrap(), 1);
+        assert!(same_netlist(s.netlist(), &rev1));
+        assert_eq!(s.rollback_to(0).unwrap(), 0);
+        assert!(
+            same_netlist(s.netlist(), &seed),
+            "rollback reproduces the seed exactly"
+        );
+        assert!(s.rollback_to(5).is_err(), "cannot roll forward");
+    }
+
+    #[test]
+    fn wire_edits_parse_and_validate() {
+        let op = serde_json::from_str(
+            "{\"edit\":\"op\",\"op\":{\"op\":\"width-scale\",\"factor\":1.5},\
+             \"site\":{\"site\":\"device\",\"device\":0}}",
+        )
+        .unwrap();
+        assert_eq!(
+            edit_from_json(&op).unwrap(),
+            Edit::Op {
+                op: MutationOp::WidthScale { factor: 1.5 },
+                site: Site::Device(DeviceId(0)),
+            }
+        );
+        let batch = serde_json::from_str(
+            "[{\"edit\":\"add-net\",\"name\":\"n\",\"kind\":\"signal\"},\
+              {\"edit\":\"resize\",\"device\":1,\"w\":1e-6,\"l\":3.5e-7}]",
+        )
+        .unwrap();
+        assert_eq!(edits_from_json(&batch).unwrap().len(), 2);
+        for bad in [
+            "{\"edit\":\"resize\",\"device\":1,\"w\":\"wide\"}",
+            "{\"edit\":\"add-device\",\"name\":\"m\",\"kind\":\"npn\"}",
+            "{\"edit\":\"teleport\"}",
+            "{}",
+        ] {
+            let v = serde_json::from_str(bad).unwrap();
+            assert!(edit_from_json(&v).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn hostile_ids_and_geometry_get_errors_not_panics() {
+        let mut s = Session::open("dcvsl", &process()).unwrap();
+        let cases = vec![
+            Edit::Resize {
+                device: DeviceId(u32::MAX),
+                w: 1e-6,
+                l: 1e-7,
+            },
+            Edit::Resize {
+                device: DeviceId(0),
+                w: -1.0,
+                l: 1e-7,
+            },
+            Edit::Rewire {
+                device: DeviceId(0),
+                term: Term::Gate,
+                net: NetId(u32::MAX),
+            },
+            Edit::AddDevice {
+                name: "m".into(),
+                kind: MosKind::Nmos,
+                gate: NetId(u32::MAX),
+                drain: NetId(0),
+                source: NetId(0),
+                bulk: NetId(0),
+                w: 1e-6,
+                l: 1e-7,
+            },
+            Edit::Op {
+                op: MutationOp::KeeperDelete,
+                site: Site::Device(DeviceId(u32::MAX)),
+            },
+            Edit::Op {
+                // Valid nets, inapplicable op (a bridge needs two
+                // distinct endpoints).
+                op: MutationOp::NetBridge,
+                site: Site::Bridge(NetId(0), NetId(0)),
+            },
+        ];
+        let before = s.netlist().clone();
+        for edit in cases {
+            assert!(
+                s.apply_batch(std::slice::from_ref(&edit)).is_err(),
+                "{edit:?}"
+            );
+        }
+        assert!(same_netlist(s.netlist(), &before));
+        assert_eq!(s.revision(), 0);
+    }
+
+    #[test]
+    fn spice_upload_round_trips_through_session() {
+        let deck = "\
+* tiny inverter
+.SUBCKT INV IN OUT VDD VSS
+MP OUT IN VDD VDD PMOS W=2u L=0.35u
+MN OUT IN VSS VSS NMOS W=1u L=0.35u
+.ENDS
+";
+        let s = Session::from_spice("mine", deck, "INV").unwrap();
+        assert_eq!(s.design(), "mine");
+        assert_eq!(s.netlist().devices().len(), 2);
+        assert!(Session::from_spice("mine", deck, "MISSING").is_err());
+        assert!(Session::from_spice("mine", "not spice .ends", "X").is_err());
+    }
+}

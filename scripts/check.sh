@@ -35,6 +35,41 @@ done
 echo "== E16 smoke (campaign detects, amortizes, and round-trips JSON) =="
 cargo test -q -p cbv-bench --lib e16
 
+# The daemon's byte-identity contract: K racing clients, hostile
+# frames, queue-full and deadline rejections — at several flow worker
+# counts (the daemon honours CBV_THREADS through FlowConfig).
+for threads in 1 2 8; do
+  echo "== serve end-to-end (CBV_THREADS=$threads) =="
+  CBV_THREADS=$threads cargo test -q -p cbv-serve --test serve
+done
+
+echo "== daemon loopback smoke (cbv eco vs cbv replay, cmp) =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"; [ -n "${SERVED_PID:-}" ] && kill "$SERVED_PID" 2>/dev/null || true' EXIT
+E1='{"edit":"op","op":{"op":"width-scale","factor":1.25},"site":{"site":"device","device":0}}'
+E2='{"edit":"resize","device":1,"w":2.0e-6,"l":3.5e-7}'
+E3='{"edit":"rewire","device":0,"term":"gate","net":1}'
+for threads in 1 2 8; do
+  CBV_THREADS=$threads ./target/release/cbv-served --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/served.out" 2> "$SMOKE_DIR/served.err" &
+  SERVED_PID=$!
+  for _ in $(seq 100); do
+    grep -q "^listening on " "$SMOKE_DIR/served.out" && break
+    sleep 0.1
+  done
+  ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/served.out")
+  [ -n "$ADDR" ] || { echo "daemon never reported its address"; exit 1; }
+  ./target/release/cbv eco "$ADDR" dcvsl "$E1" "$E2" "$E3" \
+    > "$SMOKE_DIR/remote.json" 2> /dev/null
+  CBV_THREADS=$threads ./target/release/cbv replay dcvsl "$E1" "$E2" "$E3" \
+    > "$SMOKE_DIR/local.json" 2> /dev/null
+  cmp "$SMOKE_DIR/remote.json" "$SMOKE_DIR/local.json"
+  ./target/release/cbv shutdown "$ADDR" 2> /dev/null
+  wait "$SERVED_PID"
+  SERVED_PID=
+  echo "   CBV_THREADS=$threads: remote signoff byte-identical to replay"
+done
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
