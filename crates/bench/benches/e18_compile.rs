@@ -1,0 +1,28 @@
+//! Criterion bench for E18: compile cost and per-pass execution cost of
+//! the 64-lane compiled engine on the headline two-phase adder.
+use cbv_core::csim::{compile as csim_compile, CSim};
+use cbv_core::gen::rtl_designs::manchester_class_adder_rtl;
+use cbv_core::rtl::{blast::blast, compile};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let design = compile(&manchester_class_adder_rtl(32), "mda32").expect("compiles");
+    let net = blast(&design).expect("blasts");
+    c.bench_function("e18_compile_mda32", |b| {
+        b.iter(|| csim_compile(&net).expect("acyclic"))
+    });
+
+    let mut sim = CSim::new(csim_compile(&net).expect("acyclic"));
+    let mut i = 0u64;
+    c.bench_function("e18_csim_pass_mda32", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            for (lane, bit) in [(0usize, 0usize), (17, 13), (42, 31)] {
+                sim.set_input_plane(bit, i.rotate_left(lane as u32));
+            }
+            sim.step("ck");
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates experiment e18's table (see DESIGN.md's index).
+fn main() {
+    cbv_bench::e18_compile::print();
+}

@@ -31,6 +31,7 @@
 
 pub mod flow;
 pub mod oracle;
+pub mod screen;
 pub mod service;
 pub mod signoff;
 pub mod views;
@@ -52,6 +53,9 @@ pub use cbv_recognize as recognize;
 
 /// Logic simulation (switch-level, gate-level, shadow mode).
 pub use cbv_sim as sim;
+
+/// Compiled 64-lane bit-parallel simulation backend.
+pub use cbv_csim as csim;
 
 /// Macrocell layout assistance.
 pub use cbv_layout as layout;

@@ -1,0 +1,307 @@
+//! Reference-vector oracles for the mutation functional screen.
+//!
+//! `cbv-mutate`'s [`run_func_screen`](cbv_mutate::run_func_screen) is
+//! engine-agnostic: it hands each mutant netlist to a
+//! [`FuncOracle`](cbv_mutate::FuncOracle) and records the verdict. This
+//! module supplies the production oracle: [`SimScreenOracle`] computes
+//! golden stimulus/response vectors **once** from the design's RTL —
+//! using either the word-level interpreter or the compiled bit-parallel
+//! engine ([`RefEngine`]) — and then screens every mutant by running it
+//! through the switch-level simulator against those vectors.
+//!
+//! The two reference engines must be interchangeable: for any golden
+//! design, seed and cycle count, the vectors they produce are
+//! bit-identical, so every mutant's verdict is identical whichever
+//! engine computed the reference. That equivalence is this PR's
+//! cross-engine acceptance test (and E18 reports the throughput gap
+//! that makes [`RefEngine::Compiled`] the default for big campaigns).
+//!
+//! Net-name binding is mechanical, the same convention `blast` and the
+//! generators share: RTL input/output word `name` of width `w` binds to
+//! circuit nets `name[0]`‥`name[w-1]`, falling back to the bare `name`
+//! for 1-bit words (e.g. `cin`).
+
+use cbv_csim::{compile as csim_compile, CSim, LANES};
+use cbv_mutate::{FuncOracle, FuncVerdict};
+use cbv_netlist::FlatNetlist;
+use cbv_rtl::blast::blast;
+use cbv_rtl::interp::Interp;
+use cbv_rtl::{RtlDesign, RtlError};
+use cbv_sim::{Logic, SwitchSim};
+
+/// Which engine computes the golden reference vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefEngine {
+    /// The word-level RTL interpreter (`cbv_rtl::interp`).
+    Interp,
+    /// The compiled 64-lane bit-parallel engine (`cbv-csim`): one
+    /// stimulus vector per lane, 64 vectors per pass.
+    Compiled,
+}
+
+/// Splitmix64: deterministic stimulus, identical for both engines.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Screens mutants in the switch-level simulator against golden
+/// stimulus/response vectors precomputed from the RTL.
+///
+/// Currently supports **combinational** golden designs (no clocks): the
+/// screen settles the transistor netlist per vector, which matches a
+/// per-vector combinational compare. Sequential screening needs a
+/// clocked transistor testbench and is a different harness.
+#[derive(Debug, Clone)]
+pub struct SimScreenOracle {
+    /// Golden inputs `(name, width)` in declaration order.
+    inputs: Vec<(String, u32)>,
+    /// Golden outputs `(name, width)` in declaration order.
+    outputs: Vec<(String, u32)>,
+    /// Per cycle: one value per input word.
+    stimulus: Vec<Vec<u64>>,
+    /// Per cycle: one value per output word.
+    expected: Vec<Vec<u64>>,
+    /// Which engine produced `expected` (for reporting).
+    engine: RefEngine,
+}
+
+impl SimScreenOracle {
+    /// Builds the oracle: generates `cycles` deterministic stimulus
+    /// vectors from `seed` and computes the golden responses with the
+    /// chosen engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the design is not combinational, or (for
+    /// [`RefEngine::Compiled`]) if it fails to blast or compile.
+    pub fn new(
+        golden: &RtlDesign,
+        engine: RefEngine,
+        cycles: usize,
+        seed: u64,
+    ) -> Result<SimScreenOracle, RtlError> {
+        if !golden.clocks.is_empty() || !golden.regs.is_empty() {
+            return Err(RtlError::elab(format!(
+                "functional screen supports combinational golden designs; `{}` has state",
+                golden.name
+            )));
+        }
+        let inputs = golden.inputs.clone();
+        let outputs: Vec<(String, u32)> = golden
+            .outputs
+            .iter()
+            .map(|(n, id)| (n.clone(), golden.width(*id)))
+            .collect();
+        let mut rng = seed;
+        let stimulus: Vec<Vec<u64>> = (0..cycles)
+            .map(|_| {
+                inputs
+                    .iter()
+                    .map(|(_, w)| splitmix(&mut rng) & mask(*w))
+                    .collect()
+            })
+            .collect();
+        let expected = match engine {
+            RefEngine::Interp => {
+                let mut sim = Interp::new(golden);
+                stimulus
+                    .iter()
+                    .map(|vals| {
+                        for ((name, _), &v) in inputs.iter().zip(vals) {
+                            sim.set_input(name, v);
+                        }
+                        outputs.iter().map(|(name, _)| sim.output(name)).collect()
+                    })
+                    .collect()
+            }
+            RefEngine::Compiled => {
+                let net = blast(golden)?;
+                let prog =
+                    csim_compile(&net).map_err(|e| RtlError::elab(format!("csim compile: {e}")))?;
+                let mut sim = CSim::new(prog);
+                let mut expected: Vec<Vec<u64>> = Vec::with_capacity(cycles);
+                // 64 vectors per pass: lane `l` of each batch carries
+                // cycle `batch*64 + l`.
+                for batch in stimulus.chunks(LANES) {
+                    for (lane, vals) in batch.iter().enumerate() {
+                        for ((name, _), &v) in inputs.iter().zip(vals) {
+                            sim.set_input(lane, name, v);
+                        }
+                    }
+                    for lane in 0..batch.len() {
+                        expected.push(
+                            outputs
+                                .iter()
+                                .map(|(name, _)| sim.output(lane, name))
+                                .collect(),
+                        );
+                    }
+                }
+                expected
+            }
+        };
+        Ok(SimScreenOracle {
+            inputs,
+            outputs,
+            stimulus,
+            expected,
+            engine,
+        })
+    }
+
+    /// Which engine produced the reference vectors.
+    pub fn engine(&self) -> RefEngine {
+        self.engine
+    }
+
+    /// The golden response vectors (per cycle, one value per output
+    /// word) — exposed so the engine-identity test can compare them
+    /// directly.
+    pub fn expected(&self) -> &[Vec<u64>] {
+        &self.expected
+    }
+
+    /// Bit `i` of input/output word `name` as a circuit net name:
+    /// `name[i]`, or bare `name` for 1-bit words.
+    fn bit_net(name: &str, width: u32, bit: u32) -> (String, Option<String>) {
+        let indexed = format!("{name}[{bit}]");
+        let bare = (width == 1).then(|| name.to_owned());
+        (indexed, bare)
+    }
+
+    fn set_bit(sim: &mut SwitchSim<'_>, name: &str, width: u32, bit: u32, value: bool) -> bool {
+        let (indexed, bare) = Self::bit_net(name, width, bit);
+        if sim
+            .try_set_by_name(&indexed, Logic::from_bool(value))
+            .is_ok()
+        {
+            return true;
+        }
+        if let Some(bare) = bare {
+            return sim.try_set_by_name(&bare, Logic::from_bool(value)).is_ok();
+        }
+        false
+    }
+
+    fn read_bit(sim: &SwitchSim<'_>, name: &str, width: u32, bit: u32) -> Option<Logic> {
+        let (indexed, bare) = Self::bit_net(name, width, bit);
+        sim.try_value_by_name(&indexed)
+            .ok()
+            .or_else(|| bare.and_then(|b| sim.try_value_by_name(&b).ok()))
+    }
+}
+
+impl FuncOracle for SimScreenOracle {
+    fn screen(&mut self, netlist: &FlatNetlist) -> FuncVerdict {
+        let mut sim = SwitchSim::new(netlist);
+        for (cycle, (vals, want)) in self.stimulus.iter().zip(&self.expected).enumerate() {
+            for ((name, w), &v) in self.inputs.iter().zip(vals) {
+                for bit in 0..*w {
+                    if !Self::set_bit(&mut sim, name, *w, bit, (v >> bit) & 1 == 1) {
+                        return FuncVerdict::Unresolved {
+                            cycle,
+                            detail: format!("input net for `{name}` bit {bit} missing"),
+                        };
+                    }
+                }
+            }
+            if sim.settle().is_none() {
+                return FuncVerdict::Unresolved {
+                    cycle,
+                    detail: "did not settle (oscillation or drive fight)".into(),
+                };
+            }
+            for ((name, w), &expect) in self.outputs.iter().zip(want) {
+                for bit in 0..*w {
+                    let got = Self::read_bit(&sim, name, *w, bit);
+                    let want_bit = Logic::from_bool((expect >> bit) & 1 == 1);
+                    match got {
+                        Some(l) if l == want_bit => {}
+                        Some(Logic::X) | None => {
+                            return FuncVerdict::Unresolved {
+                                cycle,
+                                detail: format!("output `{name}` bit {bit} is X or missing"),
+                            };
+                        }
+                        Some(_) => {
+                            return FuncVerdict::Detected {
+                                cycle,
+                                output: format!("{name}[{bit}]"),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        FuncVerdict::Escaped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_gen::adders::static_ripple_adder;
+    use cbv_mutate::{run_func_screen, FuncScreenConfig, MutationOp};
+    use cbv_rtl::compile;
+    use cbv_tech::Process;
+
+    const ADDER_RTL: &str = "module add4(in a[4], in b[4], in cin, out s[4], out cout) {\n\
+        wire sum[6] = {2'b0, a} + b + cin;\n\
+        assign s = sum[3:0];\n\
+        assign cout = sum[4];\n\
+    }";
+
+    #[test]
+    fn both_engines_produce_identical_reference_vectors() {
+        let golden = compile(ADDER_RTL, "add4").unwrap();
+        let a = SimScreenOracle::new(&golden, RefEngine::Interp, 100, 0xA5).unwrap();
+        let b = SimScreenOracle::new(&golden, RefEngine::Compiled, 100, 0xA5).unwrap();
+        assert_eq!(a.expected(), b.expected());
+    }
+
+    #[test]
+    fn clean_adder_escapes_and_polarity_swap_is_caught() {
+        let p = Process::strongarm_035();
+        let circuit = static_ripple_adder(4, &p);
+        let golden = compile(ADDER_RTL, "add4").unwrap();
+        let mut oracle = SimScreenOracle::new(&golden, RefEngine::Compiled, 32, 0xC0FFEE).unwrap();
+        let clean = oracle.screen(&circuit.netlist);
+        assert_eq!(clean, FuncVerdict::Escaped, "clean adder must pass");
+
+        let config = FuncScreenConfig {
+            ops: vec![MutationOp::PolaritySwap],
+            max_sites_per_op: 3,
+        };
+        let report = run_func_screen(&circuit.netlist, &mut oracle, &config);
+        assert_eq!(report.baseline, FuncVerdict::Escaped);
+        assert!(report.rows[0].mutants_run > 0);
+        assert_eq!(
+            report.rows[0].escapes.len(),
+            0,
+            "a polarity swap must never screen clean: {:?}",
+            report.rows[0].escapes
+        );
+    }
+
+    #[test]
+    fn sequential_golden_is_rejected() {
+        let golden = compile(
+            "module m(clock ck, in d, out q) { reg r; at posedge(ck) { r <= d; } assign q = r; }",
+            "m",
+        )
+        .unwrap();
+        assert!(SimScreenOracle::new(&golden, RefEngine::Interp, 8, 1).is_err());
+    }
+}

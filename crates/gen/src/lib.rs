@@ -21,7 +21,9 @@
 //!   ports;
 //! * [`clocktree`] — buffered clock distribution chains;
 //! * [`mod@inject`] — **fault injectors** that plant each §4.2 hazard class
-//!   into a clean design, for the detection-coverage experiments.
+//!   into a clean design, for the detection-coverage experiments;
+//! * [`rtl_designs`] — the named word-level RTL design registry the
+//!   cross-engine suites and the E18 compiled-simulation benchmark sweep.
 
 pub mod adders;
 pub mod cam;
@@ -32,6 +34,7 @@ pub mod gates;
 pub mod inject;
 pub mod latches;
 pub mod regfile;
+pub mod rtl_designs;
 
 pub use inject::{inject, FaultKind};
 

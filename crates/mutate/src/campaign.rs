@@ -377,7 +377,9 @@ impl CampaignReport {
 
 /// Uniform-stride sample of `v` down to `cap` elements (0 = keep all),
 /// preserving order — coverage stays spread across the enumeration.
-fn take_spread<T: Copy>(v: &[T], cap: usize) -> Vec<T> {
+/// Shared with the functional screen so both samplers pick identical
+/// site subsets for a given cap.
+pub(crate) fn take_spread<T: Copy>(v: &[T], cap: usize) -> Vec<T> {
     if cap == 0 || v.len() <= cap {
         return v.to_vec();
     }

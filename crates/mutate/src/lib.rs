@@ -21,6 +21,14 @@
 //! magnitude each check detects — the probability-filter ROC the paper
 //! only gestures at).
 //!
+//! Alongside the flow campaign, [`run_func_screen`] runs the same
+//! mutants through a **functional screen** ([`screen`]): simulate each
+//! mutant against the golden design's stimulus/response vectors and
+//! report diverged / unresolved / escaped — §4.1's logic-intent
+//! coverage as the campaign's simulation column. The reference-vector
+//! oracles (interpreter- or compiled-engine-backed) live in `cbv-core`
+//! (`core::screen`).
+//!
 //! The crate deliberately depends only on the netlist/recognition layer:
 //! the flow-backed oracle adapters live in `cbv-core` (`core::oracle`),
 //! and `cbv_gen::inject` delegates its legacy fault classes to
@@ -29,6 +37,7 @@
 pub mod campaign;
 pub mod op;
 pub mod report;
+pub mod screen;
 pub mod wire;
 
 pub use campaign::{
@@ -36,4 +45,8 @@ pub use campaign::{
     FlowObservation, FlowOracle, MutantRecord, OpSummary, SensitivityCurve,
 };
 pub use op::{apply, sites, stack_internal_nmos, Mutation, MutationOp, Site};
+pub use screen::{
+    run_func_screen, FuncMutantRecord, FuncOpSummary, FuncOracle, FuncScreenConfig,
+    FuncScreenReport, FuncVerdict,
+};
 pub use wire::{op_from_json, parse_term, site_from_json, term_name, WireError};

@@ -200,6 +200,25 @@ impl BoolNet {
             .any(|s| s.clock == clock && s.edge == Edge::Neg)
     }
 
+    /// Replaces the gate stored at `id` in place — a low-level mutator
+    /// for fault studies and levelization tests. Bypasses structural
+    /// hashing and simplification entirely: the old gate's intern entry
+    /// is dropped and the new gate is **not** interned, so later
+    /// [`BoolNet::mk`] calls may create a structural duplicate. The
+    /// caller is responsible for keeping the network acyclic (use
+    /// [`crate::level::levelize`] to check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn replace_gate(&mut self, id: BoolId, gate: Gate) {
+        let old = self.gates[id.index()];
+        if self.cons.get(&old) == Some(&id) {
+            self.cons.remove(&old);
+        }
+        self.gates[id.index()] = gate;
+    }
+
     /// Evaluates all gates given input and state bit values; returns the
     /// full value vector indexed by [`BoolId`].
     ///
@@ -207,9 +226,23 @@ impl BoolNet {
     ///
     /// Panics if the slices are shorter than the declared inputs/states.
     pub fn eval(&self, inputs: &[bool], states: &[bool]) -> Vec<bool> {
+        let mut v = Vec::new();
+        self.eval_into(inputs, states, &mut v);
+        v
+    }
+
+    /// [`BoolNet::eval`] into a caller-owned buffer, so per-cycle loops
+    /// (simulator settle loops, cross-engine sweeps) do not allocate.
+    /// The buffer is resized to the gate count and fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are shorter than the declared inputs/states.
+    pub fn eval_into(&self, inputs: &[bool], states: &[bool], v: &mut Vec<bool>) {
         assert!(inputs.len() >= self.inputs.len(), "missing input values");
         assert!(states.len() >= self.states.len(), "missing state values");
-        let mut v = vec![false; self.gates.len()];
+        v.clear();
+        v.resize(self.gates.len(), false);
         for (i, g) in self.gates.iter().enumerate() {
             v[i] = match *g {
                 Gate::Const(b) => b,
@@ -228,7 +261,6 @@ impl BoolNet {
                 }
             };
         }
-        v
     }
 
     /// Next-state vector for the *rising* edge of one clock from a value
@@ -237,6 +269,17 @@ impl BoolNet {
     /// with re-evaluated values for the second phase of a full cycle.
     pub fn next_states(&self, values: &[bool], states: &[bool], clock: u32) -> Vec<bool> {
         self.next_states_edge(values, states, clock, Edge::Pos)
+    }
+
+    /// [`BoolNet::next_states`] into a caller-owned buffer.
+    pub fn next_states_into(
+        &self,
+        values: &[bool],
+        states: &[bool],
+        clock: u32,
+        out: &mut Vec<bool>,
+    ) {
+        self.next_states_edge_into(values, states, clock, Edge::Pos, out);
     }
 
     /// Next-state vector for one `(clock, edge)` domain from a value
@@ -248,17 +291,29 @@ impl BoolNet {
         clock: u32,
         edge: Edge,
     ) -> Vec<bool> {
-        self.states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                if s.clock == clock && s.edge == edge {
-                    values[s.next.index()]
-                } else {
-                    states[i]
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.next_states_edge_into(values, states, clock, edge, &mut out);
+        out
+    }
+
+    /// [`BoolNet::next_states_edge`] into a caller-owned buffer (which
+    /// may not alias `states`); resized and fully overwritten.
+    pub fn next_states_edge_into(
+        &self,
+        values: &[bool],
+        states: &[bool],
+        clock: u32,
+        edge: Edge,
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
+        out.extend(self.states.iter().enumerate().map(|(i, s)| {
+            if s.clock == clock && s.edge == edge {
+                values[s.next.index()]
+            } else {
+                states[i]
+            }
+        }));
     }
 
     /// Initial state vector.
@@ -328,6 +383,46 @@ mod tests {
             assert_eq!(v[x.index()], va ^ vb);
             assert_eq!(v[y.index()], va && vb);
         }
+    }
+
+    #[test]
+    fn buffer_variants_match_allocating_forms() {
+        let mut n = BoolNet::new();
+        n.clocks.push("ck".into());
+        let d = n.input("d");
+        let q = n.state("r", true, 0);
+        let x = n.mk(Gate::Xor(d, q));
+        let idx = match n.gates()[q.index()] {
+            Gate::State(k) => k as usize,
+            _ => unreachable!(),
+        };
+        n.states[idx].next = x;
+        let states = n.initial_states();
+        let mut vbuf = vec![true; 64]; // deliberately stale and oversized
+        for din in [false, true] {
+            let fresh = n.eval(&[din], &states);
+            n.eval_into(&[din], &states, &mut vbuf);
+            assert_eq!(fresh, vbuf);
+            let mut sbuf = Vec::new();
+            n.next_states_edge_into(&fresh, &states, 0, Edge::Pos, &mut sbuf);
+            assert_eq!(n.next_states(&fresh, &states, 0), sbuf);
+            n.next_states_into(&fresh, &states, 1, &mut sbuf);
+            assert_eq!(sbuf, states, "wrong clock holds");
+        }
+    }
+
+    #[test]
+    fn replace_gate_swaps_function_and_uninterns() {
+        let mut n = BoolNet::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.mk(Gate::And(a, b));
+        n.replace_gate(x, Gate::Or(a, b));
+        let v = n.eval(&[true, false], &[]);
+        assert!(v[x.index()], "now an OR");
+        // The AND mapping is gone: a fresh AND interns as a new gate.
+        let y = n.mk(Gate::And(a, b));
+        assert_ne!(x, y);
     }
 
     #[test]

@@ -213,15 +213,20 @@ impl<'f> Elab<'f> {
             }
         }
         // Force-elaborate every instance (even ones whose outputs are
-        // unused: their registers still exist and tick).
-        let inst_names: Vec<String> = scope.insts.keys().cloned().collect();
-        for name in inst_names {
-            self.resolve_inst(&mut scope, &name, depth)?;
+        // unused: their registers still exist and tick) — in declaration
+        // order, so node numbering is identical on every run and
+        // compiled programs stay byte-reproducible.
+        for item in &module.items {
+            if let Item::Inst { name, .. } = item {
+                self.resolve_inst(&mut scope, name, depth)?;
+            }
         }
-        // Resolve every wire (unused wires still get width checks).
-        let wire_names: Vec<String> = scope.wires.keys().cloned().collect();
-        for name in wire_names {
-            self.resolve_name(&mut scope, &name, depth)?;
+        // Resolve every wire (unused wires still get width checks),
+        // declaration order for the same reason.
+        for item in &module.items {
+            if let Item::Wire { name, .. } = item {
+                self.resolve_name(&mut scope, name, depth)?;
+            }
         }
         // Sequential blocks.
         for item in &module.items {

@@ -25,6 +25,9 @@ pub struct Interp<'d> {
     design: &'d RtlDesign,
     inputs: Vec<u64>,
     regs: Vec<u64>,
+    /// Commit-phase double buffer: reused every edge so stepping never
+    /// allocates (the settle loop is the E18 baseline; see `cbv-bench`).
+    regs_next: Vec<u64>,
     cams: Vec<Vec<u64>>,
     values: Vec<u64>,
     dirty: bool,
@@ -38,6 +41,7 @@ impl<'d> Interp<'d> {
             design,
             inputs: vec![0; design.inputs.len()],
             regs: design.regs.iter().map(|r| r.init).collect(),
+            regs_next: vec![0; design.regs.len()],
             cams: design
                 .cams
                 .iter()
@@ -241,14 +245,13 @@ impl<'d> Interp<'d> {
     /// commits register and CAM updates on one `(clock, edge)` domain.
     fn commit_edge(&mut self, ck: u32, edge: Edge) {
         self.settle();
-        // Registers.
-        let mut new_regs = Vec::with_capacity(self.design.regs.len());
+        // Registers, into the reused double buffer (no per-edge Vec).
         for (i, r) in self.design.regs.iter().enumerate() {
-            if r.clock == ck && r.edge == edge {
-                new_regs.push(self.values[r.next.index()]);
+            self.regs_next[i] = if r.clock == ck && r.edge == edge {
+                self.values[r.next.index()]
             } else {
-                new_regs.push(self.regs[i]);
-            }
+                self.regs[i]
+            };
         }
         // CAM writes (later writes win on collision — program order).
         for (ci, c) in self.design.cams.iter().enumerate() {
@@ -264,7 +267,7 @@ impl<'d> Interp<'d> {
                 }
             }
         }
-        self.regs = new_regs;
+        std::mem::swap(&mut self.regs, &mut self.regs_next);
         self.dirty = true;
     }
 

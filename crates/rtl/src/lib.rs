@@ -60,6 +60,7 @@ pub mod design;
 pub mod elab;
 pub mod error;
 pub mod interp;
+pub mod level;
 pub mod lexer;
 pub mod lookup;
 pub mod parser;

@@ -2,10 +2,17 @@
 //!
 //! Used for throughput comparisons against the word-level interpreter
 //! (experiment E7) and as the reference engine for gate-level fault
-//! studies. Unit gate delays; events propagate through a levelized queue.
+//! studies. Unit gate delays; events propagate through a level-ordered
+//! queue built from the shared [`cbv_rtl::level`] levelization (the same
+//! schedule the compiled backend `cbv-csim` emits its bytecode from), so
+//! every gate settles at most once per propagation wave.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use cbv_rtl::ast::Edge;
 use cbv_rtl::boolnet::{BoolNet, Gate};
+use cbv_rtl::level::{levelize, LevelError};
 use cbv_rtl::lookup::LookupError;
 
 /// Event-driven simulator state for one [`BoolNet`].
@@ -17,15 +24,46 @@ pub struct GateSim<'n> {
     states: Vec<bool>,
     /// gate -> gates that read it
     fanout: Vec<Vec<u32>>,
-    /// Total events processed (activity metric).
+    /// gate -> combinational level (shared levelization).
+    level: Vec<u32>,
+    /// input bit index -> gate id (if the input gate exists).
+    input_gate: Vec<Option<u32>>,
+    /// state bit index -> gate id.
+    state_gate: Vec<Option<u32>>,
+    /// Level-ordered wavefront, reused across propagations.
+    queue: BinaryHeap<Reverse<(u32, u32)>>,
+    queued: Vec<bool>,
+    /// Scratch for edge commits (no per-cycle allocation).
+    next_states: Vec<bool>,
+    /// Total events processed (activity metric: gates whose settled
+    /// value changed in some wave).
     pub events: u64,
 }
 
 impl<'n> GateSim<'n> {
     /// Builds the simulator and settles the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network cannot be levelized (combinational cycle or
+    /// dangling gate reference) — use [`GateSim::try_new`] to handle
+    /// that as an error.
     pub fn new(net: &'n BoolNet) -> GateSim<'n> {
+        GateSim::try_new(net).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the simulator, reporting an ill-formed network (cycle or
+    /// dangling reference) as a [`LevelError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelError`] when the network cannot be levelized.
+    pub fn try_new(net: &'n BoolNet) -> Result<GateSim<'n>, LevelError> {
+        let lv = levelize(net)?;
         let n = net.gate_count();
         let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut input_gate = vec![None; net.inputs.len()];
+        let mut state_gate = vec![None; net.states.len()];
         for (i, g) in net.gates().iter().enumerate() {
             let mut add = |id: cbv_rtl::boolnet::BoolId| fanout[id.index()].push(i as u32);
             match *g {
@@ -39,7 +77,9 @@ impl<'n> GateSim<'n> {
                     add(a);
                     add(b);
                 }
-                Gate::Const(_) | Gate::Input(_) | Gate::State(_) => {}
+                Gate::Input(k) => input_gate[k as usize] = Some(i as u32),
+                Gate::State(k) => state_gate[k as usize] = Some(i as u32),
+                Gate::Const(_) => {}
             }
         }
         let mut sim = GateSim {
@@ -48,10 +88,20 @@ impl<'n> GateSim<'n> {
             inputs: vec![false; net.inputs.len()],
             states: net.initial_states(),
             fanout,
+            level: lv.level,
+            input_gate,
+            state_gate,
+            queue: BinaryHeap::new(),
+            queued: vec![false; n],
+            next_states: Vec::new(),
             events: 0,
         };
-        sim.full_eval();
-        sim
+        // Initial settle in schedule order (id order is only guaranteed
+        // topological for `mk`-built nets; the levelized order always is).
+        for &id in &lv.order {
+            sim.values[id.index()] = sim.eval_gate(id.index());
+        }
+        Ok(sim)
     }
 
     fn eval_gate(&self, i: usize) -> bool {
@@ -73,24 +123,15 @@ impl<'n> GateSim<'n> {
         }
     }
 
-    fn full_eval(&mut self) {
-        for i in 0..self.values.len() {
-            self.values[i] = self.eval_gate(i);
-        }
-    }
-
     /// Sets one input bit by index and propagates incrementally.
     pub fn set_input(&mut self, index: usize, value: bool) {
         if self.inputs[index] == value {
             return;
         }
         self.inputs[index] = value;
-        // Find the input gate and propagate.
-        for (i, g) in self.net.gates().iter().enumerate() {
-            if matches!(g, Gate::Input(k) if *k as usize == index) {
-                self.propagate_from(i);
-                break;
-            }
+        if let Some(g) = self.input_gate[index] {
+            self.enqueue(g as usize);
+            self.drain();
         }
     }
 
@@ -123,20 +164,27 @@ impl<'n> GateSim<'n> {
         Ok(())
     }
 
-    fn propagate_from(&mut self, start: usize) {
-        let mut queue = vec![start as u32];
-        let mut head = 0;
-        while head < queue.len() {
-            let i = queue[head] as usize;
-            head += 1;
+    fn enqueue(&mut self, gate: usize) {
+        if !self.queued[gate] {
+            self.queued[gate] = true;
+            self.queue.push(Reverse((self.level[gate], gate as u32)));
+        }
+    }
+
+    /// Settles the queued wavefront in level order: every gate's inputs
+    /// (strictly lower level) are final before the gate is evaluated, so
+    /// each gate settles at most once per wave.
+    fn drain(&mut self) {
+        while let Some(Reverse((_, i))) = self.queue.pop() {
+            let i = i as usize;
+            self.queued[i] = false;
             let v = self.eval_gate(i);
             if v != self.values[i] {
                 self.values[i] = v;
                 self.events += 1;
-                for &f in &self.fanout[i] {
-                    if !queue[head..].contains(&f) {
-                        queue.push(f);
-                    }
+                for k in 0..self.fanout[i].len() {
+                    let f = self.fanout[i][k] as usize;
+                    self.enqueue(f);
                 }
             }
         }
@@ -155,20 +203,21 @@ impl<'n> GateSim<'n> {
     }
 
     fn commit_edge(&mut self, clock_index: u32, edge: Edge) {
-        let next = self
-            .net
-            .next_states_edge(&self.values, &self.states, clock_index, edge);
-        let changed: Vec<usize> = (0..self.states.len())
-            .filter(|&i| self.states[i] != next[i])
-            .collect();
-        self.states = next;
-        for (gi, g) in self.net.gates().iter().enumerate() {
-            if let Gate::State(k) = g {
-                if changed.contains(&(*k as usize)) {
-                    self.propagate_from(gi);
+        // Reused scratch: stepping allocates nothing per cycle.
+        let mut next = std::mem::take(&mut self.next_states);
+        self.net
+            .next_states_edge_into(&self.values, &self.states, clock_index, edge, &mut next);
+        for (i, &new) in next.iter().enumerate() {
+            if self.states[i] != new {
+                if let Some(g) = self.state_gate[i] {
+                    self.enqueue(g as usize);
                 }
             }
         }
+        std::mem::swap(&mut self.states, &mut next);
+        self.next_states = next;
+        // One level-ordered wave settles every changed state cone.
+        self.drain();
     }
 
     /// Reads a named output as an integer (LSB first).
@@ -306,6 +355,18 @@ mod tests {
         );
         assert!(sim.try_set_input_by_name("enable[0]", true).is_ok());
         assert_eq!(sim.try_output("ready").unwrap(), 0);
+    }
+
+    #[test]
+    fn ill_formed_network_is_an_error_not_a_panic() {
+        use cbv_rtl::boolnet::{BoolNet, Gate};
+        let mut n = BoolNet::new();
+        let a = n.input("a");
+        let x = n.mk(Gate::Not(a));
+        let y = n.mk(Gate::And(a, x));
+        n.replace_gate(x, Gate::And(y, a)); // x <-> y combinational loop
+        let err = GateSim::try_new(&n).unwrap_err();
+        assert!(err.to_string().contains("combinational cycle"), "{err}");
     }
 
     #[test]

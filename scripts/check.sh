@@ -35,6 +35,17 @@ done
 echo "== E16 smoke (campaign detects, amortizes, and round-trips JSON) =="
 cargo test -q -p cbv-bench --lib e16
 
+# The compiled 64-lane engine must stay bit-exact against the
+# reference engines regardless of worker count (compilation itself is
+# single-threaded, but the suite also exercises the flow paths).
+for threads in 1 8; do
+  echo "== cross-engine compiled suite (CBV_THREADS=$threads) =="
+  CBV_THREADS=$threads cargo test -q -p cbv-core --test cross_engine
+done
+
+echo "== E18 smoke (compiled-engine speedup + registry sweep) =="
+cargo test -q -p cbv-bench --lib e18
+
 # The daemon's byte-identity contract: K racing clients, hostile
 # frames, queue-full and deadline rejections — at several flow worker
 # counts (the daemon honours CBV_THREADS through FlowConfig).

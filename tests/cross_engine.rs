@@ -1,17 +1,28 @@
 //! Cross-engine consistency: the same function evaluated by the RTL
-//! interpreter, the bit-blasted gate simulator, the switch-level
-//! transistor simulator and the BDD equivalence checker must agree —
-//! §4.1's "thoroughly providing coverage of logic intent" as a test.
+//! interpreter, the bit-blasted gate simulator, the compiled 64-lane
+//! engine, the switch-level transistor simulator and the BDD
+//! equivalence checker must agree — §4.1's "thoroughly providing
+//! coverage of logic intent" as a test.
 
 use cbv_core::bdd::Bdd;
+use cbv_core::csim::{compile as csim_compile, CSim, LANES};
 use cbv_core::equiv::comb::{boolnet_to_bdds, VarTable};
 use cbv_core::equiv::{check_circuit_outputs, CombResult, OutputSpec};
 use cbv_core::gen::adders::static_ripple_adder;
+use cbv_core::gen::rtl_designs::rtl_design_registry;
 use cbv_core::recognize::recognize;
 use cbv_core::rtl::blast::blast;
 use cbv_core::rtl::{compile, interp::Interp};
 use cbv_core::sim::{GateSim, Logic, SwitchSim};
 use cbv_core::tech::Process;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
 
 const ADDER_RTL: &str = "module add4(in a[4], in b[4], in cin, out s[4], out cout) {\n\
     wire sum[6] = {2'b0, a} + b + cin;\n\
@@ -20,7 +31,7 @@ const ADDER_RTL: &str = "module add4(in a[4], in b[4], in cin, out s[4], out cou
 }";
 
 #[test]
-fn four_engines_agree_on_addition() {
+fn five_engines_agree_on_addition() {
     let p = Process::strongarm_035();
     // Engine 1: RTL interpreter.
     let design = compile(ADDER_RTL, "add4").expect("rtl compiles");
@@ -28,10 +39,14 @@ fn four_engines_agree_on_addition() {
     // Engine 2: gate-level event sim on the blasted network.
     let net = blast(&design).expect("blasts");
     let mut gates = GateSim::new(&net);
-    // Engine 3: switch-level transistor sim on the generated adder.
+    // Engine 3: the compiled 64-lane engine on the same network; the
+    // stimulus walks the lanes so every lane position gets exercised.
+    let mut csim = CSim::new(csim_compile(&net).expect("acyclic"));
+    // Engine 4: switch-level transistor sim on the generated adder.
     let g = static_ripple_adder(4, &p);
     let mut switch = SwitchSim::new(&g.netlist);
 
+    let mut lane = 0usize;
     for a in 0u64..16 {
         for b in [0u64, 1, 5, 9, 15] {
             for cin in 0u64..2 {
@@ -41,6 +56,13 @@ fn four_engines_agree_on_addition() {
                 let want_s = interp.output("s");
                 let want_c = interp.output("cout");
                 assert_eq!(want_s, (a + b + cin) & 0xF, "oracle check");
+
+                lane = (lane + 7) % LANES;
+                csim.set_input(lane, "a", a);
+                csim.set_input(lane, "b", b);
+                csim.set_input(lane, "cin", cin);
+                assert_eq!(csim.output(lane, "s"), want_s, "compiled s, lane {lane}");
+                assert_eq!(csim.output(lane, "cout"), want_c, "compiled cout");
 
                 for i in 0..4 {
                     gates.set_input_by_name(&format!("a[{i}]"), (a >> i) & 1 == 1);
@@ -70,7 +92,7 @@ fn four_engines_agree_on_addition() {
 
 #[test]
 fn transistor_adder_sum_bit_equals_rtl_by_bdd() {
-    // Engine 4: BDD equivalence between the transistor s[0] cone and the
+    // Engine 5: BDD equivalence between the transistor s[0] cone and the
     // RTL function a[0]^b[0]^cin.
     let p = Process::strongarm_035();
     let g = static_ripple_adder(2, &p);
@@ -245,6 +267,50 @@ fn transistor_adder_shadows_rtl_adder() {
 }
 
 #[test]
+fn compiled_engine_matches_interp_on_every_registry_design() {
+    // The acceptance sweep: every named registry design — combinational,
+    // posedge, negedge-only, two-phase, and blasted-CAM state — runs
+    // 1000 random stimulus cycles with all 64 lanes checked against 64
+    // independent word-level interpreter runs. Bit `l` of every plane is
+    // its own simulation; nothing may leak between lanes.
+    const CYCLES: usize = 1000;
+    for spec in rtl_design_registry() {
+        let design = compile(&spec.source, spec.top).expect("registry design compiles");
+        let net = blast(&design).expect("registry design blasts");
+        let mut csim = CSim::new(csim_compile(&net).expect("acyclic"));
+        let mut interps: Vec<Interp> = (0..LANES).map(|_| Interp::new(&design)).collect();
+        let out_names: Vec<&str> = design.outputs.iter().map(|(n, _)| n.as_str()).collect();
+
+        let mut rng = 0xD1CE_0001u64 ^ spec.name.len() as u64;
+        for cycle in 0..CYCLES {
+            for (name, w) in &design.inputs {
+                for (lane, interp) in interps.iter_mut().enumerate() {
+                    let v = splitmix(&mut rng) & if *w >= 64 { u64::MAX } else { (1 << w) - 1 };
+                    interp.set_input(name, v);
+                    csim.set_input(lane, name, v);
+                }
+            }
+            for name in &out_names {
+                for (lane, interp) in interps.iter_mut().enumerate() {
+                    assert_eq!(
+                        csim.output(lane, name),
+                        interp.output(name),
+                        "{}: output `{name}` lane {lane} cycle {cycle}",
+                        spec.name
+                    );
+                }
+            }
+            if let Some(ck) = spec.clock {
+                csim.step(ck);
+                for interp in &mut interps {
+                    interp.step(ck);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn pure_sizing_mutants_leave_logic_bit_identical() {
     // The mutation taxonomy splits into electrical-class operators
     // (geometry only) and functional-class operators. The electrical
@@ -256,6 +322,10 @@ fn pure_sizing_mutants_leave_logic_bit_identical() {
     let base = static_ripple_adder(4, &p);
     let design = compile(ADDER_RTL, "add4").expect("rtl compiles");
     let mut interp = Interp::new(&design);
+    // The compiled engine is a second logic reference here: geometry
+    // never reaches it, so it must agree with the interpreter verbatim.
+    let net = blast(&design).expect("blasts");
+    let mut csim = CSim::new(csim_compile(&net).expect("acyclic"));
 
     let sizing_ops = [
         MutationOp::WidthScale { factor: 12.0 },
@@ -276,6 +346,16 @@ fn pure_sizing_mutants_leave_logic_bit_identical() {
             interp.set_input("a", a);
             interp.set_input("b", b);
             interp.set_input("cin", cin);
+            let lane = (k * 13) % cbv_core::csim::LANES;
+            csim.set_input(lane, "a", a);
+            csim.set_input(lane, "b", b);
+            csim.set_input(lane, "cin", cin);
+            assert_eq!(csim.output(lane, "s"), interp.output("s"), "compiled s");
+            assert_eq!(
+                csim.output(lane, "cout"),
+                interp.output("cout"),
+                "compiled cout"
+            );
             for i in 0..4 {
                 switch.set_by_name(&format!("a[{i}]"), Logic::from_bool((a >> i) & 1 == 1));
                 switch.set_by_name(&format!("b[{i}]"), Logic::from_bool((b >> i) & 1 == 1));
@@ -423,4 +503,52 @@ fn shadow_catches_injected_functional_bug() {
         !shadow.mismatches().is_empty(),
         "the polarity bug must surface under shadow simulation"
     );
+}
+
+#[test]
+fn functional_screen_verdicts_identical_across_reference_engines() {
+    // E16's simulation column: the same mutant campaign screened against
+    // interpreter-computed and compiled-engine-computed reference
+    // vectors must yield the identical verdict for every mutant — the
+    // compiled backend is a drop-in reference, not an approximation.
+    use cbv_core::mutate::{run_func_screen, FuncScreenConfig, FuncVerdict, MutationOp};
+    use cbv_core::screen::{RefEngine, SimScreenOracle};
+
+    let p = Process::strongarm_035();
+    let circuit = static_ripple_adder(4, &p);
+    let golden = compile(ADDER_RTL, "add4").expect("rtl compiles");
+
+    let config = FuncScreenConfig {
+        ops: vec![
+            MutationOp::PolaritySwap,
+            MutationOp::NetBridge,
+            MutationOp::WidthScale { factor: 2.0 },
+        ],
+        max_sites_per_op: 3,
+    };
+    let mut via_interp =
+        SimScreenOracle::new(&golden, RefEngine::Interp, 24, 0xFEED).expect("combinational");
+    let mut via_compiled =
+        SimScreenOracle::new(&golden, RefEngine::Compiled, 24, 0xFEED).expect("combinational");
+    assert_eq!(via_interp.expected(), via_compiled.expected());
+
+    let a = run_func_screen(&circuit.netlist, &mut via_interp, &config);
+    let b = run_func_screen(&circuit.netlist, &mut via_compiled, &config);
+    assert_eq!(
+        a.baseline,
+        FuncVerdict::Escaped,
+        "clean design screens clean"
+    );
+    assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.total_mutants(), b.total_mutants());
+    assert!(a.total_mutants() > 0, "campaign must run mutants");
+    assert_eq!(
+        a.verdicts(),
+        b.verdicts(),
+        "verdict vectors must be identical"
+    );
+    // And the screen actually works: every polarity swap is caught,
+    // every pure sizing change escapes.
+    assert_eq!(a.rows[0].escapes.len(), 0, "{:?}", a.rows[0].escapes);
+    assert_eq!(a.rows[2].escapes.len(), a.rows[2].mutants_run);
 }
