@@ -1,0 +1,46 @@
+//! Criterion bench for E19: one farm signoff (coordinator dirty
+//! closure → batch dispatch → wire → merge → signoff) against a warm
+//! shared tier, vs the in-process service call it shards — the
+//! coordination + transport overhead per signoff.
+
+use std::sync::Arc;
+
+use cbv_core::flow::FlowConfig;
+use cbv_core::service::FlowService;
+use cbv_core::tech::Process;
+use cbv_serve::{serve, Farm, FarmConfig, ServerConfig, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let server = serve(ServerConfig::default()).expect("bind loopback daemon");
+    let farm = Farm::new(
+        Arc::new(FlowService::new(
+            Process::strongarm_035(),
+            FlowConfig::default(),
+        )),
+        FarmConfig {
+            workers: vec![server.addr().to_string()],
+            ..FarmConfig::default()
+        },
+    );
+    farm.verify("dcvsl", &[]).expect("warm the shared tier");
+
+    let process = Process::strongarm_035();
+    let session = Session::open("dcvsl", &process).expect("open");
+    let service = FlowService::new(process, FlowConfig::default());
+    service.verify(session.netlist().clone(), None, None);
+
+    let mut g = c.benchmark_group("e19_farm_signoff");
+    g.sample_size(10);
+    g.bench_function("farm_verify_warm_tier", |b| {
+        b.iter(|| std::hint::black_box(farm.verify("dcvsl", &[]).expect("farm verify")))
+    });
+    g.bench_function("in_process_verify", |b| {
+        b.iter(|| std::hint::black_box(service.verify(session.netlist().clone(), None, None)))
+    });
+    g.finish();
+    drop(farm);
+    server.shutdown();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

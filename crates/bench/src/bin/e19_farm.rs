@@ -1,0 +1,3 @@
+fn main() {
+    cbv_bench::e19_farm::print();
+}

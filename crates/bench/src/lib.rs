@@ -1,6 +1,6 @@
 //! `cbv-bench` — the experiment harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E18), each covering
+//! One module per experiment in DESIGN.md's index (E1–E19), each covering
 //! one table, figure or quantitative claim of the paper. Every module
 //! exposes a pure `run()`-style function returning the experiment's data;
 //! the `src/bin/` binaries print the paper-style tables and the Criterion
@@ -24,6 +24,7 @@ pub mod e15_trace;
 pub mod e16_mutation;
 pub mod e17_serve;
 pub mod e18_compile;
+pub mod e19_farm;
 
 /// Prints a uniform experiment header.
 pub fn banner(id: &str, what: &str) {

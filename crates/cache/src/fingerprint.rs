@@ -347,6 +347,50 @@ pub fn fingerprint_design(
     DesignFingerprints { units }
 }
 
+/// Exact digest of a raw (pre-recognition) netlist: the content
+/// address for sharing serial-prep artifacts across coordinator
+/// streams.
+///
+/// Unlike the unit fingerprints (id-invariant, computed *after*
+/// recognition and extraction), this digest must be available before
+/// any prep runs, so it is deliberately id- and order-sensitive: it
+/// folds every net, device and passive in element order, names and
+/// lengths included. Identically-constructed revisions collide (the
+/// point); everything else — including reorderings — degrades to a
+/// miss, never a false hit beyond the 64-bit collision floor the unit
+/// fingerprints already accept.
+pub fn raw_netlist_digest(netlist: &FlatNetlist) -> u64 {
+    let fold_str = |h: u64, s: &str| fnv1a(fold_u64(h, s.len() as u64), s.as_bytes());
+    let mut h = fnv1a(FNV_OFFSET, b"rawnl");
+    h = fold_str(h, netlist.name());
+    h = fold_u64(h, netlist.net_count() as u64);
+    for i in 0..netlist.net_count() {
+        let id = NetId(i as u32);
+        h = fold_str(h, netlist.net_name(id));
+        h = fold_debug(h, &netlist.net_kind(id));
+    }
+    h = fold_u64(h, netlist.devices().len() as u64);
+    for d in netlist.devices() {
+        h = fold_str(h, &d.name);
+        h = fold_debug(h, &d.kind);
+        for t in [d.gate, d.source, d.drain, d.bulk] {
+            h = fold_u64(h, t.0 as u64);
+        }
+        h = fold_f64(h, d.w);
+        h = fold_f64(h, d.l);
+        h = fold_u64(h, d.fingers as u64);
+    }
+    h = fold_u64(h, netlist.passives().len() as u64);
+    for p in netlist.passives() {
+        h = fold_str(h, &p.name);
+        h = fold_debug(h, &p.kind);
+        h = fold_u64(h, p.a.0 as u64);
+        h = fold_u64(h, p.b.0 as u64);
+        h = fold_f64(h, p.value);
+    }
+    h
+}
+
 /// Fingerprints the verification environment: everything a cached
 /// result depends on besides the design. Includes the crate version so
 /// model changes across tool releases invalidate stale caches.
@@ -410,6 +454,30 @@ mod tests {
     fn prints(f: &mut FlatNetlist) -> DesignFingerprints {
         let rec = recognize(f);
         fingerprint_design(f, &rec, &Extracted::default())
+    }
+
+    #[test]
+    fn raw_digest_is_exact_and_order_sensitive() {
+        let a = chain(&[0, 1, 2]);
+        let b = chain(&[0, 1, 2]);
+        assert_eq!(
+            raw_netlist_digest(&a),
+            raw_netlist_digest(&b),
+            "identical construction must collide"
+        );
+        // Unlike the unit fingerprints, element order matters here: a
+        // reorder is a different construction and must degrade to a
+        // prep-cache miss, never a false hit.
+        let c = chain(&[2, 0, 1]);
+        assert_ne!(raw_netlist_digest(&a), raw_netlist_digest(&c));
+        // Any geometry change misses.
+        let mut d = chain(&[0, 1, 2]);
+        d.device_mut(cbv_netlist::DeviceId(0)).w *= 1.25;
+        assert_ne!(raw_netlist_digest(&a), raw_netlist_digest(&d));
+        // So does a net-kind change with identical structure.
+        let mut e = chain(&[0, 1, 2]);
+        e.set_net_kind(cbv_netlist::NetId(3), NetKind::Clock);
+        assert_ne!(raw_netlist_digest(&a), raw_netlist_digest(&e));
     }
 
     #[test]

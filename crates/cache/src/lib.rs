@@ -35,7 +35,9 @@ use serde::write_json_string;
 
 pub mod fingerprint;
 
-pub use fingerprint::{env_fingerprint, fingerprint_design, DesignFingerprints, UnitFingerprint};
+pub use fingerprint::{
+    env_fingerprint, fingerprint_design, raw_netlist_digest, DesignFingerprints, UnitFingerprint,
+};
 
 /// Full key of one cached unit result: environment fingerprint plus the
 /// unit's content and binding fingerprints. All three must match for a
@@ -78,6 +80,13 @@ pub struct UnitResult {
 
 /// Hit/miss tally of one incremental stage, reported to the user so ECO
 /// savings are visible in the flow summary.
+///
+/// The first three fields are per-run stage economics. The last three
+/// describe the run's relationship to a *shared tier* — the cache a
+/// `FlowService` (or a farm coordinator) snapshots before the run and
+/// absorbs additions back into afterwards. They are filled by the tier
+/// owner, not by the flow itself, and stay zero for a plain
+/// `run_flow_incremental` against a private cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Units replayed from cache.
@@ -87,6 +96,14 @@ pub struct CacheStats {
     /// Entries evicted from the cache while this stage's fresh results
     /// were stored (nonzero only on a capacity-bounded cache).
     pub evictions: usize,
+    /// Fresh entries this run contributed to the shared tier's absorb
+    /// batch (the absorbed-batch size of one buffered run).
+    pub absorbed: usize,
+    /// Units answered by the shared (remote) tier's snapshot.
+    pub remote_hits: usize,
+    /// Units the shared tier could not answer — dispatched for
+    /// verification (locally or to farm workers).
+    pub remote_misses: usize,
 }
 
 impl CacheStats {
@@ -176,6 +193,13 @@ impl VerifyCache {
         t
     }
 
+    /// True when the key is stored, *without* refreshing its LRU
+    /// recency — the membership probe the absorb accounting uses, which
+    /// must not perturb eviction order.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
     /// Looks up a unit result, refreshing its LRU recency.
     pub fn get(&self, key: &CacheKey) -> Option<&UnitResult> {
         let entry = self.entries.get(key)?;
@@ -218,15 +242,21 @@ impl VerifyCache {
     /// so freshness is irrelevant; keys are merged in sorted order so
     /// any evictions are deterministic. This is the write-back half of
     /// the daemon's shared-cache discipline: snapshot under the lock,
-    /// verify unlocked, absorb the additions under the lock.
-    pub fn absorb(&mut self, other: &VerifyCache) {
+    /// verify unlocked, absorb the additions under the lock. Returns the
+    /// number of entries actually copied (the absorbed-batch size a
+    /// batching tier reports), which existing-entry wins make smaller
+    /// than `other.len()` under contention.
+    pub fn absorb(&mut self, other: &VerifyCache) -> usize {
         let mut keys: Vec<&CacheKey> = other.entries.keys().collect();
         keys.sort_unstable();
+        let mut copied = 0;
         for &key in &keys {
             if !self.entries.contains_key(key) {
                 self.insert(*key, other.entries[key].result.clone());
+                copied += 1;
             }
         }
+        copied
     }
 
     /// Drops everything (the eviction counter survives: it is a
@@ -255,7 +285,7 @@ impl VerifyCache {
             if i > 0 {
                 out.push(',');
             }
-            write_entry(key, &self.entries[key].result, &mut out);
+            write_unit_entry(key, &self.entries[key].result, &mut out);
         }
         out.push_str("]}");
         out
@@ -283,7 +313,7 @@ impl VerifyCache {
             .ok_or_else(|| CacheFormatError::new("missing entries array"))?;
         let mut cache = VerifyCache::new();
         for entry in entries {
-            let (key, result) = read_entry(entry)?;
+            let (key, result) = read_unit_entry(entry)?;
             cache.insert(key, result);
         }
         Ok(cache)
@@ -333,7 +363,12 @@ fn parse_check(s: &str) -> Option<CheckKind> {
     CheckKind::ALL.into_iter().find(|k| k.to_string() == s)
 }
 
-fn write_entry(key: &CacheKey, result: &UnitResult, out: &mut String) {
+/// Serializes one `(key, result)` entry in the `cbv-cache/1` wire shape
+/// (floats as `to_bits()` integers, exact round-trip). Public so the
+/// farm worker protocol can ship unit results in the same
+/// deterministic, content-addressed format the persisted cache uses;
+/// [`read_unit_entry`] is the inverse.
+pub fn write_unit_entry(key: &CacheKey, result: &UnitResult, out: &mut String) {
     out.push_str(&format!(
         "{{\"env\":{},\"content\":{},\"binding\":{},\"checked\":{},\"filtered\":{},\"findings\":[",
         key.env, key.content, key.binding, result.checked, result.filtered
@@ -389,7 +424,12 @@ fn field_str<'a>(entry: &'a serde_json::Value, name: &str) -> Result<&'a str, Ca
         .ok_or_else(|| CacheFormatError::new(format!("missing or non-string field {name:?}")))
 }
 
-fn read_entry(entry: &serde_json::Value) -> Result<(CacheKey, UnitResult), CacheFormatError> {
+/// Parses one entry produced by [`write_unit_entry`]. Every structural
+/// problem is an error — a farm coordinator treats any failure here as
+/// a corrupt worker reply and re-dispatches the unit.
+pub fn read_unit_entry(
+    entry: &serde_json::Value,
+) -> Result<(CacheKey, UnitResult), CacheFormatError> {
     let key = CacheKey {
         env: field_u64(entry, "env")?,
         content: field_u64(entry, "content")?,

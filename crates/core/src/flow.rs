@@ -125,6 +125,11 @@ pub struct FlowReport {
     pub sta: cbv_timing::StaReport,
     /// The final netlist (flow takes ownership).
     pub netlist: FlatNetlist,
+    /// Cache keys of the units this run freshly verified and inserted
+    /// into its cache (empty for the cold flow, which has no cache).
+    /// The write-back half of a shared-tier discipline reads this to
+    /// know which entries the run contributed.
+    pub fresh: Vec<CacheKey>,
 }
 
 impl FlowReport {
@@ -150,7 +155,7 @@ impl FlowReport {
 /// naming it, is marked poisoned, and is never cached — exactly the
 /// path a genuine tool crash takes, so no new plumbing is needed and a
 /// deadline can never silently drop findings.
-fn check_deadline(deadline: Option<Instant>) {
+pub(crate) fn check_deadline(deadline: Option<Instant>) {
     if let Some(d) = deadline {
         if Instant::now() >= d {
             panic!("flow deadline exceeded");
@@ -163,7 +168,7 @@ fn check_deadline(deadline: Option<Instant>) {
 /// inner work can attach child spans) and reports `(value, artifacts,
 /// cpu)`; `cpu` is the aggregate worker busy time for parallel stages,
 /// or `None` for serial stages (cpu time == wall time).
-fn timed<T>(
+pub(crate) fn timed<T>(
     stages: &mut Vec<StageReport>,
     flow: TraceCtx<'_>,
     stage: &'static str,
@@ -347,7 +352,44 @@ pub fn run_flow(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig
         everify: ereport,
         sta,
         netlist,
+        fresh: Vec::new(),
     }
+}
+
+/// Fingerprint lookup plus the conservative one-step fanout closure: a
+/// unit is dirty when its fingerprint misses `cache`, or it is a clean
+/// CCC whose fanin boundary crosses a fingerprint-dirty CCC. Shared by
+/// [`run_flow_incremental`] and the farm's scatter-gather flow so both
+/// compute the exact same dirty set (a lookup also refreshes recency on
+/// a bounded cache, identically in both flows).
+pub(crate) fn dirty_closure(
+    cache: &VerifyCache,
+    env: u64,
+    fps: &cbv_cache::DesignFingerprints,
+    recognition: &Recognition,
+) -> Vec<bool> {
+    let n_cccs = recognition.cccs.len();
+    let mut dirty: Vec<bool> = fps
+        .units
+        .iter()
+        .map(|&u| cache.get(&CacheKey::new(env, u)).is_none())
+        .collect();
+    let fp_dirty: Vec<usize> = (0..n_cccs).filter(|&i| dirty[i]).collect();
+    for (j, d) in dirty.iter_mut().enumerate().take(n_cccs) {
+        if *d {
+            continue;
+        }
+        let inputs = &recognition.cccs[j].inputs;
+        if fp_dirty.iter().any(|&i| {
+            recognition.cccs[i]
+                .outputs
+                .iter()
+                .any(|o| inputs.binary_search(o).is_ok())
+        }) {
+            *d = true;
+        }
+    }
+    dirty
 }
 
 /// Runs the verification flow incrementally against a [`VerifyCache`].
@@ -415,28 +457,7 @@ pub fn run_flow_incremental(
     let (env, fps, dirty) = timed(&mut stages, flow, "fingerprint", |_| {
         let env = env_fingerprint(process, &config.tolerance, &config.pessimism, &everify_cfg);
         let fps = fingerprint_design(&netlist, &recognition, &extracted);
-        let mut dirty: Vec<bool> = fps
-            .units
-            .iter()
-            .map(|&u| cache.get(&CacheKey::new(env, u)).is_none())
-            .collect();
-        // Conservative one-step closure: a clean CCC whose fanin
-        // boundary crosses a fingerprint-dirty CCC is re-verified too.
-        let fp_dirty: Vec<usize> = (0..n_cccs).filter(|&i| dirty[i]).collect();
-        for (j, d) in dirty.iter_mut().enumerate().take(n_cccs) {
-            if *d {
-                continue;
-            }
-            let inputs = &recognition.cccs[j].inputs;
-            if fp_dirty.iter().any(|&i| {
-                recognition.cccs[i]
-                    .outputs
-                    .iter()
-                    .any(|o| inputs.binary_search(o).is_ok())
-            }) {
-                *d = true;
-            }
-        }
+        let dirty = dirty_closure(cache, env, &fps, &recognition);
         let n_units = fps.units.len();
         ((env, fps, dirty), n_units, None)
     });
@@ -452,7 +473,7 @@ pub fn run_flow_incremental(
     let everify_stats = CacheStats {
         hits: scopes.len() - dirty_units.len(),
         misses: dirty_units.len(),
-        evictions: 0,
+        ..CacheStats::default()
     };
     let mut poisoned = vec![false; scopes.len()];
     let (ereport, mut per_unit) = timed(&mut stages, flow, "everify", |ctx| {
@@ -539,7 +560,7 @@ pub fn run_flow_incremental(
     let timing_stats = CacheStats {
         hits: n_cccs - dirty_cccs.len(),
         misses: dirty_cccs.len(),
-        evictions: 0,
+        ..CacheStats::default()
     };
     // Arc computations that panicked: the CCC's arcs are dropped (its
     // timing is unverified), the unit is poisoned, and a ToolError
@@ -630,12 +651,12 @@ pub fn run_flow_incremental(
     // cache these inserts may evict; the delta lands in the everify
     // stage's stats so a daemon's flow summaries show cache pressure.
     let evictions_before = cache.evictions();
+    let mut fresh_keys = Vec::new();
     for i in 0..per_unit.len() {
         if dirty[i] && !poisoned[i] {
-            cache.insert(
-                CacheKey::new(env, fps.units[i]),
-                std::mem::take(&mut per_unit[i]),
-            );
+            let key = CacheKey::new(env, fps.units[i]);
+            cache.insert(key, std::mem::take(&mut per_unit[i]));
+            fresh_keys.push(key);
         }
     }
     let evicted = cache.evictions() - evictions_before;
@@ -690,6 +711,7 @@ pub fn run_flow_incremental(
         everify: ereport,
         sta,
         netlist,
+        fresh: fresh_keys,
     }
 }
 

@@ -31,6 +31,7 @@
 
 pub mod flow;
 pub mod oracle;
+pub mod scatter;
 pub mod screen;
 pub mod service;
 pub mod signoff;

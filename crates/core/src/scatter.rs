@@ -1,0 +1,914 @@
+//! Scatter-gather flow stage: the verification farm's unit backend.
+//!
+//! The paper's methodology leaned on a ~100-CPU simulation farm (§1:
+//! 2×10⁹ cycles/day); this module is the seam that lets our flow shard
+//! the same way. [`run_flow_with`] is [`run_flow_incremental`] with the
+//! per-unit work — the §4.2 scoped battery *and* the unit's §4.3 timing
+//! arcs, fused — routed through a [`UnitBackend`]. [`LocalBackend`]
+//! fans the units out on the in-process executor; the farm coordinator
+//! in `cbv-serve` implements the same trait over worker processes.
+//!
+//! # Determinism argument
+//!
+//! A backend may return unit outcomes in any order and compute them
+//! anywhere; [`run_flow_with`] re-indexes them by unit and merges in
+//! fixed unit order, splices timing arcs in CCC index order, and runs
+//! constraints/skew/STA/power serially — so the [`Signoff`] it
+//! serializes is byte-identical to [`run_flow`] and
+//! [`run_flow_incremental`] on the same netlist. The one observable
+//! difference is finding *order* inside the everify report: a CCC whose
+//! arc computation panics contributes its `ToolError` finding inline
+//! with the unit (here) rather than appended after the power stage (in
+//! [`run_flow_incremental`]). Signoff carries only per-category counts,
+//! the worst setup slack, races and power — never finding lists — so
+//! the bytes cannot differ; `tests/farm.rs` pins this.
+//!
+//! [`run_flow`]: crate::flow::run_flow
+//! [`run_flow_incremental`]: crate::flow::run_flow_incremental
+//! [`Signoff`]: crate::signoff::Signoff
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cbv_cache::{
+    env_fingerprint, fingerprint_design, raw_netlist_digest, CacheKey, CacheStats,
+    DesignFingerprints, UnitFingerprint, UnitResult, VerifyCache,
+};
+use cbv_everify::{CheckKind, CheckScope, EverifyConfig, Finding, Severity, Subject};
+use cbv_exec::{run_isolated, Executor};
+use cbv_extract::Extracted;
+use cbv_layout::Layout;
+use cbv_netlist::FlatNetlist;
+use cbv_obs::TraceCtx;
+use cbv_recognize::Recognition;
+use cbv_tech::{Process, Tolerance};
+use cbv_timing::{ClockSchedule, DelayCalc, Pessimism};
+
+use crate::flow::{check_deadline, dirty_closure, timed, FlowConfig, FlowReport, StageReport};
+use crate::signoff::Signoff;
+
+/// Everything a worker needs to verify any unit of one design revision:
+/// the recognized/laid-out/extracted design plus its unit partition and
+/// fingerprints. Built once per revision (the expensive serial prep),
+/// then units are verified independently — locally, on another thread,
+/// or in another process that rebuilt the identical netlist.
+pub struct PreparedDesign {
+    netlist: FlatNetlist,
+    recognition: Recognition,
+    layout: Layout,
+    extracted: Extracted,
+    scopes: Vec<CheckScope>,
+    fps: DesignFingerprints,
+    env: u64,
+    process: Process,
+    everify_cfg: EverifyConfig,
+    tolerance: Tolerance,
+    pessimism: Pessimism,
+}
+
+/// One unit's verification outcome: the cacheable payload plus whether
+/// either half (battery or arcs) panicked. Poisoned results are
+/// reported but never cached — the failure artifact must not shadow a
+/// later successful re-verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitOutcome {
+    /// Unit index in the design's fixed unit order.
+    pub unit: usize,
+    /// Findings, tallies and (for CCC units) timing arcs.
+    pub result: UnitResult,
+    /// True when the battery or the arc computation panicked.
+    pub poisoned: bool,
+}
+
+impl PreparedDesign {
+    /// Runs the serial prep stages (recognition, layout assistance,
+    /// extraction, partition, fingerprints) over a netlist. This is the
+    /// worker-side entry: no tracing, no stage reports — the
+    /// coordinator's [`run_flow_with`] times these stages itself and
+    /// assembles via [`PreparedDesign::from_parts`].
+    pub fn build(mut netlist: FlatNetlist, process: &Process, config: &FlowConfig) -> Self {
+        let recognition = cbv_recognize::recognize(&mut netlist);
+        let layout = cbv_layout::synthesize(&mut netlist, process);
+        let extracted = cbv_extract::extract(&layout, &netlist, process);
+        Self::from_parts(netlist, recognition, layout, extracted, process, config)
+    }
+
+    /// Assembles a prepared design from already-computed prep artifacts,
+    /// deriving the unit partition, fingerprints and check config the
+    /// same way [`run_flow_incremental`] does.
+    ///
+    /// [`run_flow_incremental`]: crate::flow::run_flow_incremental
+    pub fn from_parts(
+        netlist: FlatNetlist,
+        recognition: Recognition,
+        layout: Layout,
+        extracted: Extracted,
+        process: &Process,
+        config: &FlowConfig,
+    ) -> Self {
+        let mut everify_cfg = EverifyConfig::for_process(process);
+        everify_cfg.tolerance = config.tolerance;
+        let env = env_fingerprint(process, &config.tolerance, &config.pessimism, &everify_cfg);
+        let fps = fingerprint_design(&netlist, &recognition, &extracted);
+        let scopes = CheckScope::partition(&netlist, &recognition);
+        debug_assert_eq!(scopes.len(), fps.units.len());
+        PreparedDesign {
+            netlist,
+            recognition,
+            layout,
+            extracted,
+            scopes,
+            fps,
+            env,
+            process: process.clone(),
+            everify_cfg,
+            tolerance: config.tolerance,
+            pessimism: config.pessimism,
+        }
+    }
+
+    /// Environment fingerprint (process/corner/config/tool version).
+    pub fn env(&self) -> u64 {
+        self.env
+    }
+
+    /// Per-unit fingerprints in fixed unit order. A coordinator and a
+    /// worker that prepared the same design revision must agree on
+    /// these exactly; a mismatch means the builds diverged and the
+    /// worker's payloads cannot be trusted.
+    pub fn unit_fingerprints(&self) -> &[UnitFingerprint] {
+        &self.fps.units
+    }
+
+    /// Number of verification units (CCCs plus the residue unit).
+    pub fn n_units(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Number of CCC units (units carrying timing arcs).
+    pub fn n_cccs(&self) -> usize {
+        self.recognition.cccs.len()
+    }
+
+    /// The cache key of one unit under this design's environment.
+    pub fn unit_key(&self, unit: usize) -> CacheKey {
+        CacheKey::new(self.env, self.fps.units[unit])
+    }
+
+    /// Verifies one unit: the §4.2 scoped battery, then (for CCC units)
+    /// the unit's §4.3 timing arcs. Both halves run under panic
+    /// isolation and a cooperative deadline, and both are always
+    /// attempted — matching [`run_flow_incremental`]'s two passes, so an
+    /// expired deadline yields the same `ToolError` census (two findings
+    /// per CCC unit, one for the residue) with identical messages.
+    ///
+    /// [`run_flow_incremental`]: crate::flow::run_flow_incremental
+    pub fn verify_unit(&self, i: usize, deadline: Option<Instant>) -> UnitOutcome {
+        let mut poisoned = false;
+        let mut result = match run_isolated(i, || {
+            check_deadline(deadline);
+            cbv_everify::run_scoped(
+                &self.netlist,
+                &self.recognition,
+                &self.extracted,
+                Some(&self.layout),
+                &self.process,
+                &self.everify_cfg,
+                &self.scopes[i],
+            )
+        }) {
+            Ok(r) => UnitResult {
+                findings: r.raw_findings().to_vec(),
+                checked: r.checked_count(),
+                filtered: r.filtered_count(),
+                arcs: Vec::new(),
+            },
+            Err(p) => {
+                poisoned = true;
+                UnitResult {
+                    findings: vec![Finding {
+                        check: CheckKind::Tool,
+                        subject: Subject::Unit(i as u32),
+                        severity: Severity::ToolError,
+                        stress: f64::INFINITY,
+                        message: format!("everify unit {i} panicked: {}", p.message),
+                    }],
+                    checked: 0,
+                    filtered: 0,
+                    arcs: Vec::new(),
+                }
+            }
+        };
+        if i < self.n_cccs() {
+            let calc = DelayCalc::new(&self.process, self.tolerance, self.pessimism);
+            match run_isolated(i, || {
+                check_deadline(deadline);
+                cbv_timing::graph::ccc_arcs(
+                    &self.netlist,
+                    &self.recognition,
+                    &self.extracted,
+                    &calc,
+                    i,
+                )
+            }) {
+                Ok(arcs) => result.arcs = arcs,
+                Err(p) => {
+                    poisoned = true;
+                    result.arcs = Vec::new();
+                    result.findings.push(Finding {
+                        check: CheckKind::Tool,
+                        subject: Subject::Unit(i as u32),
+                        severity: Severity::ToolError,
+                        stress: f64::INFINITY,
+                        message: format!("timing arcs for CCC {i} panicked: {}", p.message),
+                    });
+                }
+            }
+        }
+        UnitOutcome {
+            unit: i,
+            result,
+            poisoned,
+        }
+    }
+}
+
+/// A bounded, single-flight cache of shared [`PreparedDesign`]s keyed
+/// by (environment fingerprint, raw netlist digest) — the coordinator
+/// counterpart of the unit tier: when W streams verify the same
+/// revision, the first builds the serial prep and every other stream
+/// reuses the artifact instead of rebuilding it. Entries are evicted
+/// FIFO past the capacity; the walk-shaped workloads this serves only
+/// ever need the newest revision or two.
+pub struct PrepCache {
+    state: Mutex<PrepState>,
+    cv: Condvar,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct PrepState {
+    /// Published preps, oldest first.
+    entries: Vec<((u64, u64), Arc<PreparedDesign>)>,
+    /// Keys some caller is building right now.
+    building: HashSet<(u64, u64)>,
+}
+
+/// What [`PrepCache::begin`] resolved a key to.
+pub enum PrepClaim<'a> {
+    /// Another caller already built and published this revision's prep.
+    Hit(Arc<PreparedDesign>),
+    /// The caller holds the build slot: build the prep, then
+    /// [`publish`](PrepBuild::publish). Dropping the slot without
+    /// publishing — including by panic — releases it so a waiter can
+    /// build instead; claims never wedge the cache.
+    Build(PrepBuild<'a>),
+}
+
+/// An exclusive build slot for one prep key (see [`PrepClaim::Build`]).
+pub struct PrepBuild<'a> {
+    cache: &'a PrepCache,
+    key: (u64, u64),
+}
+
+impl PrepBuild<'_> {
+    /// Publishes the built prep under the claimed key and wakes every
+    /// stream waiting on it.
+    pub fn publish(self, prep: Arc<PreparedDesign>) {
+        let mut st = self.cache.state.lock().expect("prep cache lock");
+        st.entries.push((self.key, prep));
+        if st.entries.len() > self.cache.cap {
+            st.entries.remove(0);
+        }
+        // Dropping `self` (below) clears the building flag and notifies.
+    }
+}
+
+impl Drop for PrepBuild<'_> {
+    fn drop(&mut self) {
+        let mut st = self.cache.state.lock().expect("prep cache lock");
+        st.building.remove(&self.key);
+        drop(st);
+        self.cache.cv.notify_all();
+    }
+}
+
+impl PrepCache {
+    /// A cache holding at most `cap` published preps.
+    pub fn new(cap: usize) -> PrepCache {
+        PrepCache {
+            state: Mutex::new(PrepState {
+                entries: Vec::new(),
+                building: HashSet::new(),
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves `key` to a published prep or an exclusive build slot,
+    /// first waiting out any in-flight build of the same key.
+    pub fn begin(&self, key: (u64, u64)) -> PrepClaim<'_> {
+        let mut st = self.state.lock().expect("prep cache lock");
+        loop {
+            if let Some((_, p)) = st.entries.iter().rev().find(|(k, _)| *k == key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return PrepClaim::Hit(Arc::clone(p));
+            }
+            if st.building.insert(key) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return PrepClaim::Build(PrepBuild { cache: self, key });
+            }
+            st = self.cv.wait(st).expect("prep cache lock");
+        }
+    }
+
+    /// Preps answered from the cache (including after waiting out a
+    /// concurrent build).
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Preps that had to be built by the caller.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Where dirty units get verified. The contract: return exactly one
+/// outcome per requested unit (any order), each computed by
+/// [`PreparedDesign::verify_unit`] semantics on an identically prepared
+/// design, plus the aggregate busy time for the stage's cpu tally.
+/// Implementations that dispatch remotely must fall back to local
+/// verification for units no worker answered — the flow panics on a
+/// missing outcome rather than signing off with a hole.
+pub trait UnitBackend {
+    /// Verifies `units` (indices into the design's fixed unit order).
+    fn verify_units(
+        &self,
+        prep: &PreparedDesign,
+        exec: &Executor,
+        ctx: TraceCtx<'_>,
+        units: &[usize],
+        deadline: Option<Instant>,
+    ) -> (Vec<UnitOutcome>, Duration);
+}
+
+/// The in-process backend: units fan out across the executor's worker
+/// threads, one `unit:<i>` span each — the farm flow degenerates to the
+/// incremental flow's parallelism.
+pub struct LocalBackend;
+
+impl UnitBackend for LocalBackend {
+    fn verify_units(
+        &self,
+        prep: &PreparedDesign,
+        exec: &Executor,
+        ctx: TraceCtx<'_>,
+        units: &[usize],
+        deadline: Option<Instant>,
+    ) -> (Vec<UnitOutcome>, Duration) {
+        let units = units.to_vec();
+        let labels = units.clone();
+        // verify_unit already isolates panics into poisoned outcomes,
+        // so the plain (re-panicking) map is safe here.
+        exec.map_traced(
+            ctx,
+            units,
+            |i| prep.verify_unit(i, deadline),
+            |k| format!("unit:{}", labels[k]),
+        )
+    }
+}
+
+/// Runs the incremental verification flow with the per-unit work routed
+/// through `backend`. Stage structure, cache discipline, trace spans and
+/// counters mirror [`run_flow_incremental`]; the differences are that
+/// battery findings and timing arcs are computed *fused* per unit by the
+/// backend inside the `everify` stage, and the `timing` stage is the
+/// serial remainder (splice, graph, constraints, skew, STA). Signoff is
+/// byte-identical — see the module docs for the argument.
+///
+/// [`run_flow_incremental`]: crate::flow::run_flow_incremental
+pub fn run_flow_with(
+    netlist: FlatNetlist,
+    process: &Process,
+    config: &FlowConfig,
+    cache: &mut VerifyCache,
+    backend: &dyn UnitBackend,
+) -> FlowReport {
+    run_flow_shared(netlist, process, config, cache, backend, None)
+}
+
+/// [`run_flow_with`] with an optional shared [`PrepCache`]: when
+/// another stream of the same service already built this exact revision
+/// under this environment, the whole serial prep (recognition, layout,
+/// extraction, partition, fingerprints) is answered from the cache and
+/// only DRC — a per-run report, not part of the prep artifact —
+/// re-runs. A cached prep was built from an identically-constructed
+/// netlist under an identical environment, so every downstream stage
+/// reads the same values and the signoff bytes cannot differ.
+pub fn run_flow_shared(
+    mut netlist: FlatNetlist,
+    process: &Process,
+    config: &FlowConfig,
+    cache: &mut VerifyCache,
+    backend: &dyn UnitBackend,
+    preps: Option<&PrepCache>,
+) -> FlowReport {
+    let mut stages: Vec<StageReport> = Vec::new();
+    let mut drc_violations = 0usize;
+    let exec = Executor::threads(config.parallelism);
+    let tracer = &config.tracer;
+    let root = tracer.span_in(config.trace_parent, "flow");
+    let flow = TraceCtx::under(tracer, &root);
+
+    // Content-address the incoming revision before any prep runs; the
+    // claim either hands back another stream's prep or an exclusive
+    // build slot (single-flight — concurrent streams of the same
+    // revision build once, not W times).
+    let claim = preps.map(|pc| {
+        let mut everify_cfg = EverifyConfig::for_process(process);
+        everify_cfg.tolerance = config.tolerance;
+        let env = env_fingerprint(process, &config.tolerance, &config.pessimism, &everify_cfg);
+        pc.begin((env, raw_netlist_digest(&netlist)))
+    });
+    let prep: Arc<PreparedDesign> = match claim {
+        Some(PrepClaim::Hit(p)) => {
+            // 1–3 are cache hits: emit the same stage rows (with the
+            // artifact's counts) so the report shape is stable, and
+            // re-run DRC, which reports per-run rather than priming
+            // the prep.
+            timed(&mut stages, flow, "recognize", |_| {
+                ((), p.recognition.cccs.len(), None)
+            });
+            timed(&mut stages, flow, "layout", |_| {
+                ((), p.layout.shapes.len(), None)
+            });
+            if config.check_drc {
+                let rules = cbv_layout::Rules::for_process(process);
+                let violations = timed(&mut stages, flow, "drc", |_| {
+                    let v = cbv_layout::check_drc(&p.layout, &p.netlist, &rules, 10_000);
+                    let n = v.len();
+                    (v, n, None)
+                });
+                drc_violations = violations.len();
+            }
+            timed(&mut stages, flow, "extract", |_| {
+                ((), p.extracted.iter().count(), None)
+            });
+            p
+        }
+        claim => {
+            // 1–3. Serial prep, identical to the incremental flow.
+            let recognition = timed(&mut stages, flow, "recognize", |_| {
+                let r = cbv_recognize::recognize(&mut netlist);
+                let n = r.cccs.len();
+                (r, n, None)
+            });
+            let layout = timed(&mut stages, flow, "layout", |_| {
+                let l = cbv_layout::synthesize(&mut netlist, process);
+                let n = l.shapes.len();
+                (l, n, None)
+            });
+            if config.check_drc {
+                let rules = cbv_layout::Rules::for_process(process);
+                let violations = timed(&mut stages, flow, "drc", |_| {
+                    let v = cbv_layout::check_drc(&layout, &netlist, &rules, 10_000);
+                    let n = v.len();
+                    (v, n, None)
+                });
+                drc_violations = violations.len();
+            }
+            let extracted = timed(&mut stages, flow, "extract", |_| {
+                let e = cbv_extract::extract(&layout, &netlist, process);
+                let n = e.iter().count();
+                (e, n, None)
+            });
+            let prep = Arc::new(PreparedDesign::from_parts(
+                netlist,
+                recognition,
+                layout,
+                extracted,
+                process,
+                config,
+            ));
+            if let Some(PrepClaim::Build(slot)) = claim {
+                slot.publish(Arc::clone(&prep));
+            }
+            prep
+        }
+    };
+
+    // 4. Fingerprints and the dirty closure, via the shared helper so
+    // the dirty set is exactly the incremental flow's.
+    let n_cccs = prep.n_cccs();
+    let dirty = timed(&mut stages, flow, "fingerprint", |_| {
+        let dirty = dirty_closure(cache, prep.env, &prep.fps, &prep.recognition);
+        (dirty, prep.fps.units.len(), None)
+    });
+
+    // 5. Scatter-gather everify: the backend verifies dirty units
+    // (battery + arcs fused), clean units replay from cache. Outcomes
+    // are re-indexed by unit, so backend completion order is irrelevant.
+    let dirty_units: Vec<usize> = (0..prep.n_units()).filter(|&i| dirty[i]).collect();
+    let everify_stats = CacheStats {
+        hits: prep.n_units() - dirty_units.len(),
+        misses: dirty_units.len(),
+        ..CacheStats::default()
+    };
+    let mut poisoned = vec![false; prep.n_units()];
+    let (ereport, mut per_unit) = timed(&mut stages, flow, "everify", |ctx| {
+        let (outcomes, busy) =
+            backend.verify_units(&prep, &exec, ctx, &dirty_units, config.deadline);
+        ctx.tracer.gauge("everify.busy_s", busy.as_secs_f64());
+        let mut fresh: Vec<Option<UnitResult>> = (0..prep.n_units()).map(|_| None).collect();
+        for o in outcomes {
+            poisoned[o.unit] = o.poisoned;
+            fresh[o.unit] = Some(o.result);
+        }
+        let per_unit: Vec<UnitResult> = (0..prep.n_units())
+            .map(|i| {
+                if dirty[i] {
+                    fresh[i].take().expect("one outcome per dirty unit")
+                } else {
+                    cache
+                        .get(&prep.unit_key(i))
+                        .expect("clean unit has a cache entry")
+                        .clone()
+                }
+            })
+            .collect();
+        let merged = cbv_everify::Report::from_parts(
+            prep.everify_cfg.filter_threshold,
+            per_unit.iter().flat_map(|u| u.findings.clone()).collect(),
+            per_unit.iter().map(|u| u.checked).sum(),
+            per_unit.iter().map(|u| u.filtered).sum(),
+        );
+        let n = merged.checked_count();
+        ((merged, per_unit), n, Some(busy))
+    });
+    stages.last_mut().expect("everify stage").cache = Some(everify_stats);
+    tracer.add("cache.everify.hits", everify_stats.hits as u64);
+    tracer.add("cache.everify.misses", everify_stats.misses as u64);
+    tracer.add("fingerprint.dirty_units", dirty_units.len() as u64);
+
+    // 6. Timing: arcs arrived with the unit outcomes; what remains is
+    // the serial splice (CCC index order — the cold graph's exact arc
+    // sequence), constraints, skew and STA.
+    let schedule = config.schedule.clone().unwrap_or_else(|| {
+        let name = prep
+            .recognition
+            .clock_nets
+            .first()
+            .map(|&c| prep.netlist.net_name(c).to_owned())
+            .unwrap_or_else(|| "clk".to_owned());
+        ClockSchedule::single(name, process.f_target().period())
+    });
+    let dirty_cccs: Vec<usize> = (0..n_cccs).filter(|&i| dirty[i]).collect();
+    let timing_stats = CacheStats {
+        hits: n_cccs - dirty_cccs.len(),
+        misses: dirty_cccs.len(),
+        ..CacheStats::default()
+    };
+    let (sta, n_constraints) = timed(&mut stages, flow, "timing", |ctx| {
+        let arcs: Vec<cbv_timing::Arc> = per_unit
+            .iter()
+            .take(n_cccs)
+            .flat_map(|u| u.arcs.clone())
+            .collect();
+        let n_arcs = arcs.len();
+        let graph = cbv_timing::graph_from_arcs(&prep.netlist, &prep.recognition, arcs);
+        let constraints = cbv_timing::infer_constraints(
+            &prep.netlist,
+            &prep.recognition,
+            process,
+            &config.pessimism,
+        );
+        let skews: Vec<_> = prep
+            .recognition
+            .clock_nets
+            .iter()
+            .filter_map(|&c| {
+                cbv_timing::clock_skew_bounds(
+                    &prep.extracted,
+                    c,
+                    cbv_tech::Ohms::new(200.0),
+                    &config.tolerance,
+                )
+            })
+            .collect();
+        let r = {
+            let _sta_span = ctx.span("sta");
+            cbv_timing::analyze(
+                &prep.netlist,
+                &graph,
+                &constraints,
+                &schedule,
+                &config.pessimism,
+                &skews,
+            )
+        };
+        ctx.tracer.add("timing.arcs", n_arcs as u64);
+        ctx.tracer
+            .add("timing.constraints", constraints.len() as u64);
+        ctx.tracer
+            .add("timing.violations", r.violations.len() as u64);
+        let n = constraints.len();
+        ((r, n), n_arcs, None)
+    });
+    stages.last_mut().expect("timing stage").cache = Some(timing_stats);
+    tracer.add("cache.timing.hits", timing_stats.hits as u64);
+    tracer.add("cache.timing.misses", timing_stats.misses as u64);
+
+    // Prime the cache with fresh, non-poisoned units — same discipline
+    // and eviction accounting as the incremental flow.
+    let evictions_before = cache.evictions();
+    let mut fresh_keys = Vec::new();
+    for i in 0..per_unit.len() {
+        if dirty[i] && !poisoned[i] {
+            let key = prep.unit_key(i);
+            cache.insert(key, std::mem::take(&mut per_unit[i]));
+            fresh_keys.push(key);
+        }
+    }
+    let evicted = cache.evictions() - evictions_before;
+    if let Some(stats) = stages
+        .iter_mut()
+        .find(|s| s.stage == "everify")
+        .and_then(|s| s.cache.as_mut())
+    {
+        stats.evictions = evicted;
+    }
+    tracer.add("cache.evictions", evicted as u64);
+
+    // 7. Power (§3) — cheap, always recomputed.
+    let power = timed(&mut stages, flow, "power", |_| {
+        let p = cbv_power::dynamic_power(
+            &prep.netlist,
+            &prep.recognition,
+            &prep.extracted,
+            process,
+            process.f_target(),
+            &cbv_power::ActivityModel::uniform(config.activity),
+        );
+        (p, 1, None)
+    });
+
+    cbv_everify::finding_counters(&ereport, flow);
+
+    let mut signoff = Signoff::default();
+    if config.check_drc {
+        signoff.add_drc(drc_violations);
+    }
+    signoff.add_everify(&ereport);
+    signoff.add_timing(&sta, n_constraints);
+    signoff.set_power(power.total());
+
+    drop(root);
+    tracer.flush();
+
+    let (netlist, recognition) = match Arc::try_unwrap(prep) {
+        Ok(p) => (p.netlist, p.recognition),
+        // Another stream still holds this prep through the shared
+        // cache: the report gets its own copies.
+        Err(p) => (p.netlist.clone(), p.recognition.clone()),
+    };
+    FlowReport {
+        stages,
+        recognition,
+        signoff,
+        everify: ereport,
+        sta,
+        netlist,
+        fresh: fresh_keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{run_flow, run_flow_incremental};
+    use cbv_gen::adders::static_ripple_adder;
+    use cbv_gen::{inject, FaultKind};
+
+    fn signoff_json(r: &FlowReport) -> String {
+        serde_json::to_string(&r.signoff).unwrap()
+    }
+
+    #[test]
+    fn local_backend_matches_cold_and_incremental_flows() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig::default();
+        let cold = run_flow(static_ripple_adder(4, &p).netlist, &p, &cfg);
+        let cold_json = signoff_json(&cold);
+
+        let mut cache = VerifyCache::new();
+        let scat = run_flow_with(
+            static_ripple_adder(4, &p).netlist,
+            &p,
+            &cfg,
+            &mut cache,
+            &LocalBackend,
+        );
+        assert_eq!(signoff_json(&scat), cold_json);
+        assert_eq!(scat.stages.len(), 7, "same stage census as incremental");
+        assert_eq!(scat.fresh.len(), cache.len(), "every fresh key cached");
+
+        // The cache it primed is interchangeable with the incremental
+        // flow's: a warm incremental run over it is all hits.
+        let warm = run_flow_incremental(static_ripple_adder(4, &p).netlist, &p, &cfg, &mut cache);
+        assert_eq!(signoff_json(&warm), cold_json);
+        let estats = warm
+            .stages
+            .iter()
+            .find(|s| s.stage == "everify")
+            .and_then(|s| s.cache)
+            .unwrap();
+        assert_eq!(estats.misses, 0, "scatter flow primes the shared cache");
+
+        // And the reverse: a warm scatter run over an incremental cache.
+        let warm2 = run_flow_with(
+            static_ripple_adder(4, &p).netlist,
+            &p,
+            &cfg,
+            &mut cache,
+            &LocalBackend,
+        );
+        assert_eq!(signoff_json(&warm2), cold_json);
+        assert!(warm2.fresh.is_empty(), "warm run contributes nothing");
+    }
+
+    #[test]
+    fn faulted_design_matches_byte_for_byte() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig::default();
+        let mut g = static_ripple_adder(4, &p);
+        inject(&mut g.netlist, FaultKind::SubMinLength).unwrap();
+        let netlist = g.netlist;
+        let cold = run_flow(netlist.clone(), &p, &cfg);
+        assert!(!cold.signoff.clean());
+
+        let mut cache = VerifyCache::new();
+        let scat = run_flow_with(netlist, &p, &cfg, &mut cache, &LocalBackend);
+        assert_eq!(signoff_json(&scat), signoff_json(&cold));
+    }
+
+    #[test]
+    fn expired_deadline_census_matches_incremental() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig {
+            deadline: Some(Instant::now()),
+            ..FlowConfig::default()
+        };
+        let mut cache = VerifyCache::new();
+        let r = run_flow_with(
+            static_ripple_adder(4, &p).netlist,
+            &p,
+            &cfg,
+            &mut cache,
+            &LocalBackend,
+        );
+        assert!(!r.signoff.clean());
+        let tool_errors = r
+            .everify
+            .raw_findings()
+            .iter()
+            .filter(|f| f.severity == Severity::ToolError)
+            .count();
+        let n_cccs = r.recognition.cccs.len();
+        assert_eq!(
+            tool_errors,
+            2 * n_cccs + 1,
+            "both halves of every unit time out, as in the incremental flow"
+        );
+        assert!(cache.is_empty(), "poisoned units are never cached");
+        assert!(r.fresh.is_empty());
+    }
+
+    #[test]
+    fn prep_cache_single_flight_builds_once() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig::default();
+        let preps = PrepCache::new(4);
+        let key = (1u64, 2u64);
+
+        // First claim gets the build slot.
+        let slot = match preps.begin(key) {
+            PrepClaim::Build(s) => s,
+            PrepClaim::Hit(_) => panic!("empty cache cannot hit"),
+        };
+        // A concurrent claim of the same key blocks until publication,
+        // then resolves to a hit.
+        let waiter = std::thread::scope(|scope| {
+            let h = scope.spawn(|| match preps.begin(key) {
+                PrepClaim::Hit(prep) => prep.n_units(),
+                PrepClaim::Build(_) => panic!("waiter must see the published prep"),
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            let prep = Arc::new(PreparedDesign::build(
+                static_ripple_adder(2, &p).netlist,
+                &p,
+                &cfg,
+            ));
+            let n = prep.n_units();
+            slot.publish(prep);
+            assert_eq!(h.join().expect("waiter thread"), n);
+            n
+        });
+        assert!(waiter > 0);
+        assert_eq!(
+            (preps.hit_count(), preps.miss_count()),
+            (1, 1),
+            "the waiter hits; only the builder misses"
+        );
+
+        // Dropping a slot without publishing (a panicked builder)
+        // releases the key so the next claimant builds instead of
+        // wedging.
+        let key2 = (3u64, 4u64);
+        match preps.begin(key2) {
+            PrepClaim::Build(s) => drop(s),
+            PrepClaim::Hit(_) => panic!("unpublished key cannot hit"),
+        }
+        assert!(
+            matches!(preps.begin(key2), PrepClaim::Build(_)),
+            "an abandoned build slot must be reclaimable"
+        );
+    }
+
+    #[test]
+    fn shared_preps_keep_signoff_bytes_identical() {
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig::default();
+        let reference = {
+            let mut cache = VerifyCache::new();
+            let r = run_flow_with(
+                static_ripple_adder(4, &p).netlist,
+                &p,
+                &cfg,
+                &mut cache,
+                &LocalBackend,
+            );
+            signoff_json(&r)
+        };
+        let preps = PrepCache::new(4);
+        for round in 0..2 {
+            let mut cache = VerifyCache::new();
+            let r = run_flow_shared(
+                static_ripple_adder(4, &p).netlist,
+                &p,
+                &cfg,
+                &mut cache,
+                &LocalBackend,
+                Some(&preps),
+            );
+            assert_eq!(
+                signoff_json(&r),
+                reference,
+                "round {round} diverged from the unshared flow"
+            );
+            assert!(
+                !cache.is_empty(),
+                "round {round} must still prime the cache"
+            );
+        }
+        assert_eq!(
+            (preps.hit_count(), preps.miss_count()),
+            (1, 1),
+            "the second identical revision reuses the first prep"
+        );
+    }
+
+    #[test]
+    fn verify_unit_reproduces_cache_entries() {
+        // A unit verified in isolation must equal the entry the full
+        // flow caches for it — the property the farm's shared tier
+        // rests on (one worker's result is every worker's hit).
+        let p = Process::strongarm_035();
+        let cfg = FlowConfig::default();
+        let mut cache = VerifyCache::new();
+        run_flow_with(
+            static_ripple_adder(4, &p).netlist,
+            &p,
+            &cfg,
+            &mut cache,
+            &LocalBackend,
+        );
+        let prep = PreparedDesign::build(static_ripple_adder(4, &p).netlist, &p, &cfg);
+        for i in 0..prep.n_units() {
+            let o = prep.verify_unit(i, None);
+            assert!(!o.poisoned);
+            assert_eq!(
+                Some(&o.result),
+                cache.get(&prep.unit_key(i)),
+                "unit {i} recomputed off-flow must match its cache entry"
+            );
+        }
+    }
+}

@@ -14,27 +14,59 @@
 //! never held across one. [`FlowService::verify`] instead:
 //!
 //! 1. **snapshots** the shared cache under the lock (a clone — unit
-//!    results are plain data);
-//! 2. runs [`run_flow_incremental`] against the snapshot, unlocked, so
-//!    concurrent requests verify in parallel;
-//! 3. **absorbs** the snapshot's additions back under the lock
+//!    results are plain data), overlaid with the undrained staging tier
+//!    so a run always sees its own service's recent results;
+//! 2. runs the flow against the snapshot, unlocked, so concurrent
+//!    requests verify in parallel;
+//! 3. **stages** the run's fresh entries, and a **drain** absorbs the
+//!    whole staging batch into the shared tier under the lock
 //!    ([`VerifyCache::absorb`] merges in sorted key order and keeps
 //!    existing entries, so two racing requests that verified the same
 //!    unit converge on one entry deterministically).
+//!
+//! [`verify`](FlowService::verify) and
+//! [`verify_report`](FlowService::verify_report) drain immediately —
+//! one absorb per call, the original discipline. A batching caller (the
+//! daemon's job loop, the farm coordinator) uses
+//! [`verify_buffered`](FlowService::verify_buffered) and calls
+//! [`drain_absorb`](FlowService::drain_absorb) once per queue drain,
+//! paying one sorted merge for a whole burst of jobs instead of one per
+//! job.
 //!
 //! Because the signoff is cache-state-independent (the PR 2 soundness
 //! contract: hits replay exactly what a fresh run would compute), racing
 //! requests can never observe different verdicts for the same netlist —
 //! the byte-identity guarantee the daemon's wire protocol exposes.
+//!
+//! # The scatter-gather seam
+//!
+//! [`verify_with_backend`](FlowService::verify_with_backend) is the
+//! farm coordinator's entry point: the same snapshot/stage/drain
+//! discipline, but per-unit work routed through a
+//! [`UnitBackend`](crate::scatter::UnitBackend). The plain entry points
+//! use [`LocalBackend`]; signoff bytes are identical either way.
+//!
+//! # Single-flight
+//!
+//! Racing streams that miss the *same* unit would compute it twice —
+//! harmless for soundness (absorb is existing-entry-wins) but wasted
+//! work the farm cannot afford. The tier therefore keeps an in-flight
+//! ledger: a backend [claims](FlowService::try_claim_unit) a unit key
+//! before computing it, other streams [wait](FlowService::await_units)
+//! and re-[look up](FlowService::lookup_unit) instead of duplicating
+//! the dispatch. Claims are advisory with a bounded wait, so a crashed
+//! claimant degrades to duplicated work, never to a hang.
 
-use std::sync::Mutex;
-use std::time::Instant;
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use cbv_cache::{CacheStats, VerifyCache};
+use cbv_cache::{CacheKey, CacheStats, UnitResult, VerifyCache};
 use cbv_netlist::FlatNetlist;
 use cbv_tech::Process;
 
-use crate::flow::{run_flow_incremental, FlowConfig, FlowReport};
+use crate::flow::{FlowConfig, FlowReport};
+use crate::scatter::{run_flow_shared, LocalBackend, PrepCache, UnitBackend};
 
 /// A shareable, cache-backed verification endpoint. `&FlowService` is
 /// `Send + Sync`; workers call [`verify`](FlowService::verify)
@@ -42,7 +74,24 @@ use crate::flow::{run_flow_incremental, FlowConfig, FlowReport};
 pub struct FlowService {
     process: Process,
     config: FlowConfig,
+    /// The shared (remote, in farm terms) content-addressed tier.
     cache: Mutex<VerifyCache>,
+    /// Fresh entries awaiting the next [`drain_absorb`]; unbounded —
+    /// it holds at most a queue-drain's worth of unit results.
+    ///
+    /// Lock order when both are held: `cache` before `staging`.
+    ///
+    /// [`drain_absorb`]: FlowService::drain_absorb
+    staging: Mutex<VerifyCache>,
+    /// Single-flight ledger: unit keys some caller is computing right
+    /// now. Never held while computing — claims are registered, the
+    /// work runs unlocked, and [`release_units`](FlowService::release_units)
+    /// wakes the waiters.
+    inflight: Mutex<HashSet<CacheKey>>,
+    inflight_cv: Condvar,
+    /// Shared serial-prep artifacts, content-addressed by raw netlist
+    /// digest: W streams verifying the same revision prepare it once.
+    preps: PrepCache,
 }
 
 /// What one verification request came back with: the signoff both as
@@ -73,6 +122,10 @@ impl FlowService {
             process,
             config,
             cache: Mutex::new(VerifyCache::new()),
+            staging: Mutex::new(VerifyCache::new()),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            preps: PrepCache::new(4),
         }
     }
 
@@ -91,6 +144,13 @@ impl FlowService {
         &self.process
     }
 
+    /// The flow config template requests run under. A farm worker must
+    /// prepare designs under the *same* template as its coordinator for
+    /// the environment fingerprints to agree.
+    pub fn flow_config(&self) -> &FlowConfig {
+        &self.config
+    }
+
     /// Current entry count of the shared cache.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("service cache lock").len()
@@ -101,43 +161,207 @@ impl FlowService {
         self.cache.lock().expect("service cache lock").evictions()
     }
 
+    /// Serial preps answered from the shared prep cache (another stream
+    /// of this service already built the identical revision).
+    pub fn prep_hits(&self) -> u64 {
+        self.preps.hit_count()
+    }
+
+    /// Serial preps this service had to build.
+    pub fn prep_misses(&self) -> u64 {
+        self.preps.miss_count()
+    }
+
+    /// Verifies one netlist revision with per-unit work routed through
+    /// `backend` — the farm coordinator's entry point. The run snapshots
+    /// the shared tier (plus undrained staging), verifies unlocked, and
+    /// *stages* its fresh entries; publication to the shared tier waits
+    /// for the next [`drain_absorb`](FlowService::drain_absorb). The
+    /// verdict's [`CacheStats`] carry the batching economics: `absorbed`
+    /// is the number of entries this run staged, `remote_hits`/
+    /// `remote_misses` the snapshot's answer rate.
+    pub fn verify_with_backend(
+        &self,
+        netlist: FlatNetlist,
+        deadline: Option<Instant>,
+        trace_parent: Option<u64>,
+        backend: &dyn UnitBackend,
+    ) -> (FlowReport, ServiceVerdict) {
+        let mut snapshot = self.cache.lock().expect("service cache lock").clone();
+        snapshot.absorb(&self.staging.lock().expect("service staging lock"));
+        let mut config = self.config.clone();
+        config.deadline = deadline;
+        config.trace_parent = trace_parent;
+        let report = run_flow_shared(
+            netlist,
+            &self.process,
+            &config,
+            &mut snapshot,
+            backend,
+            Some(&self.preps),
+        );
+        let staged = {
+            let mut staging = self.staging.lock().expect("service staging lock");
+            let mut staged = 0usize;
+            for key in &report.fresh {
+                // A bounded snapshot may already have evicted a fresh
+                // entry; only what survived can be staged.
+                if let Some(r) = snapshot.get(key) {
+                    staging.insert(*key, r.clone());
+                    staged += 1;
+                }
+            }
+            staged
+        };
+        let mut stats = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "everify")
+            .and_then(|s| s.cache)
+            .unwrap_or_default();
+        stats.absorbed = staged;
+        stats.remote_hits = stats.hits;
+        stats.remote_misses = stats.misses;
+        let verdict = ServiceVerdict {
+            signoff_json: serde_json::to_string(&report.signoff)
+                .expect("signoff serialization is infallible"),
+            clean: report.signoff.clean(),
+            violations: report.signoff.violation_count(),
+            cache: stats,
+            runtime_s: report.total_runtime().seconds(),
+        };
+        (report, verdict)
+    }
+
+    /// Publishes the staging tier into the shared cache: one sorted
+    /// existing-entry-wins merge for the whole batch, then the staging
+    /// tier is reset. Returns the number of entries actually absorbed
+    /// (and emits `cache.absorb.batches`/`cache.absorb.entries` counters
+    /// on the service's tracer). Callers of
+    /// [`verify_buffered`](FlowService::verify_buffered) run this once
+    /// per queue drain.
+    pub fn drain_absorb(&self) -> usize {
+        let mut shared = self.cache.lock().expect("service cache lock");
+        let mut staging = self.staging.lock().expect("service staging lock");
+        if staging.is_empty() {
+            return 0;
+        }
+        let absorbed = shared.absorb(&staging);
+        staging.clear();
+        self.config.tracer.add("cache.absorb.batches", 1);
+        self.config
+            .tracer
+            .add("cache.absorb.entries", absorbed as u64);
+        absorbed
+    }
+
+    /// Entries currently staged and awaiting a drain.
+    pub fn staged_len(&self) -> usize {
+        self.staging.lock().expect("service staging lock").len()
+    }
+
+    /// Claims `key` for computation by this caller. `true` means the
+    /// caller owns the unit and must compute it (then
+    /// [`release_units`](FlowService::release_units), even on failure);
+    /// `false` means another caller has it in flight — wait with
+    /// [`await_units`](FlowService::await_units) and re-look-up instead
+    /// of duplicating the work. This is the tier's single-flight
+    /// discipline: under racing streams, each content address is
+    /// computed once.
+    pub fn try_claim_unit(&self, key: &CacheKey) -> bool {
+        self.inflight
+            .lock()
+            .expect("service inflight lock")
+            .insert(*key)
+    }
+
+    /// Drops this caller's claims and wakes every waiter. Claims are
+    /// *advisory*: releasing without publishing a result is legal (the
+    /// waiter re-looks-up, misses, and computes the unit itself), so a
+    /// failed or poisoned computation cannot wedge the farm.
+    pub fn release_units(&self, keys: &[CacheKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut inflight = self.inflight.lock().expect("service inflight lock");
+        for key in keys {
+            inflight.remove(key);
+        }
+        drop(inflight);
+        self.inflight_cv.notify_all();
+    }
+
+    /// Blocks until none of `keys` is claimed by another caller, or
+    /// `timeout` elapses — the waiter's half of single-flight. On
+    /// return the caller re-looks-up the tier; anything still missing
+    /// (claimant failed, result poisoned, timeout) it computes itself.
+    pub fn await_units(&self, keys: &[CacheKey], timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut inflight = self.inflight.lock().expect("service inflight lock");
+        while keys.iter().any(|k| inflight.contains(k)) {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            let (guard, result) = self
+                .inflight_cv
+                .wait_timeout(inflight, remaining)
+                .expect("service inflight lock");
+            inflight = guard;
+            if result.timed_out() {
+                return;
+            }
+        }
+    }
+
+    /// Looks one unit up in the shared tier: the published cache first,
+    /// then the staging overlay (results another stream staged but has
+    /// not drained yet).
+    pub fn lookup_unit(&self, key: &CacheKey) -> Option<UnitResult> {
+        if let Some(r) = self.cache.lock().expect("service cache lock").get(key) {
+            return Some(r.clone());
+        }
+        self.staging
+            .lock()
+            .expect("service staging lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Stages unit results directly — the farm coordinator publishes
+    /// remote results here *before* releasing their claims, so a waiter
+    /// that wakes finds them without waiting for the producing stream's
+    /// full verify to finish. Existing staged entries win (first writer,
+    /// same content either way).
+    pub fn stage_results(&self, results: &[(CacheKey, UnitResult)]) {
+        if results.is_empty() {
+            return;
+        }
+        let mut staging = self.staging.lock().expect("service staging lock");
+        for (key, result) in results {
+            if staging.get(key).is_none() {
+                staging.insert(*key, result.clone());
+            }
+        }
+    }
+
     /// Verifies one netlist revision and returns the full [`FlowReport`]
     /// with its serialized signoff. `deadline` bounds the per-unit
     /// verification work cooperatively (see [`FlowConfig::deadline`]);
     /// `trace_parent` nests the run's `flow` span under a caller span.
+    /// Drains immediately: the shared cache is warm when this returns.
     pub fn verify_report(
         &self,
         netlist: FlatNetlist,
         deadline: Option<Instant>,
         trace_parent: Option<u64>,
     ) -> (FlowReport, ServiceVerdict) {
-        let mut snapshot = self.cache.lock().expect("service cache lock").clone();
-        let mut config = self.config.clone();
-        config.deadline = deadline;
-        config.trace_parent = trace_parent;
-        let report = run_flow_incremental(netlist, &self.process, &config, &mut snapshot);
-        self.cache
-            .lock()
-            .expect("service cache lock")
-            .absorb(&snapshot);
-        let verdict = ServiceVerdict {
-            signoff_json: serde_json::to_string(&report.signoff)
-                .expect("signoff serialization is infallible"),
-            clean: report.signoff.clean(),
-            violations: report.signoff.violation_count(),
-            cache: report
-                .stages
-                .iter()
-                .find(|s| s.stage == "everify")
-                .and_then(|s| s.cache)
-                .unwrap_or_default(),
-            runtime_s: report.total_runtime().seconds(),
-        };
-        (report, verdict)
+        let out = self.verify_with_backend(netlist, deadline, trace_parent, &LocalBackend);
+        self.drain_absorb();
+        out
     }
 
     /// Verifies one netlist revision; the common entry point when only
-    /// the verdict is needed.
+    /// the verdict is needed. Drains immediately.
     pub fn verify(
         &self,
         netlist: FlatNetlist,
@@ -146,12 +370,42 @@ impl FlowService {
     ) -> ServiceVerdict {
         self.verify_report(netlist, deadline, trace_parent).1
     }
+
+    /// Like [`verify`](FlowService::verify) but leaves the fresh entries
+    /// in staging — the batching entry point for a job loop that calls
+    /// [`drain_absorb`](FlowService::drain_absorb) when its queue goes
+    /// quiet, amortizing one absorb over many jobs.
+    pub fn verify_buffered(
+        &self,
+        netlist: FlatNetlist,
+        deadline: Option<Instant>,
+        trace_parent: Option<u64>,
+    ) -> ServiceVerdict {
+        self.verify_with_backend(netlist, deadline, trace_parent, &LocalBackend)
+            .1
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::run_flow_incremental;
     use cbv_gen::adders::static_ripple_adder;
+
+    #[test]
+    fn identical_revisions_share_one_prep() {
+        let p = Process::strongarm_035();
+        let svc = FlowService::new(p.clone(), FlowConfig::default());
+        let netlist = static_ripple_adder(4, &p).netlist;
+        let a = svc.verify(netlist.clone(), None, None);
+        let b = svc.verify(netlist, None, None);
+        assert_eq!(a.signoff_json, b.signoff_json);
+        assert_eq!(
+            (svc.prep_hits(), svc.prep_misses()),
+            (1, 1),
+            "the second verify must reuse the first verify's serial prep"
+        );
+    }
 
     #[test]
     fn verdict_matches_in_process_flow_and_warms_the_cache() {
@@ -213,6 +467,67 @@ mod tests {
 
         let retry = service.verify(static_ripple_adder(4, &p).netlist, None, None);
         assert!(retry.clean, "a later request re-verifies cleanly");
+    }
+
+    #[test]
+    fn buffered_runs_stage_until_drained() {
+        let p = Process::strongarm_035();
+        let service = FlowService::new(p.clone(), FlowConfig::default());
+        let v1 = service.verify_buffered(static_ripple_adder(4, &p).netlist, None, None);
+        assert!(v1.clean);
+        assert!(v1.cache.absorbed > 0, "cold run stages every unit");
+        assert_eq!(service.cache_len(), 0, "nothing published before drain");
+        assert_eq!(service.staged_len(), v1.cache.absorbed);
+
+        // A second buffered run is answered by the staging overlay even
+        // though the shared tier is still empty.
+        let v2 = service.verify_buffered(static_ripple_adder(4, &p).netlist, None, None);
+        assert_eq!(v2.cache.remote_misses, 0, "staging overlay answers it");
+        assert_eq!(v2.cache.absorbed, 0, "warm run stages nothing");
+        assert_eq!(v1.signoff_json, v2.signoff_json);
+
+        let absorbed = service.drain_absorb();
+        assert_eq!(absorbed, v1.cache.absorbed);
+        assert_eq!(service.cache_len(), absorbed);
+        assert_eq!(service.staged_len(), 0);
+        assert_eq!(service.drain_absorb(), 0, "drain on empty staging");
+    }
+
+    #[test]
+    fn single_flight_claims_wait_and_resolve_through_staging() {
+        let p = Process::strongarm_035();
+        let service = FlowService::new(p.clone(), FlowConfig::default());
+        let fp = |content, binding| cbv_cache::UnitFingerprint { content, binding };
+        let key = CacheKey::new(1, fp(2, 3));
+
+        assert!(service.try_claim_unit(&key), "first claimant wins");
+        assert!(!service.try_claim_unit(&key), "second caller must wait");
+        // An unclaimed key never blocks the waiter.
+        let other = CacheKey::new(4, fp(5, 6));
+        let t0 = Instant::now();
+        service.await_units(&[other], Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+
+        // A waiter parks until the claimant stages + releases, then
+        // finds the result in the tier without recomputing.
+        let resolved = std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                service.await_units(&[key], Duration::from_secs(10));
+                service.lookup_unit(&key)
+            });
+            let result = UnitResult::default();
+            service.stage_results(&[(key, result)]);
+            service.release_units(&[key]);
+            waiter.join().expect("waiter thread")
+        });
+        assert!(resolved.is_some(), "release published the result");
+        assert!(service.try_claim_unit(&key), "claim was released");
+
+        // The timeout bounds a wedged claimant.
+        let t0 = Instant::now();
+        service.await_units(&[key], Duration::from_millis(20));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

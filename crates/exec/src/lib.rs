@@ -269,6 +269,39 @@ impl Default for Executor {
     }
 }
 
+/// Runs every closure on its own scoped thread, joins them all, and
+/// returns results in input order with per-task panic isolation.
+///
+/// Unlike the bounded [`Executor`] maps this spawns one thread per task
+/// *unconditionally*: it is for heterogeneous, blocking dispatch loops
+/// (one per remote farm worker, each parked in socket reads most of the
+/// time) where sharing a bounded pool would let one stalled peer starve
+/// the others. CPU-bound work belongs on an [`Executor`] instead.
+pub fn fan_out<T, F>(tasks: Vec<F>) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if tasks.len() <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| run_isolated(i, f))
+            .collect();
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| scope.spawn(move || run_isolated(i, f)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan_out tasks are panic-isolated"))
+            .collect()
+    })
+}
+
 fn default_threads() -> usize {
     thread::available_parallelism()
         .map(|n| n.get())
@@ -449,6 +482,54 @@ mod tests {
             trace.spans_named("task:1").count() == 1,
             "panicked task's span must still be recorded"
         );
+    }
+
+    #[test]
+    fn fan_out_runs_blocking_tasks_concurrently_in_order() {
+        use std::sync::mpsc;
+        // Two tasks that must rendezvous: each sends before receiving,
+        // so a serialized fan_out would time out rather than complete.
+        let (to_a, from_b) = mpsc::channel::<u32>();
+        let (to_b, from_a) = mpsc::channel::<u32>();
+        let task_a = move || {
+            to_b.send(1).unwrap();
+            from_b.recv_timeout(Duration::from_secs(10)).unwrap() + 10
+        };
+        let task_b = move || {
+            to_a.send(2).unwrap();
+            from_a.recv_timeout(Duration::from_secs(10)).unwrap() + 20
+        };
+        let boxed: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(task_a), Box::new(task_b)];
+        let out = fan_out(boxed);
+        assert_eq!(out.len(), 2);
+        assert_eq!(*out[0].as_ref().unwrap(), 12, "a got b's message");
+        assert_eq!(*out[1].as_ref().unwrap(), 21, "b got a's message");
+    }
+
+    #[test]
+    fn fan_out_isolates_panics_per_task() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..3usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 1 {
+                        panic!("dispatcher {i} died");
+                    }
+                    i * 7
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = fan_out(tasks);
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        let p = out[1].as_ref().unwrap_err();
+        assert_eq!(p.task, 1);
+        assert_eq!(p.message, "dispatcher 1 died");
+        assert_eq!(*out[2].as_ref().unwrap(), 14);
+
+        // Single-task (inline) path keeps the same isolation.
+        let one: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| -> usize { panic!("solo died") })];
+        let out = fan_out(one);
+        assert_eq!(out[0].as_ref().unwrap_err().message, "solo died");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! cbv shutdown ADDR                        gracefully drain the daemon
 //! cbv replay   DESIGN EDIT...              run the same stream in-process,
 //!                                          print the final signoff JSON
+//! cbv farm     WORKERS DESIGN EDIT...      shard the stream's verification
+//!                                          across WORKERS (comma-separated
+//!                                          daemon addresses), print the
+//!                                          final signoff JSON
 //! ```
 //!
 //! Each `EDIT` is one ECO step: inline JSON (an edit object or an array
@@ -24,8 +28,11 @@
 
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use cbv_serve::client::Client;
 use cbv_serve::session::{edits_from_json, Session};
+use cbv_serve::{Farm, FarmConfig};
 use serde_json::Value;
 
 use cbv_core::flow::FlowConfig;
@@ -38,7 +45,8 @@ fn usage() -> ExitCode {
          \x20      cbv eco ADDR DESIGN EDIT... [--deadline-ms N]\n\
          \x20      cbv rollback ADDR DESIGN --to REV EDIT...\n\
          \x20      cbv stats|shutdown ADDR\n\
-         \x20      cbv replay DESIGN EDIT..."
+         \x20      cbv replay DESIGN EDIT...\n\
+         \x20      cbv farm WORKER1,WORKER2,... DESIGN EDIT..."
     );
     ExitCode::FAILURE
 }
@@ -163,6 +171,12 @@ fn main() -> ExitCode {
             }
             replay(&args[1], &args[2..])
         }
+        "farm" => {
+            if args.len() < 3 {
+                return usage();
+            }
+            farm(&args[1], &args[2], &args[3..])
+        }
         _ => usage(),
     }
 }
@@ -260,4 +274,76 @@ fn replay(design: &str, edit_args: &[String]) -> ExitCode {
     );
     println!("{}", verdict.signoff_json);
     ExitCode::SUCCESS
+}
+
+/// Shards the stream's verification across worker daemons: one
+/// `Farm::verify` per step prefix (warming the shared cache tier the
+/// way an interactive ECO stream would), final signoff to stdout. An
+/// empty WORKERS list runs the whole stream locally — `cmp` against
+/// `cbv replay` output is the farm's byte-identity check.
+fn farm(workers: &str, design: &str, edit_args: &[String]) -> ExitCode {
+    let workers: Vec<String> = workers
+        .split(',')
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect();
+    let mut steps = Vec::new();
+    for arg in edit_args {
+        match edit_text(arg) {
+            Ok(t) => steps.push(t),
+            Err(e) => return fail("edit", e),
+        }
+    }
+    let service = Arc::new(FlowService::new(
+        Process::strongarm_035(),
+        FlowConfig::default(),
+    ));
+    let coordinator = Farm::new(
+        service,
+        FarmConfig {
+            workers,
+            ..FarmConfig::default()
+        },
+    );
+    let mut last = None;
+    for step in 1..=steps.len().max(1) {
+        let prefix = &steps[..step.min(steps.len())];
+        match coordinator.verify(design, prefix) {
+            Ok((_report, verdict)) => {
+                eprintln!(
+                    "step {}: clean {}, shared cache {}/{}",
+                    step - 1,
+                    verdict.clean,
+                    verdict.cache.remote_hits,
+                    verdict.cache.remote_hits + verdict.cache.remote_misses
+                );
+                last = Some(verdict);
+            }
+            Err(e) => return fail(&format!("farm step {}", step - 1), e),
+        }
+    }
+    for line in coordinator.take_errors() {
+        eprintln!("cbv: farm: worker error: {line}");
+    }
+    let stats = coordinator.stats();
+    eprintln!(
+        "farm: {} batches dispatched, {} stolen, {} duplicate units, \
+         {} remote / {} local units, {} dead workers",
+        stats.dispatched_batches,
+        stats.stolen_batches,
+        stats.duplicate_units,
+        stats.remote_units,
+        stats.local_units,
+        stats.dead_workers
+    );
+    match last {
+        Some(v) => {
+            println!("{}", v.signoff_json);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("cbv: no steps run");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -33,13 +33,17 @@
 //! `open`/`eco`/`signoff`/`rollback`/`stats`/`shutdown`/`replay`).
 
 pub mod client;
+pub mod farm;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, ClientError, Verdict};
-pub use protocol::{extract_raw_field, read_frame, write_frame, MAX_FRAME};
+pub use farm::{Backoff, Farm, FarmConfig, FarmStats};
+pub use protocol::{
+    extract_raw_field, read_frame, write_frame, FRAME_MAGIC, MAX_FRAME, PROTO_VERSION,
+};
 pub use queue::{JobQueue, PushError};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::{design_from_name, edit_from_json, edits_from_json, Edit, Session, DESIGN_NAMES};

@@ -15,6 +15,13 @@
 //! neither the worker nor the daemon — the client gets an error reply
 //! naming the panic.
 //!
+//! Besides the interactive vocabulary, the daemon speaks the **farm
+//! worker** vocabulary: `hello` (version handshake), `load` (replay a
+//! design revision and prepare it for unit-sharded verification) and
+//! `batch` (verify a shard of units, replying with raw cache entries
+//! the coordinator absorbs into its shared tier). Batches ride the
+//! same bounded queue and the same backpressure as interactive jobs.
+//!
 //! Graceful drain: a `shutdown` request (or [`ServerHandle::shutdown`])
 //! atomically flips the drain flag, closes the queue (accepted jobs
 //! still complete and reply), wakes the accept loop with a self-
@@ -28,16 +35,18 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cbv_core::cache::write_unit_entry;
 use cbv_core::exec::run_isolated;
 use cbv_core::flow::FlowConfig;
 use cbv_core::netlist::FlatNetlist;
 use cbv_core::obs::{JsonlSink, SpanRecord, TraceSink, Tracer};
+use cbv_core::scatter::{PreparedDesign, UnitOutcome};
 use cbv_core::service::{FlowService, ServiceVerdict};
 use cbv_core::tech::Process;
 use serde::write_json_string;
 use serde_json::Value;
 
-use crate::protocol::{read_frame, write_frame};
+use crate::protocol::{read_frame, write_frame, PROTO_VERSION};
 use crate::queue::{JobQueue, PushError};
 use crate::session::{edits_from_json, Session};
 
@@ -80,12 +89,24 @@ impl Default for ServerConfig {
     }
 }
 
-/// One admitted verification job.
-struct Job {
-    netlist: FlatNetlist,
-    deadline: Option<Instant>,
-    trace_parent: Option<u64>,
-    reply: mpsc::Sender<Result<ServiceVerdict, String>>,
+/// One admitted job. `Verify` is the interactive vocabulary (`eco`,
+/// `signoff`): a full incremental flow against the shared cache.
+/// `Batch` is the farm worker vocabulary (`load`, `batch`): verify a
+/// shard of units of a pre-prepared design and ship the raw cache
+/// entries back to the coordinator's shared tier.
+enum Job {
+    Verify {
+        netlist: FlatNetlist,
+        deadline: Option<Instant>,
+        trace_parent: Option<u64>,
+        reply: mpsc::Sender<Result<ServiceVerdict, String>>,
+    },
+    Batch {
+        prepared: Arc<PreparedDesign>,
+        units: Vec<usize>,
+        deadline: Option<Instant>,
+        reply: mpsc::Sender<Result<Vec<UnitOutcome>, String>>,
+    },
 }
 
 /// Span-discarding sink: the daemon's tracer always exists (its
@@ -253,30 +274,80 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Worker discipline: peel jobs with `try_pop` while the queue has
+/// work, and absorb the staged cache batch only at quiet moments —
+/// [`FlowService::verify_buffered`] leaves each job's fresh entries in
+/// a staging overlay, and `drain_absorb` publishes them to the shared
+/// cache once per drain instead of once per job, so a burst of jobs
+/// takes the cache lock O(quiet periods) times, not O(jobs).
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        let Job {
+    loop {
+        let job = match shared.queue.try_pop() {
+            Some(job) => job,
+            None => {
+                // Quiet: publish staged entries, then park.
+                shared.service.drain_absorb();
+                match shared.queue.pop() {
+                    Some(job) => job,
+                    None => break,
+                }
+            }
+        };
+        run_job(shared, job);
+    }
+    // Drain on exit so a shutdown still publishes every admitted job's
+    // results before the daemon's final stats are read.
+    shared.service.drain_absorb();
+}
+
+fn run_job(shared: &Arc<Shared>, job: Job) {
+    match job {
+        Job::Verify {
             netlist,
             deadline,
             trace_parent,
             reply,
-        } = job;
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
+        } => {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
                 shared.tracer.add("serve.reject.deadline", 1);
                 let _ = reply.send(Err("deadline exceeded before verification started".into()));
-                continue;
+                return;
             }
+            shared.tracer.add("serve.jobs", 1);
+            let service = &shared.service;
+            let result = run_isolated(0, move || {
+                service.verify_buffered(netlist, deadline, trace_parent)
+            });
+            if result.is_err() {
+                shared.tracer.add("serve.job_panics", 1);
+            }
+            // The client may have disconnected mid-job; a dead channel
+            // is not an error.
+            let _ =
+                reply.send(result.map_err(|p| format!("verification job panicked: {}", p.message)));
         }
-        shared.tracer.add("serve.jobs", 1);
-        let service = &shared.service;
-        let result = run_isolated(0, move || service.verify(netlist, deadline, trace_parent));
-        if result.is_err() {
-            shared.tracer.add("serve.job_panics", 1);
+        Job::Batch {
+            prepared,
+            units,
+            deadline,
+            reply,
+        } => {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                shared.tracer.add("serve.reject.deadline", 1);
+                let _ = reply.send(Err("deadline exceeded before verification started".into()));
+                return;
+            }
+            shared.tracer.add("serve.batches", 1);
+            shared.tracer.add("serve.batch_units", units.len() as u64);
+            // `verify_unit` is itself panic-isolated (a poisoned unit
+            // comes back as `ToolError` findings), so the batch always
+            // completes with one outcome per requested unit.
+            let outcomes: Vec<UnitOutcome> = units
+                .iter()
+                .map(|&i| prepared.verify_unit(i, deadline))
+                .collect();
+            let _ = reply.send(Ok(outcomes));
         }
-        // The client may have disconnected mid-job; a dead channel is
-        // not an error.
-        let _ = reply.send(result.map_err(|p| format!("verification job panicked: {}", p.message)));
     }
 }
 
@@ -335,7 +406,7 @@ fn submit_and_wait(
     trace_parent: Option<u64>,
 ) -> Submit {
     let (tx, rx) = mpsc::channel();
-    let job = Job {
+    let job = Job::Verify {
         netlist: session.netlist().clone(),
         deadline,
         trace_parent,
@@ -358,13 +429,23 @@ fn submit_and_wait(
     }
 }
 
+/// Per-connection state. Interactive clients build a [`Session`]
+/// (`open`/`upload`); farm coordinators build a [`PreparedDesign`]
+/// (`load`) that `batch` requests shard over. A connection may hold
+/// both, though in practice each speaks one vocabulary.
+#[derive(Default)]
+struct ConnState {
+    session: Option<Session>,
+    prepared: Option<Arc<PreparedDesign>>,
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
     };
     let mut writer = stream;
-    let mut session: Option<Session> = None;
+    let mut state = ConnState::default();
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -379,7 +460,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         shared.tracer.add("serve.requests", 1);
-        let reply = handle_request(shared, &mut session, &frame);
+        let reply = handle_request(shared, &mut state, &frame);
         let stop_after = matches!(&reply, Reply::Shutdown(_));
         let text = match reply {
             Reply::Text(t) | Reply::Shutdown(t) => t,
@@ -401,7 +482,7 @@ enum Reply {
     Shutdown(String),
 }
 
-fn handle_request(shared: &Shared, session: &mut Option<Session>, frame: &str) -> Reply {
+fn handle_request(shared: &Shared, state: &mut ConnState, frame: &str) -> Reply {
     let value = match serde_json::from_str(frame) {
         Ok(v) => v,
         Err(e) => return Reply::Text(error_reply(0, &format!("bad json: {e}"))),
@@ -415,16 +496,169 @@ fn handle_request(shared: &Shared, session: &mut Option<Session>, frame: &str) -
     }
     let span = shared.tracer.span_in(None, &format!("req:{req}"));
     let span_id = span.id();
+    let session = &mut state.session;
     match req {
+        "hello" => Reply::Text(hello(&value, id)),
         "open" => Reply::Text(open_session(shared, session, &value, id, false)),
         "upload" => Reply::Text(open_session(shared, session, &value, id, true)),
         "eco" => Reply::Text(eco(shared, session, &value, id, span_id)),
         "signoff" => Reply::Text(signoff(shared, session, &value, id, span_id)),
         "rollback" => Reply::Text(rollback(session, &value, id)),
+        "load" => Reply::Text(load(shared, state, &value, id)),
+        "batch" => Reply::Text(batch(shared, state, &value, id)),
         "stats" => Reply::Text(stats(shared, id)),
         "shutdown" => Reply::Shutdown(format!("{{\"ok\":true,\"id\":{id},\"draining\":true}}")),
         other => Reply::Text(error_reply(id, &format!("unknown request {other:?}"))),
     }
+}
+
+/// Application-level handshake: the frame layer already rejects a
+/// mismatched version byte, but `hello` lets a coordinator confirm the
+/// daemon's vocabulary before shipping work, and gets both versions
+/// named in the error when fleets diverge.
+fn hello(value: &Value, id: u64) -> String {
+    match value.get("proto").and_then(Value::as_u64) {
+        Some(p) if p == u64::from(PROTO_VERSION) => {
+            format!("{{\"ok\":true,\"id\":{id},\"proto\":{PROTO_VERSION}}}")
+        }
+        Some(p) => error_reply(
+            id,
+            &format!(
+                "protocol version mismatch: peer speaks cbv/{p}, \
+                 this build speaks cbv/{PROTO_VERSION}"
+            ),
+        ),
+        None => error_reply(id, "missing \"proto\" field"),
+    }
+}
+
+/// Worker-mode `load`: rebuild a design revision bit-identically from
+/// its name (or SPICE deck) plus the raw ECO steps the coordinator
+/// replayed, then prepare it for unit-sharded verification. The reply
+/// carries the environment and per-unit fingerprints so the
+/// coordinator can verify both sides agree on *what* is being checked
+/// before any batch is dispatched.
+fn load(shared: &Shared, state: &mut ConnState, value: &Value, id: u64) -> String {
+    let Some(design) = value.get("design").and_then(Value::as_str) else {
+        return error_reply(id, "missing \"design\" field");
+    };
+    let opened = match (
+        value.get("spice").and_then(Value::as_str),
+        value.get("top").and_then(Value::as_str),
+    ) {
+        (Some(spice), Some(top)) => Session::from_spice(design, spice, top),
+        _ => Session::open(design, shared.service.process()),
+    };
+    let mut session = match opened {
+        Ok(s) => s,
+        Err(e) => return error_reply(id, &e),
+    };
+    if let Some(steps) = value.get("steps") {
+        let Some(steps) = steps.as_array() else {
+            return error_reply(id, "\"steps\" must be an array of edit batches");
+        };
+        for (k, step) in steps.iter().enumerate() {
+            let edits = match edits_from_json(step) {
+                Ok(e) => e,
+                Err(e) => return error_reply(id, &format!("step {k}: {e}")),
+            };
+            if let Err(e) = session.apply_batch(&edits) {
+                return error_reply(id, &format!("step {k}: {e}"));
+            }
+        }
+    }
+    let netlist = session.netlist().clone();
+    let service = &shared.service;
+    let prepared = match run_isolated(0, move || {
+        PreparedDesign::build(netlist, service.process(), service.flow_config())
+    }) {
+        Ok(p) => Arc::new(p),
+        Err(p) => return error_reply(id, &format!("design preparation panicked: {}", p.message)),
+    };
+    shared.tracer.add("serve.loads", 1);
+    let mut fps = String::new();
+    for (k, f) in prepared.unit_fingerprints().iter().enumerate() {
+        if k > 0 {
+            fps.push(',');
+        }
+        fps.push_str(&format!("[{},{}]", f.content, f.binding));
+    }
+    let reply = format!(
+        "{{\"ok\":true,\"id\":{id},\"design\":{},\"revision\":{},\
+         \"units\":{},\"cccs\":{},\"env\":{},\"fps\":[{fps}]}}",
+        json_str(session.design()),
+        session.revision(),
+        prepared.n_units(),
+        prepared.n_cccs(),
+        prepared.env(),
+    );
+    state.prepared = Some(prepared);
+    reply
+}
+
+/// Worker-mode `batch`: verify a shard of units of the loaded design.
+/// The reply ships each unit's raw cache entry (the `cbv-cache` wire
+/// form) so the coordinator can absorb results straight into its
+/// shared tier — the same bytes a local `verify_unit` would have
+/// produced, which is what keeps farm signoffs byte-identical.
+fn batch(shared: &Shared, state: &mut ConnState, value: &Value, id: u64) -> String {
+    let Some(prepared) = state.prepared.as_ref() else {
+        return error_reply(id, "no design loaded: send \"load\" first");
+    };
+    let Some(units_value) = value.get("units").and_then(Value::as_array) else {
+        return error_reply(id, "missing \"units\" field");
+    };
+    let mut units = Vec::with_capacity(units_value.len());
+    for u in units_value {
+        let Some(i) = u.as_u64() else {
+            return error_reply(id, "\"units\" must be an array of unit indices");
+        };
+        let i = i as usize;
+        if i >= prepared.n_units() {
+            return error_reply(
+                id,
+                &format!("unit {i} out of range ({} units)", prepared.n_units()),
+            );
+        }
+        units.push(i);
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job::Batch {
+        prepared: Arc::clone(prepared),
+        units,
+        deadline: request_deadline(value),
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.tracer.add("serve.reject.queue_full", 1);
+            return busy_reply(id, shared.retry_after_ms);
+        }
+        Err(PushError::Closed) => return error_reply(id, "daemon is draining"),
+    }
+    match rx.recv() {
+        Ok(Ok(outcomes)) => batch_reply(id, prepared, &outcomes),
+        Ok(Err(message)) => error_reply(id, &message),
+        Err(_) => error_reply(id, "daemon is draining"),
+    }
+}
+
+fn batch_reply(id: u64, prepared: &PreparedDesign, outcomes: &[UnitOutcome]) -> String {
+    let mut out = format!("{{\"ok\":true,\"id\":{id},\"results\":[");
+    for (k, o) in outcomes.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"unit\":{},\"poisoned\":{},\"entry\":",
+            o.unit, o.poisoned
+        ));
+        write_unit_entry(&prepared.unit_key(o.unit), &o.result, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
 }
 
 fn open_session(
@@ -548,14 +782,19 @@ fn stats(shared: &Shared, id: u64) -> String {
     format!(
         "{{\"ok\":true,\"id\":{id},\"stats\":{{\
          \"sessions\":{sessions},\"requests\":{requests},\"eco\":{eco},\"jobs\":{jobs},\
+         \"loads\":{loads},\"batches\":{batches},\"batch_units\":{batch_units},\
          \"rejected_queue_full\":{full},\"rejected_deadline\":{deadline},\
          \"job_panics\":{panics},\
          \"queue_capacity\":{qcap},\"queue_depth\":{qdepth},\"workers\":{workers},\
-         \"cache_entries\":{entries},\"cache_evictions\":{evictions}}}}}",
+         \"cache_entries\":{entries},\"cache_staged\":{staged},\
+         \"cache_evictions\":{evictions}}}}}",
         sessions = t.counter_value("serve.sessions"),
         requests = t.counter_value("serve.requests"),
         eco = t.counter_value("serve.eco"),
         jobs = t.counter_value("serve.jobs"),
+        loads = t.counter_value("serve.loads"),
+        batches = t.counter_value("serve.batches"),
+        batch_units = t.counter_value("serve.batch_units"),
         full = t.counter_value("serve.reject.queue_full"),
         deadline = t.counter_value("serve.reject.deadline"),
         panics = t.counter_value("serve.job_panics"),
@@ -563,6 +802,7 @@ fn stats(shared: &Shared, id: u64) -> String {
         qdepth = shared.queue.depth(),
         workers = shared.workers,
         entries = shared.service.cache_len(),
+        staged = shared.service.staged_len(),
         evictions = shared.service.cache_evictions(),
     )
 }

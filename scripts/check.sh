@@ -56,7 +56,7 @@ done
 
 echo "== daemon loopback smoke (cbv eco vs cbv replay, cmp) =="
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"; [ -n "${SERVED_PID:-}" ] && kill "$SERVED_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$SMOKE_DIR"; for pid in "${SERVED_PID:-}" "${W1_PID:-}" "${W2_PID:-}"; do [ -n "$pid" ] && kill "$pid" 2>/dev/null || true; done' EXIT
 E1='{"edit":"op","op":{"op":"width-scale","factor":1.25},"site":{"site":"device","device":0}}'
 E2='{"edit":"resize","device":1,"w":2.0e-6,"l":3.5e-7}'
 E3='{"edit":"rewire","device":0,"term":"gate","net":1}'
@@ -79,6 +79,39 @@ for threads in 1 2 8; do
   wait "$SERVED_PID"
   SERVED_PID=
   echo "   CBV_THREADS=$threads: remote signoff byte-identical to replay"
+done
+
+# The farm's byte-identity contract: a coordinator sharding the same
+# ECO stream across two worker daemons must emit signoff bytes equal
+# to the in-process replay, then drain both workers gracefully.
+echo "== farm loopback smoke (cbv farm vs cbv replay, cmp) =="
+for threads in 1 8; do
+  CBV_THREADS=$threads ./target/release/cbv-served --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/w1.out" 2> /dev/null &
+  W1_PID=$!
+  CBV_THREADS=$threads ./target/release/cbv-served --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/w2.out" 2> /dev/null &
+  W2_PID=$!
+  for f in w1 w2; do
+    for _ in $(seq 100); do
+      grep -q "^listening on " "$SMOKE_DIR/$f.out" && break
+      sleep 0.1
+    done
+  done
+  A1=$(sed -n 's/^listening on //p' "$SMOKE_DIR/w1.out")
+  A2=$(sed -n 's/^listening on //p' "$SMOKE_DIR/w2.out")
+  { [ -n "$A1" ] && [ -n "$A2" ]; } || { echo "worker never reported its address"; exit 1; }
+  CBV_THREADS=$threads ./target/release/cbv farm "$A1,$A2" dcvsl "$E1" "$E2" "$E3" \
+    > "$SMOKE_DIR/farm.json" 2> /dev/null
+  CBV_THREADS=$threads ./target/release/cbv replay dcvsl "$E1" "$E2" "$E3" \
+    > "$SMOKE_DIR/farm_replay.json" 2> /dev/null
+  cmp "$SMOKE_DIR/farm.json" "$SMOKE_DIR/farm_replay.json"
+  ./target/release/cbv shutdown "$A1" 2> /dev/null
+  ./target/release/cbv shutdown "$A2" 2> /dev/null
+  wait "$W1_PID" "$W2_PID"
+  W1_PID=
+  W2_PID=
+  echo "   CBV_THREADS=$threads: farm signoff byte-identical to replay"
 done
 
 echo "== cargo fmt --check =="

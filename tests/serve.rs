@@ -18,6 +18,7 @@ use cbv_core::service::FlowService;
 use cbv_core::tech::Process;
 use cbv_serve::{
     read_frame, serve, write_frame, Client, ClientError, ServerConfig, ServerHandle, Session,
+    FRAME_MAGIC, PROTO_VERSION,
 };
 use serde_json::Value;
 
@@ -193,23 +194,43 @@ fn hostile_frames_never_take_the_daemon_down() {
 
     // Non-UTF-8 payload: framing error reply, then teardown.
     poke_and_verify_daemon_survives(addr, |s| {
-        s.write_all(&[0, 0, 0, 2, 0xff, 0xfe]).expect("write");
+        s.write_all(&v2_header(2)).expect("write");
+        s.write_all(&[0xff, 0xfe]).expect("write");
         let reply = read_frame(s).expect("read").expect("reply");
         assert!(reply.contains("bad frame"), "got: {reply}");
     });
 
     // Oversized length prefix: rejected before any allocation.
     poke_and_verify_daemon_survives(addr, |s| {
-        s.write_all(&(64u32 * 1024 * 1024).to_be_bytes())
-            .expect("write");
+        s.write_all(&v2_header(64 * 1024 * 1024)).expect("write");
         let reply = read_frame(s).expect("read").expect("reply");
         assert!(reply.contains("bad frame"), "got: {reply}");
     });
 
-    // Half-closed mid-frame: prefix promises 100 bytes, 10 arrive, then
+    // A v1-era peer: raw length prefix, no magic. Must be refused as
+    // alien bytes, never interpreted as a length.
+    poke_and_verify_daemon_survives(addr, |s| {
+        s.write_all(&7u32.to_be_bytes()).expect("write");
+        s.write_all(b"{\"a\":1}").expect("write");
+        let reply = read_frame(s).expect("read").expect("reply");
+        assert!(reply.contains("bad frame magic"), "got: {reply}");
+    });
+
+    // Right magic, wrong protocol version: the mismatch is named.
+    poke_and_verify_daemon_survives(addr, |s| {
+        let mut h = FRAME_MAGIC.to_vec();
+        h.push(PROTO_VERSION + 1);
+        h.extend_from_slice(&2u32.to_be_bytes());
+        h.extend_from_slice(b"{}");
+        s.write_all(&h).expect("write");
+        let reply = read_frame(s).expect("read").expect("reply");
+        assert!(reply.contains("protocol version mismatch"), "got: {reply}");
+    });
+
+    // Half-closed mid-frame: header promises 100 bytes, 10 arrive, then
     // the write side closes. The handler must tear down, not hang.
     poke_and_verify_daemon_survives(addr, |s| {
-        s.write_all(&100u32.to_be_bytes()).expect("write");
+        s.write_all(&v2_header(100)).expect("write");
         s.write_all(&[b'x'; 10]).expect("write");
         s.shutdown(Shutdown::Write).expect("half-close");
         // Best-effort error reply or clean close — either is fine; the
@@ -218,6 +239,15 @@ fn hostile_frames_never_take_the_daemon_down() {
     });
 
     server.shutdown();
+}
+
+/// A v2 frame header (magic + version + length) with an arbitrary
+/// length — for hand-rolling hostile frames.
+fn v2_header(len: u32) -> Vec<u8> {
+    let mut h = FRAME_MAGIC.to_vec();
+    h.push(PROTO_VERSION);
+    h.extend_from_slice(&len.to_be_bytes());
+    h
 }
 
 #[test]
